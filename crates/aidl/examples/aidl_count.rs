@@ -1,0 +1,24 @@
+//! Developer utility: prints `<file> methods=<n> decorated=<n> loc=<n>` for
+//! each decorated AIDL file given on the command line. Used while authoring
+//! the Table 2 service definitions.
+
+fn main() {
+    for path in std::env::args().skip(1) {
+        let src = std::fs::read_to_string(&path).expect("read file");
+        match flux_aidl::parse_one(&src) {
+            Ok(iface) => {
+                println!(
+                    "{path}: descriptor={} methods={} decorated={} loc={}",
+                    iface.descriptor,
+                    iface.method_count(),
+                    iface.decorated_count(),
+                    flux_aidl::decoration_loc(&src)
+                );
+                if let Err(e) = flux_aidl::compile(&iface) {
+                    println!("  COMPILE ERROR: {e}");
+                }
+            }
+            Err(e) => println!("{path}: PARSE ERROR: {e}"),
+        }
+    }
+}

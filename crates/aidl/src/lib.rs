@@ -1,0 +1,50 @@
+//! The Flux-decorated Android Interface Definition Language.
+//!
+//! Flux's Selective Record mechanism is configured by *decorating* AIDL
+//! interface definitions with four constructs (Table 1 of the paper):
+//!
+//! | Syntax | Purpose |
+//! |---|---|
+//! | `@record` | Record calls to this method. |
+//! | `@drop m, …` | Remove all previous calls to the listed methods. |
+//! | `@if a, …` / `@elif a, …` | Qualify `@drop` to matching arguments. |
+//! | `@replayproxy path` | Call a proxy instead when replaying. |
+//! | `this` | The method being decorated. |
+//!
+//! This crate parses that dialect ([`parse`]), compiles decorations into
+//! per-method rule tables ([`compile`]) consumed by the record runtime in
+//! `flux-core`, and measures decoration LOC ([`decoration_loc`]) so the
+//! Table 2 harness can regenerate the paper's per-service LOC column from
+//! the same sources.
+//!
+//! # Examples
+//!
+//! ```
+//! let iface = flux_aidl::parse_one(r#"
+//! interface IAlarmManager {
+//!     @record {
+//!         @drop this, remove;
+//!         @if operation;
+//!         @replayproxy flux.recordreplay.Proxies.alarmMgrSet;
+//!     }
+//!     void set(int type, long triggerAtTime, in PendingIntent operation);
+//!     @record {
+//!         @drop this, set;
+//!         @if operation;
+//!     }
+//!     void remove(in PendingIntent operation);
+//! }
+//! "#).unwrap();
+//! let compiled = flux_aidl::compile(&iface).unwrap();
+//! assert!(compiled.rule("set").unwrap().recorded);
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod loc;
+pub mod parse;
+
+pub use ast::{Direction, DropTarget, InterfaceDef, MethodDef, Param, RecordRule};
+pub use compile::{compile, CompileError, CompiledDrop, CompiledInterface, CompiledRule, MatchSig};
+pub use loc::decoration_loc;
+pub use parse::{parse, parse_one, ParseError};

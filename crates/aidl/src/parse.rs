@@ -1,0 +1,569 @@
+//! Parser for the decorated AIDL dialect.
+//!
+//! Accepts the syntax of Figures 6–9 of the paper: ordinary AIDL interface
+//! definitions, optionally preceded by `@record` decorations whose block
+//! form contains `@drop`, `@if`, `@elif` and `@replayproxy` statements
+//! (Table 1). Comments (`//` and `/* */`) and package/import lines are
+//! tolerated and ignored.
+
+use crate::ast::{Direction, DropTarget, InterfaceDef, MethodDef, Param, RecordRule};
+use std::fmt;
+
+/// A parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aidl parse error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    At(String),  // @record, @drop, ...
+    Punct(char), // { } ( ) , ; < > [ ]
+}
+
+#[derive(Debug, Clone)]
+struct Lexed {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        // Line comment.
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        loop {
+                            match chars.next() {
+                                Some('\n') => {
+                                    line += 1;
+                                    prev = '\n';
+                                }
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => {
+                                    return Err(ParseError {
+                                        line,
+                                        message: "unterminated block comment".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            line,
+                            message: "stray '/'".into(),
+                        })
+                    }
+                }
+            }
+            '@' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        message: "'@' without decorator name".into(),
+                    });
+                }
+                out.push(Lexed {
+                    tok: Tok::At(name),
+                    line,
+                });
+            }
+            '\\' => {
+                // Line continuation, as in Figure 9's `@replayproxy \`.
+                chars.next();
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Lexed {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            '{' | '}' | '(' | ')' | ',' | ';' | '<' | '>' | '[' | ']' => {
+                chars.next();
+                out.push(Lexed {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|l| &l.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|l| l.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|l| l.tok.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(ParseError {
+                line,
+                message: format!("expected {c:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line,
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Parses a type: `IDENT` with optional generic args and array suffix.
+    fn parse_type(&mut self) -> Result<String, ParseError> {
+        let mut ty = self.expect_ident()?;
+        if self.eat_punct('<') {
+            ty.push('<');
+            loop {
+                ty.push_str(&self.parse_type()?);
+                if self.eat_punct(',') {
+                    ty.push(',');
+                    continue;
+                }
+                break;
+            }
+            self.expect_punct('>')?;
+            ty.push('>');
+        }
+        while self.eat_punct('[') {
+            self.expect_punct(']')?;
+            ty.push_str("[]");
+        }
+        Ok(ty)
+    }
+
+    fn parse_record_rule(&mut self) -> Result<RecordRule, ParseError> {
+        let mut rule = RecordRule::default();
+        if !self.eat_punct('{') {
+            // Bare `@record`.
+            return Ok(rule);
+        }
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::At(name)) => {
+                    let name = name.clone();
+                    self.pos += 1;
+                    match name.as_str() {
+                        "drop" => {
+                            loop {
+                                if self.eat_ident("this") {
+                                    rule.drops.push(DropTarget::This);
+                                } else {
+                                    let m = self.expect_ident()?;
+                                    rule.drops.push(DropTarget::Method(m));
+                                }
+                                if !self.eat_punct(',') {
+                                    break;
+                                }
+                            }
+                            self.expect_punct(';')?;
+                        }
+                        "if" | "elif" => {
+                            let mut args = Vec::new();
+                            loop {
+                                args.push(self.expect_ident()?);
+                                if !self.eat_punct(',') {
+                                    break;
+                                }
+                            }
+                            self.expect_punct(';')?;
+                            rule.if_clauses.push(args);
+                        }
+                        "replayproxy" => {
+                            let path = self.expect_ident()?;
+                            self.expect_punct(';')?;
+                            rule.replay_proxy = Some(path);
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown decorator @{other}")));
+                        }
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected decorator statement or '}}', found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(rule)
+    }
+
+    fn parse_method(&mut self, rule: Option<RecordRule>) -> Result<MethodDef, ParseError> {
+        let oneway = self.eat_ident("oneway");
+        let ret = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                let direction = if self.eat_ident("in") {
+                    Direction::In
+                } else if self.eat_ident("out") {
+                    Direction::Out
+                } else if self.eat_ident("inout") {
+                    Direction::InOut
+                } else {
+                    Direction::In
+                };
+                let ty = self.parse_type()?;
+                let pname = self.expect_ident()?;
+                params.push(Param {
+                    direction,
+                    ty,
+                    name: pname,
+                });
+                if self.eat_punct(',') {
+                    continue;
+                }
+                self.expect_punct(')')?;
+                break;
+            }
+        }
+        self.expect_punct(';')?;
+        Ok(MethodDef {
+            ret,
+            oneway,
+            name,
+            params,
+            rule,
+        })
+    }
+
+    fn parse_interface(&mut self) -> Result<InterfaceDef, ParseError> {
+        if !self.eat_ident("interface") {
+            return Err(self.err("expected 'interface'"));
+        }
+        let descriptor = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut methods = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::At(name)) if name == "record" => {
+                    self.pos += 1;
+                    let rule = self.parse_record_rule()?;
+                    methods.push(self.parse_method(Some(rule))?);
+                }
+                Some(Tok::At(other)) => {
+                    let msg = format!("decorator @{other} must appear inside @record");
+                    return Err(self.err(msg));
+                }
+                Some(_) => methods.push(self.parse_method(None)?),
+                None => return Err(self.err("unterminated interface body")),
+            }
+        }
+        Ok(InterfaceDef {
+            descriptor,
+            methods,
+        })
+    }
+}
+
+/// Parses one or more interface definitions from `src`.
+pub fn parse(src: &str) -> Result<Vec<InterfaceDef>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        out.push(p.parse_interface()?);
+    }
+    if out.is_empty() {
+        return Err(ParseError {
+            line: 1,
+            message: "no interface definitions found".into(),
+        });
+    }
+    Ok(out)
+}
+
+/// Parses exactly one interface definition from `src`.
+pub fn parse_one(src: &str) -> Result<InterfaceDef, ParseError> {
+    let mut all = parse(src)?;
+    if all.len() != 1 {
+        return Err(ParseError {
+            line: 1,
+            message: format!("expected exactly 1 interface, found {}", all.len()),
+        });
+    }
+    Ok(all.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 7 of the paper, verbatim modulo whitespace.
+    const NOTIFICATION: &str = r#"
+interface INotificationManager {
+    @record
+    void enqueueNotification(int id, Notification notification);
+
+    @record {
+        @drop this, enqueueNotification;
+        @if id;
+    }
+    void cancelNotification(int id);
+}
+"#;
+
+    /// Figure 9 of the paper, including the line continuation.
+    const ALARM: &str = r#"
+interface IAlarmManager {
+    @record {
+        @drop this;
+        @if operation;
+        @replayproxy \
+            flux.recordreplay.Proxies.alarmMgrSet;
+    }
+    void set(int type, long triggerAtTime, in PendingIntent operation);
+
+    @record {
+        @drop this;
+        @if operation;
+    }
+    void remove(in PendingIntent operation);
+}
+"#;
+
+    #[test]
+    fn parses_figure_7_notification_manager() {
+        let iface = parse_one(NOTIFICATION).unwrap();
+        assert_eq!(iface.descriptor, "INotificationManager");
+        assert_eq!(iface.method_count(), 2);
+        let enqueue = iface.method("enqueueNotification").unwrap();
+        assert_eq!(enqueue.rule, Some(RecordRule::default()));
+        let cancel = iface.method("cancelNotification").unwrap();
+        let rule = cancel.rule.as_ref().unwrap();
+        assert_eq!(
+            rule.drops,
+            vec![
+                DropTarget::This,
+                DropTarget::Method("enqueueNotification".into())
+            ]
+        );
+        assert_eq!(rule.if_clauses, vec![vec!["id".to_string()]]);
+        assert!(rule.replay_proxy.is_none());
+    }
+
+    #[test]
+    fn parses_figure_9_alarm_manager() {
+        let iface = parse_one(ALARM).unwrap();
+        let set = iface.method("set").unwrap();
+        assert_eq!(set.params.len(), 3);
+        assert_eq!(set.params[2].direction, Direction::In);
+        let rule = set.rule.as_ref().unwrap();
+        assert_eq!(
+            rule.replay_proxy.as_deref(),
+            Some("flux.recordreplay.Proxies.alarmMgrSet")
+        );
+        assert_eq!(rule.if_clauses, vec![vec!["operation".to_string()]]);
+    }
+
+    #[test]
+    fn parses_undecorated_methods_and_generics() {
+        let src = r#"
+interface IActivityManager {
+    List<RunningTaskInfo> getTasks(int maxNum, int flags);
+    oneway void activityIdle(IBinder token);
+    int[] getProcessIds(in String[] names);
+}
+"#;
+        let iface = parse_one(src).unwrap();
+        assert_eq!(iface.method_count(), 3);
+        assert_eq!(iface.decorated_count(), 0);
+        assert_eq!(iface.methods[0].ret, "List<RunningTaskInfo>");
+        assert!(iface.methods[1].oneway);
+        assert_eq!(iface.methods[2].ret, "int[]");
+        assert_eq!(iface.methods[2].params[0].ty, "String[]");
+    }
+
+    #[test]
+    fn elif_creates_alternative_clauses() {
+        let src = r#"
+interface IAudioService {
+    @record {
+        @drop this;
+        @if streamType, device;
+        @elif streamType;
+    }
+    void setStreamVolume(int streamType, int index, int device);
+}
+"#;
+        let iface = parse_one(src).unwrap();
+        let rule = iface.methods[0].rule.as_ref().unwrap();
+        assert_eq!(rule.if_clauses.len(), 2);
+        assert_eq!(rule.if_clauses[0], vec!["streamType", "device"]);
+        assert_eq!(rule.if_clauses[1], vec!["streamType"]);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = r#"
+// NotificationManager subset.
+interface IX {
+    /* block
+       comment */
+    @record
+    void a(int i); // trailing
+}
+"#;
+        assert_eq!(parse_one(src).unwrap().method_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "interface IX {\n  void broken(;\n}";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn decorator_outside_record_is_rejected() {
+        let src = "interface IX {\n  @drop this;\n  void a();\n}";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("@drop"));
+    }
+
+    #[test]
+    fn unknown_decorator_statement_is_rejected() {
+        let src = "interface IX {\n  @record { @frobnicate x; }\n  void a();\n}";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn multiple_interfaces_in_one_file() {
+        let src = "interface IA { void a(); }\ninterface IB { void b(); }";
+        let all = parse(src).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(parse_one(src).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! The Android app framework: activities, views, Dalvik and OpenGL.
+//!
+//! Everything app-side the Flux paper relies on lives here:
+//!
+//! * [`ui`] — the activity lifecycle (Resumed/Paused/Stopped), windows and
+//!   view hierarchies (§2 of the paper);
+//! * [`dalvik`] — the per-app Dalvik VM, with the Flux modification that
+//!   obtains heap memory via `mmap` instead of ashmem (§3.3);
+//! * [`gl`] — the OpenGL ES stack: generic + vendor libraries, EGL contexts
+//!   with GPU and pmem backing, and Flux's `eglUnload` extension;
+//! * [`app`] — launching apps with a resource footprint and calling system
+//!   services through Binder;
+//! * [`lifecycle`] — the ActivityThread cascades CRIA drives: background,
+//!   `handleTrimMemory`, `eglUnload`, and conditional re-initialisation on
+//!   the guest.
+
+pub mod app;
+pub mod dalvik;
+pub mod gl;
+pub mod lifecycle;
+pub mod ui;
+
+pub use app::{add_process, launch, App, AppFootprint};
+pub use dalvik::Dalvik;
+pub use gl::{EglContext, GlState};
+pub use lifecycle::{
+    conditional_reinit, egl_unload, handle_trim_memory, move_to_background, PrepStats,
+};
+pub use ui::{Activity, ActivityState, View, ViewRoot};

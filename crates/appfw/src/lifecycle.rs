@@ -1,0 +1,304 @@
+//! The ActivityThread side of CRIA's preparation and re-initialisation.
+//!
+//! §3.3 of the paper spells out the exact cascade Flux drives before a
+//! checkpoint, and this module reproduces it step by step:
+//!
+//! 1. **Background** — the activity goes Paused, then the task idler stops
+//!    it; its Surface is destroyed by the WindowManager.
+//! 2. **Trim memory** — `handleTrimMemory(COMPLETE)`: the WindowManager's
+//!    `startTrimMemory` flushes the HardwareRenderer caches, every
+//!    ViewRoot's `terminateHardwareResources` destroys hardware rendering
+//!    state, `endTrimMemory` terminates the EGL contexts.
+//! 3. **`eglUnload`** — the Flux OpenGL extension unloads the vendor GL
+//!    library, removing the last device-specific mapping.
+//!
+//! After restore, **conditional re-initialisation** rebuilds all of it
+//! sized for the guest display: "because graphics state is reinitialized
+//! and redrawn on the guest device, the resulting device-specific state is
+//! customized for the guest device."
+
+use crate::app::App;
+use crate::ui::ActivityState;
+use flux_binder::{BinderError, Parcel};
+use flux_kernel::Kernel;
+use flux_services::svc::window::WindowManagerService;
+use flux_services::ServiceHost;
+use flux_simcore::{ByteSize, SimTime};
+
+/// Statistics from a preparation run, consumed by the cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepStats {
+    /// Surfaces destroyed by backgrounding.
+    pub surfaces_destroyed: usize,
+    /// EGL contexts destroyed by trim-memory.
+    pub contexts_destroyed: usize,
+    /// GL resources (contexts + caches, rounded to objects) torn down.
+    pub gl_resources: usize,
+    /// Whether the vendor library was unloaded.
+    pub vendor_unloaded: bool,
+}
+
+/// Moves the app's activities to the background: Resumed → Paused, then the
+/// task idler stops them and their surfaces go away.
+pub fn move_to_background(
+    app: &mut App,
+    kernel: &mut Kernel,
+    host: &mut ServiceHost,
+    now: SimTime,
+) -> Result<usize, BinderError> {
+    for a in &mut app.activities {
+        if a.state == ActivityState::Resumed {
+            a.state = ActivityState::Paused;
+        }
+    }
+    // The Android task idler then moves paused activities to Stopped; the
+    // paper notes Flux's unoptimised prototype simply waits for it.
+    for a in &mut app.activities {
+        a.state = ActivityState::Stopped;
+    }
+    // Stopped activities lose their Surfaces (WindowManager side).
+    let token = app
+        .activities
+        .first()
+        .map(|a| a.window_token.clone())
+        .unwrap_or_default();
+    let _ = token;
+    let destroyed = host
+        .service_mut::<WindowManagerService>("window")
+        .map(|wm| wm.destroy_surfaces(app.uid))
+        .unwrap_or(0);
+    let _ = now;
+    // The process is frozen once idle so CRIU can dump it.
+    kernel
+        .freeze(app.main_pid)
+        .map_err(|e| BinderError::TransactionFailed {
+            interface: "ActivityThread".into(),
+            method: "moveToBackground".into(),
+            reason: e.to_string(),
+        })?;
+    Ok(destroyed)
+}
+
+/// `handleTrimMemory(TRIM_MEMORY_COMPLETE)`: the full cascade of §3.3.
+///
+/// The app must already be stopped. Preserved EGL contexts
+/// (`setPreserveEGLContextOnPause`) survive, which later makes `eglUnload`
+/// — and therefore migration — fail, as the paper describes.
+pub fn handle_trim_memory(
+    app: &mut App,
+    kernel: &mut Kernel,
+    host: &mut ServiceHost,
+    now: SimTime,
+) -> Result<PrepStats, BinderError> {
+    let mut stats = PrepStats::default();
+
+    // The WindowManager brackets the trim.
+    let token = Parcel::new().with_str(app.activities[0].window_token.clone());
+    {
+        // The frozen process cannot transact; the trim runs on its behalf
+        // through the system (thaw for the RPC window, as the real
+        // ActivityThread is still scheduled during trim).
+        kernel.thaw(app.main_pid).ok();
+        app.call_service(
+            kernel,
+            host,
+            now,
+            "window",
+            "startTrimMemory",
+            token.clone(),
+        )?;
+    }
+
+    // HardwareRenderer.startTrimMemory: flush caches.
+    let mut pmem = std::mem::take(&mut kernel.pmem);
+    {
+        let proc = kernel.process_mut(app.main_pid).map_err(to_binder)?;
+        let flushed = app.gl.flush_caches(proc);
+        if !flushed.is_zero() {
+            stats.gl_resources += 1;
+        }
+
+        // Every ViewRoot terminates its hardware resources; the renderer
+        // destroys hardware state and the canvas.
+        app.view_root.terminate_hardware_resources();
+        app.view_root.invalidate_all();
+
+        // endTrimMemory terminates all (non-preserved) OpenGL contexts.
+        let destroyed = app.gl.destroy_contexts(proc, &mut pmem);
+        stats.contexts_destroyed = destroyed;
+        stats.gl_resources += destroyed;
+    }
+    kernel.pmem = pmem;
+
+    app.call_service(kernel, host, now, "window", "endTrimMemory", token)?;
+    stats.surfaces_destroyed = host
+        .service_mut::<WindowManagerService>("window")
+        .map(|wm| wm.destroy_surfaces(app.uid))
+        .unwrap_or(0);
+
+    kernel.freeze(app.main_pid).map_err(to_binder)?;
+    Ok(stats)
+}
+
+/// Flux's `eglUnload`: removes the lingering vendor-library state after the
+/// renderer is gone (§3.3). Fails if a preserved context kept the library
+/// pinned — the Subway Surfers case.
+pub fn egl_unload(app: &mut App, kernel: &mut Kernel) -> Result<bool, String> {
+    if app.gl.vendor_lib.is_none() {
+        return Ok(false);
+    }
+    let proc = kernel
+        .process_mut(app.main_pid)
+        .map_err(|e| e.to_string())?;
+    app.gl.egl_unload(proc)?;
+    Ok(true)
+}
+
+/// Conditional re-initialisation after restore: reload the *guest's* vendor
+/// GL library, recreate contexts and caches, re-layout and redraw the view
+/// hierarchy at the guest resolution, and bring the activity back to the
+/// foreground. Returns the number of views redrawn (drives the cost model).
+pub fn conditional_reinit(
+    app: &mut App,
+    kernel: &mut Kernel,
+    host: &mut ServiceHost,
+    now: SimTime,
+    guest_vendor_lib: &str,
+    textures: ByteSize,
+    contexts: u32,
+) -> Result<usize, BinderError> {
+    kernel.thaw(app.main_pid).map_err(to_binder)?;
+
+    if contexts > 0 {
+        let mut pmem = std::mem::take(&mut kernel.pmem);
+        let proc = kernel.process_mut(app.main_pid).map_err(to_binder)?;
+        app.gl
+            .initialize(proc, guest_vendor_lib, ByteSize::from_mib(2));
+        for _ in 0..contexts {
+            app.gl.create_context(proc, &mut pmem, textures, 8);
+        }
+        kernel.pmem = pmem;
+    }
+
+    let screen = host
+        .service::<WindowManagerService>("window")
+        .map(WindowManagerService::screen)
+        .unwrap_or((1200, 1920));
+
+    // Re-register the window on the guest WindowManager and lay out.
+    let token = app.activities[0].window_token.clone();
+    app.call_service(
+        kernel,
+        host,
+        now,
+        "window",
+        "addWindow",
+        Parcel::new().with_str(token.clone()),
+    )?;
+    app.call_service(
+        kernel,
+        host,
+        now,
+        "window",
+        "relayout",
+        Parcel::new()
+            .with_str(token)
+            .with_i32(screen.0 as i32)
+            .with_i32(screen.1 as i32),
+    )?;
+    let redrawn = app.view_root.relayout(screen);
+
+    for a in &mut app.activities {
+        a.state = ActivityState::Resumed;
+    }
+    Ok(redrawn)
+}
+
+fn to_binder(e: flux_kernel::KernelError) -> BinderError {
+    BinderError::TransactionFailed {
+        interface: "ActivityThread".into(),
+        method: "lifecycle".into(),
+        reason: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{launch, AppFootprint};
+    use flux_kernel::ProcState as PS;
+    use flux_services::{boot_android, ServicesConfig};
+    use flux_simcore::Uid;
+
+    fn env() -> (Kernel, ServiceHost, App) {
+        let mut kernel = Kernel::new("3.4");
+        let mut host = boot_android(&mut kernel, &ServicesConfig::default()).unwrap();
+        let app = launch(
+            &mut kernel,
+            &mut host,
+            SimTime::ZERO,
+            "com.example.game",
+            Uid(10_040),
+            &AppFootprint::default(),
+            "libGLES_adreno.so",
+            19,
+        )
+        .unwrap();
+        (kernel, host, app)
+    }
+
+    #[test]
+    fn full_preparation_clears_device_specific_state() {
+        let (mut kernel, mut host, mut app) = env();
+        assert!(kernel
+            .process(app.main_pid)
+            .unwrap()
+            .mem
+            .has_device_specific());
+
+        move_to_background(&mut app, &mut kernel, &mut host, SimTime::ZERO).unwrap();
+        assert_eq!(app.top_state(), Some(ActivityState::Stopped));
+
+        let stats = handle_trim_memory(&mut app, &mut kernel, &mut host, SimTime::ZERO).unwrap();
+        assert_eq!(stats.contexts_destroyed, 1);
+        assert!(egl_unload(&mut app, &mut kernel).unwrap());
+
+        let proc = kernel.process(app.main_pid).unwrap();
+        assert!(!proc.mem.has_device_specific());
+        assert!(kernel.pmem.owned_by(app.main_pid).is_empty());
+        assert_eq!(proc.state, PS::Stopped);
+    }
+
+    #[test]
+    fn preserved_context_blocks_egl_unload() {
+        let (mut kernel, mut host, mut app) = env();
+        let ctx = app.gl.contexts[0].id;
+        app.gl.set_preserve_on_pause(ctx, true);
+        move_to_background(&mut app, &mut kernel, &mut host, SimTime::ZERO).unwrap();
+        handle_trim_memory(&mut app, &mut kernel, &mut host, SimTime::ZERO).unwrap();
+        assert!(egl_unload(&mut app, &mut kernel).is_err());
+    }
+
+    #[test]
+    fn reinit_lays_out_for_guest_screen() {
+        let (mut kernel, mut host, mut app) = env();
+        move_to_background(&mut app, &mut kernel, &mut host, SimTime::ZERO).unwrap();
+        handle_trim_memory(&mut app, &mut kernel, &mut host, SimTime::ZERO).unwrap();
+        egl_unload(&mut app, &mut kernel).unwrap();
+
+        let redrawn = conditional_reinit(
+            &mut app,
+            &mut kernel,
+            &mut host,
+            SimTime::ZERO,
+            "libGLES_tegra.so",
+            ByteSize::from_mib(8),
+            1,
+        )
+        .unwrap();
+        assert_eq!(redrawn, AppFootprint::default().views);
+        assert_eq!(app.gl.vendor_lib.as_deref(), Some("libGLES_tegra.so"));
+        assert_eq!(app.top_state(), Some(ActivityState::Resumed));
+        assert_eq!(kernel.process(app.main_pid).unwrap().state, PS::Running);
+    }
+}

@@ -1,0 +1,24 @@
+//! Real wall-clock cost of one complete simulated migration (the whole
+//! pipeline: prep, CRIU, rsync verify, restore, replay, re-layout).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flux_bench::evaluation::run_one;
+use flux_device::DeviceModel;
+use flux_workloads::spec;
+
+fn bench_migration(c: &mut Criterion) {
+    let whatsapp = spec("WhatsApp").unwrap();
+    let candy = spec("Candy Crush Saga").unwrap();
+    let mut g = c.benchmark_group("migration/end_to_end");
+    g.sample_size(20);
+    g.bench_function("whatsapp_n4_to_n7_2013", |b| {
+        b.iter(|| run_one(21, DeviceModel::Nexus4, DeviceModel::Nexus7_2013, &whatsapp).unwrap())
+    });
+    g.bench_function("candycrush_n7_to_n4", |b| {
+        b.iter(|| run_one(22, DeviceModel::Nexus7_2012, DeviceModel::Nexus4, &candy).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

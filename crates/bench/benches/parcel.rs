@@ -1,0 +1,30 @@
+//! Parcel wire-codec throughput (every Binder transaction pays this).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use flux_binder::{ObjRef, Parcel};
+
+fn sample() -> Parcel {
+    Parcel::new()
+        .with_str("com.example.app")
+        .with_i32(42)
+        .with_i64(1 << 40)
+        .with_blob(vec![7u8; 1024])
+        .with_object(ObjRef::Handle(3))
+        .with_bool(true)
+}
+
+fn bench_parcel(c: &mut Criterion) {
+    let p = sample();
+    let encoded = p.encode();
+    let mut g = c.benchmark_group("parcel");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(&p).encode()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Parcel::decode(black_box(&encoded)).unwrap())
+    });
+    g.bench_function("wire_size", |b| b.iter(|| black_box(&p).wire_size()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_parcel);
+criterion_main!(benches);

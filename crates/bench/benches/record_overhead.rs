@@ -1,0 +1,88 @@
+//! Real (wall-clock) cost of the Selective Record interposition per call —
+//! the implementation-side counterpart of Figure 16.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flux_binder::Parcel;
+use flux_core::record::CallLog;
+use flux_simcore::SimTime;
+
+fn bench_record(c: &mut Criterion) {
+    let iface = flux_services::compile_all()
+        .expect("registry compiles")
+        .remove("INotificationManager")
+        .expect("notification interface");
+
+    let enqueue = Parcel::new()
+        .with_str("com.example.app")
+        .with_i32(1)
+        .with_blob(vec![0u8; 256])
+        .with_null();
+    let cancel = Parcel::new().with_str("com.example.app").with_i32(1);
+
+    c.bench_function("record/offer_recorded_call", |b| {
+        let mut log = CallLog::default();
+        b.iter(|| {
+            log.offer(
+                &iface,
+                "notification",
+                "enqueueNotification",
+                black_box(&enqueue),
+                &Parcel::new(),
+                SimTime::ZERO,
+            )
+        })
+    });
+
+    c.bench_function("record/offer_with_drop_match", |b| {
+        b.iter_batched(
+            || {
+                let mut log = CallLog::default();
+                for i in 0..64 {
+                    let p = Parcel::new()
+                        .with_str("com.example.app")
+                        .with_i32(i)
+                        .with_blob(vec![0u8; 256])
+                        .with_null();
+                    log.offer(
+                        &iface,
+                        "notification",
+                        "enqueueNotification",
+                        &p,
+                        &Parcel::new(),
+                        SimTime::ZERO,
+                    );
+                }
+                log
+            },
+            |mut log| {
+                log.offer(
+                    &iface,
+                    "notification",
+                    "cancelNotification",
+                    black_box(&cancel),
+                    &Parcel::new(),
+                    SimTime::ZERO,
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("record/offer_unrecorded_call", |b| {
+        let mut log = CallLog::default();
+        let args = Parcel::new().with_str("com.example.app").with_i32(0);
+        b.iter(|| {
+            log.offer(
+                &iface,
+                "notification",
+                "areNotificationsEnabledForPackage",
+                black_box(&args),
+                &Parcel::new(),
+                SimTime::ZERO,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Real cost of Adaptive Replay: full log replay against a live guest
+//! service stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flux_core::{pair, replay_log, FluxWorld};
+use flux_device::DeviceProfile;
+use flux_workloads::spec;
+
+fn bench_replay(c: &mut Criterion) {
+    c.bench_function("replay/whatsapp_log_on_guest", |b| {
+        b.iter_batched(
+            || {
+                // Record a workload on the home device, then hand the log
+                // to a fresh guest with the app already present.
+                let mut world = FluxWorld::new(13);
+                let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
+                let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
+                let app = spec("WhatsApp").unwrap();
+                world.deploy(home, &app).unwrap();
+                world
+                    .run_script(home, &app.package, &app.actions.clone())
+                    .unwrap();
+                pair(&mut world, home, guest).unwrap();
+                // Deploy on the guest directly so replay has a target app.
+                world.launch_app(guest, &app.package).unwrap();
+                let uid = world.device(home).unwrap().app_uid(&app.package).unwrap();
+                let log = world
+                    .device(home)
+                    .unwrap()
+                    .records
+                    .log(uid)
+                    .unwrap()
+                    .clone();
+                (world, guest, app.package.clone(), log)
+            },
+            |(mut world, guest, package, log)| {
+                replay_log(
+                    &mut world,
+                    guest,
+                    &package,
+                    &log,
+                    flux_simcore::SimTime::ZERO,
+                    &DeviceProfile::nexus4(),
+                )
+                .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Throughput of the rsync decision procedure over a full system image.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flux_device::DeviceProfile;
+use flux_fs::{sync, SimFs, SyncOptions};
+use flux_simcore::CostModel;
+
+fn bench_rsync(c: &mut Criterion) {
+    let mut home = SimFs::new();
+    flux_device::populate_system(&mut home, &DeviceProfile::nexus7_2012());
+    let guest_base = {
+        let mut g = SimFs::new();
+        flux_device::populate_system(&mut g, &DeviceProfile::nexus7_2013());
+        g
+    };
+    let bytes = home.total_size("/system").as_u64();
+    let cost = CostModel::reference();
+    let opts = SyncOptions {
+        link_dest: Some("/system".into()),
+        ..SyncOptions::default()
+    };
+
+    let mut g = c.benchmark_group("rsync/system_partition");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("link_dest_sync", |b| {
+        b.iter_batched(
+            || guest_base.clone(),
+            |mut guest| {
+                sync(
+                    &home,
+                    "/system",
+                    &mut guest,
+                    "/data/flux/h/system",
+                    &opts,
+                    &cost,
+                )
+                .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rsync);
+criterion_main!(benches);

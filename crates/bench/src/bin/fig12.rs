@@ -1,0 +1,53 @@
+//! Figure 12: overall migration time per app across the four device pairs,
+//! plus the §4 success/failure matrix (16 of 18 apps migrate; Facebook and
+//! Subway Surfers are refused).
+
+use flux_bench::{run_full_evaluation, Table, PAIR_LABELS};
+use flux_workloads::top_apps;
+
+fn main() {
+    let eval = run_full_evaluation(42);
+
+    println!("Figure 12: Overall migration times (seconds)\n");
+    let mut t = Table::new(&[
+        "Application",
+        PAIR_LABELS[0],
+        PAIR_LABELS[1],
+        PAIR_LABELS[2],
+        PAIR_LABELS[3],
+    ]);
+    for spec in top_apps() {
+        let mut cells = vec![spec.name.clone()];
+        for row in eval.rows_of(&spec.name) {
+            cells.push(match &row.outcome {
+                Ok(r) => format!("{:.2}", r.stages.total().as_secs_f64()),
+                Err(e) => format!("FAILED ({})", short(e)),
+            });
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    println!(
+        "Average total migration time : {:.2} s   (paper: 7.88 s)",
+        eval.mean_total().as_secs_f64()
+    );
+    println!(
+        "Average user-perceived time  : {:.2} s   (paper: ~5.8 s)",
+        eval.mean_user_perceived().as_secs_f64()
+    );
+    println!(
+        "Migratable apps              : {}/18  (paper: 16/18)",
+        eval.migratable_apps().len()
+    );
+}
+
+fn short(e: &str) -> &str {
+    if e.contains("multi-process") {
+        "multi-process"
+    } else if e.contains("EGL") {
+        "preserved EGL context"
+    } else {
+        e
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 13: percentage breakdown of time spent per migration stage,
+//! averaged over the four device pairs.
+
+use flux_bench::{run_full_evaluation, Table};
+use flux_workloads::top_apps;
+
+fn main() {
+    let eval = run_full_evaluation(42);
+
+    println!("Figure 13: Breakdown of time spent during migration (%)\n");
+    let mut t = Table::new(&[
+        "Application",
+        "Preparation",
+        "Checkpoint",
+        "Transfer",
+        "Restore",
+        "Reintegration",
+    ]);
+    for spec in top_apps() {
+        if let Some(b) = eval.breakdown_of(&spec.name) {
+            t.row(vec![
+                spec.name.clone(),
+                format!("{:.1}", b[0] * 100.0),
+                format!("{:.1}", b[1] * 100.0),
+                format!("{:.1}", b[2] * 100.0),
+                format!("{:.1}", b[3] * 100.0),
+                format!("{:.1}", b[4] * 100.0),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Mean transfer share of total time: {:.1}%  (paper: over half on average)",
+        eval.mean_transfer_share() * 100.0
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 14: user-perceived migration time excluding the data-transfer
+//! stage, per app across the four device pairs.
+
+use flux_bench::{run_full_evaluation, Table, PAIR_LABELS};
+use flux_workloads::top_apps;
+
+fn main() {
+    let eval = run_full_evaluation(42);
+
+    println!("Figure 14: User-perceived migration time excluding transfer (seconds)\n");
+    let mut t = Table::new(&[
+        "Application",
+        PAIR_LABELS[0],
+        PAIR_LABELS[1],
+        PAIR_LABELS[2],
+        PAIR_LABELS[3],
+    ]);
+    for spec in top_apps() {
+        let rows = eval.rows_of(&spec.name);
+        if rows.iter().any(|r| r.outcome.is_err()) {
+            continue;
+        }
+        let mut cells = vec![spec.name.clone()];
+        for row in rows {
+            if let Ok(r) = &row.outcome {
+                cells.push(format!(
+                    "{:.2}",
+                    r.stages.user_perceived_sans_transfer().as_secs_f64()
+                ));
+            }
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "Average excluding transfer: {:.2} s  (paper: 1.35 s)",
+        eval.mean_sans_transfer().as_secs_f64()
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 15: data transferred per migration, with APK size for reference.
+
+use flux_bench::{run_full_evaluation, Table};
+use flux_workloads::top_apps;
+
+fn main() {
+    let eval = run_full_evaluation(42);
+
+    println!("Figure 15: Amount of data transferred during migration\n");
+    let mut t = Table::new(&["Application", "Data transferred (MB)", "APK size (MB)"]);
+    let mut max_mb: f64 = 0.0;
+    for spec in top_apps() {
+        let rows = eval.rows_of(&spec.name);
+        let ok: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|r| r.ledger.total().as_mib_f64())
+            .collect();
+        if ok.is_empty() {
+            t.row(vec![
+                spec.name.clone(),
+                "n/a (unmigratable)".into(),
+                format!("{:.1}", spec.apk_mib),
+            ]);
+            continue;
+        }
+        let mean = ok.iter().sum::<f64>() / ok.len() as f64;
+        max_mb = max_mb.max(mean);
+        t.row(vec![
+            spec.name.clone(),
+            format!("{mean:.1}"),
+            format!("{:.1}", spec.apk_mib),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Largest transfer: {max_mb:.1} MB  (paper: none exceeded 14 MB)");
+}

@@ -1,0 +1,44 @@
+//! The §4 pairing-cost experiment: syncing a Nexus 7's constant data to a
+//! Nexus 7 (2013), both running KitKat.
+//!
+//! Paper numbers: 215 MB of constant data; 123 MB remain after hard
+//! linking identical files on the target; a 56 MB compressed delta is
+//! actually transferred.
+
+use flux_core::{pair, FluxWorld};
+use flux_device::DeviceProfile;
+
+fn main() {
+    let mut world = FluxWorld::new(9);
+    let home = world
+        .add_device("nexus7", DeviceProfile::nexus7_2012())
+        .expect("home boots");
+    let guest = world
+        .add_device("nexus7-2013", DeviceProfile::nexus7_2013())
+        .expect("guest boots");
+
+    let report = pair(&mut world, home, guest).expect("pairing succeeds");
+    let s = &report.system_sync;
+    println!("Pairing cost: {}\n", report.direction);
+    println!(
+        "Constant data (frameworks/libs) : {:>10}   (paper: 215 MB)",
+        format!("{}", s.bytes_considered)
+    );
+    println!(
+        "After hard-linking identical    : {:>10}   (paper: 123 MB)",
+        format!("{}", s.bytes_differing)
+    );
+    println!(
+        "Compressed delta transferred    : {:>10}   (paper:  56 MB)",
+        format!("{}", s.bytes_shipped)
+    );
+    println!();
+    println!(
+        "Files: {} total, {} hard-linked, {} delta, {} full",
+        s.files_total, s.files_hard_linked, s.files_delta, s.files_full
+    );
+    println!(
+        "Pairing took {} of virtual time (incl. radio transfer).",
+        report.elapsed
+    );
+}

@@ -1,0 +1,29 @@
+//! Table 2: decorated services in Android — methods per interface and the
+//! lines of Flux decorator code, regenerated from the embedded decorated
+//! AIDL sources (and the hand-written SensorService rules).
+
+use flux_bench::Table;
+use flux_services::{table2, ServiceClass};
+
+fn main() {
+    println!("Table 2: Decorated services in Android\n");
+    for (class, title) in [
+        (ServiceClass::Hardware, "HARDWARE SERVICE"),
+        (ServiceClass::Software, "SOFTWARE SERVICE"),
+    ] {
+        let mut t = Table::new(&[title, "METHODS", "LOC"]);
+        for row in table2().iter().filter(|r| r.class == class) {
+            t.row(vec![
+                row.service.clone(),
+                row.methods.to_string(),
+                row.loc
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "TBD".into()),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("Method counts and decoration LOC are measured from the decorated");
+    println!("AIDL sources in crates/services/aidl/ (SensorService: from the");
+    println!("hand-written rules in flux-services::sensor_native).");
+}

@@ -1,0 +1,14 @@
+//! Table 3: the top free Android apps and how each was used prior to
+//! migration.
+
+use flux_bench::Table;
+use flux_workloads::top_apps;
+
+fn main() {
+    println!("Table 3: Top free Android apps and how they were used prior to migrating\n");
+    let mut t = Table::new(&["NAME", "WORKLOAD"]);
+    for spec in top_apps() {
+        t.row(vec![spec.name.clone(), spec.workload.clone()]);
+    }
+    println!("{}", t.render());
+}

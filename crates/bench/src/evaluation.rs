@@ -1,0 +1,240 @@
+//! The §4 migration evaluation: 18 apps × 4 device pairs.
+
+use flux_core::{migrate, pair, FluxWorld, MigrationReport};
+use flux_device::{DeviceModel, DeviceProfile};
+use flux_simcore::SimDuration;
+use flux_workloads::{top_apps, AppSpec};
+
+/// Labels for the four device pairs, in the paper's order.
+pub const PAIR_LABELS: [&str; 4] = [
+    "Nexus 7 (2013) to Nexus 7 (2013)",
+    "Nexus 4 to Nexus 7 (2013)",
+    "Nexus 7 to Nexus 7 (2013)",
+    "Nexus 7 to Nexus 4",
+];
+
+/// One (app, device-pair) migration attempt.
+#[derive(Debug, Clone)]
+pub struct MigRow {
+    /// App display name.
+    pub app: String,
+    /// Device-pair label.
+    pub pair: String,
+    /// Pair index 0..4.
+    pub pair_index: usize,
+    /// The report, or the refusal reason.
+    pub outcome: Result<MigrationReport, String>,
+}
+
+/// Results of the full evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Evaluation {
+    /// All rows, apps outermost in Table 3 order.
+    pub rows: Vec<MigRow>,
+}
+
+impl Evaluation {
+    /// Rows for one app across the pairs.
+    pub fn rows_of(&self, app: &str) -> Vec<&MigRow> {
+        self.rows.iter().filter(|r| r.app == app).collect()
+    }
+
+    /// The sixteen app names that migrated successfully everywhere.
+    pub fn migratable_apps(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for spec in top_apps() {
+            let rows = self.rows_of(&spec.name);
+            if !rows.is_empty() && rows.iter().all(|r| r.outcome.is_ok()) {
+                out.push(spec.name.clone());
+            }
+        }
+        out
+    }
+
+    /// Mean total migration time across every successful migration
+    /// (the paper's 7.88 s average).
+    pub fn mean_total(&self) -> SimDuration {
+        self.mean_of(|r| r.stages.total())
+    }
+
+    /// Mean user-perceived time (the paper's ≈5.8 s).
+    pub fn mean_user_perceived(&self) -> SimDuration {
+        self.mean_of(|r| r.stages.user_perceived())
+    }
+
+    /// Mean user-perceived time excluding transfer (Figure 14's 1.35 s).
+    pub fn mean_sans_transfer(&self) -> SimDuration {
+        self.mean_of(|r| r.stages.user_perceived_sans_transfer())
+    }
+
+    fn mean_of(&self, f: impl Fn(&MigrationReport) -> SimDuration) -> SimDuration {
+        let ok: Vec<&MigrationReport> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .collect();
+        if ok.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u64 = ok.iter().map(|r| f(r).as_nanos()).sum();
+        SimDuration::from_nanos(sum / ok.len() as u64)
+    }
+
+    /// Average stage-fraction breakdown across successful migrations of
+    /// one app: (prep, checkpoint, transfer, restore, reintegration),
+    /// summing to 1.0 (Figure 13).
+    pub fn breakdown_of(&self, app: &str) -> Option<[f64; 5]> {
+        let ok: Vec<&MigrationReport> = self
+            .rows_of(app)
+            .into_iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .collect();
+        if ok.is_empty() {
+            return None;
+        }
+        let mut acc = [0f64; 5];
+        for r in &ok {
+            let total = r.stages.total().as_nanos() as f64;
+            acc[0] += r.stages.preparation.as_nanos() as f64 / total;
+            acc[1] += r.stages.checkpoint.as_nanos() as f64 / total;
+            acc[2] += r.stages.transfer.as_nanos() as f64 / total;
+            acc[3] += r.stages.restore.as_nanos() as f64 / total;
+            acc[4] += r.stages.reintegration.as_nanos() as f64 / total;
+        }
+        for v in &mut acc {
+            *v /= ok.len() as f64;
+        }
+        Some(acc)
+    }
+
+    /// Mean transfer-stage share of total time across everything (>0.5 in
+    /// the paper).
+    pub fn mean_transfer_share(&self) -> f64 {
+        let ok: Vec<&MigrationReport> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .collect();
+        if ok.is_empty() {
+            return 0.0;
+        }
+        ok.iter()
+            .map(|r| r.stages.transfer.as_nanos() as f64 / r.stages.total().as_nanos() as f64)
+            .sum::<f64>()
+            / ok.len() as f64
+    }
+}
+
+/// Runs one migration of `spec` across a fresh pair of devices.
+pub fn run_one(
+    seed: u64,
+    home_model: DeviceModel,
+    guest_model: DeviceModel,
+    spec: &AppSpec,
+) -> Result<MigrationReport, String> {
+    let mut world = FluxWorld::new(seed);
+    let home = world
+        .add_device("home", DeviceProfile::of(home_model))
+        .map_err(|e| e.to_string())?;
+    let guest = world
+        .add_device("guest", DeviceProfile::of(guest_model))
+        .map_err(|e| e.to_string())?;
+    world.deploy(home, spec).map_err(|e| e.to_string())?;
+    world
+        .run_script(home, &spec.package, &spec.actions.clone())
+        .map_err(|e| e.to_string())?;
+    pair(&mut world, home, guest).map_err(|e| e.to_string())?;
+    migrate(&mut world, home, guest, &spec.package).map_err(|e| e.to_string())
+}
+
+/// Runs the full 18-app × 4-pair evaluation.
+///
+/// Every (app, pair) migration runs in its own world, so the 72 runs are
+/// independent and fan out across threads.
+pub fn run_full_evaluation(seed: u64) -> Evaluation {
+    let pairs = DeviceProfile::evaluation_pairs();
+    let apps = top_apps();
+    let jobs: Vec<(usize, AppSpec, usize)> = apps
+        .iter()
+        .enumerate()
+        .flat_map(|(a, spec)| (0..pairs.len()).map(move |i| (a, spec.clone(), i)))
+        .collect();
+
+    let mut rows: Vec<(usize, MigRow)> = crossbeam::thread::scope(|scope| {
+        let chunk = jobs.len().div_ceil(num_threads());
+        let handles: Vec<_> = jobs
+            .chunks(chunk.max(1))
+            .map(|batch| {
+                let pairs = pairs.clone();
+                scope.spawn(move |_| {
+                    batch
+                        .iter()
+                        .map(|(a, spec, i)| {
+                            let (home, guest) = pairs[*i];
+                            let outcome = run_one(seed + *i as u64, home, guest, spec);
+                            (
+                                a * pairs.len() + i,
+                                MigRow {
+                                    app: spec.name.clone(),
+                                    pair: PAIR_LABELS[*i].to_owned(),
+                                    pair_index: *i,
+                                    outcome,
+                                },
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    })
+    .expect("evaluation scope");
+
+    rows.sort_by_key(|(order, _)| *order);
+    Evaluation {
+        rows: rows.into_iter().map(|(_, r)| r).collect(),
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_workloads::spec;
+
+    #[test]
+    fn whatsapp_migrates_on_every_pair() {
+        let s = spec("WhatsApp").unwrap();
+        for (i, (h, g)) in DeviceProfile::evaluation_pairs().iter().enumerate() {
+            let r = run_one(100 + i as u64, *h, *g, &s);
+            assert!(r.is_ok(), "pair {i}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn facebook_and_subway_surfers_fail_as_in_the_paper() {
+        let fb = run_one(
+            1,
+            DeviceModel::Nexus4,
+            DeviceModel::Nexus7_2013,
+            &spec("Facebook").unwrap(),
+        );
+        assert!(fb.unwrap_err().contains("multi-process"));
+        let ss = run_one(
+            1,
+            DeviceModel::Nexus4,
+            DeviceModel::Nexus7_2013,
+            &spec("Subway Surfers").unwrap(),
+        );
+        assert!(ss.unwrap_err().contains("EGL context"));
+    }
+}

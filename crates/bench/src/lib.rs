@@ -1,0 +1,28 @@
+//! Benchmark harnesses for every table and figure of the Flux paper.
+//!
+//! Each `src/bin/*.rs` binary regenerates one artifact of §4:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table2` | Table 2 — decorated services (methods, decoration LOC) |
+//! | `table3` | Table 3 — top apps and workloads |
+//! | `fig12` | Figure 12 — overall migration times |
+//! | `fig13` | Figure 13 — stage breakdown |
+//! | `fig14` | Figure 14 — user-perceived time excluding transfer |
+//! | `fig15` | Figure 15 — data transferred + APK sizes |
+//! | `fig16` | Figure 16 — Quadrant/SunSpider normalized to AOSP |
+//! | `fig17` | Figure 17 — Play-store installation-size CDF + EGL census |
+//! | `pairing` | §4 pairing-cost paragraph |
+//! | `ablations` | DESIGN.md's design-choice ablations |
+//!
+//! The Criterion benches under `benches/` measure the *real* cost of this
+//! implementation's hot paths (record interposition, checkpoint codec,
+//! replay, rsync, parcels).
+
+pub mod evaluation;
+pub mod quadrant;
+pub mod table;
+
+pub use evaluation::{run_full_evaluation, Evaluation, MigRow, PAIR_LABELS};
+pub use quadrant::{run_quadrant_suite, QuadrantScores};
+pub use table::Table;

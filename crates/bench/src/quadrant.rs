@@ -1,0 +1,117 @@
+//! The Figure 16 overhead experiment: Quadrant Standard and SunSpider on
+//! Flux vs vanilla AOSP.
+//!
+//! The paper runs both app benchmarks on all three device types and reports
+//! scores normalized to AOSP ≈ 1.0, showing Selective Record's overhead is
+//! negligible. Here each benchmark section drives a realistic mix of work:
+//! pure compute sections touch no services (so recording can cost nothing),
+//! while I/O-ish and 2D/3D sections make service calls where the record
+//! interposition sits on the path.
+
+use flux_core::FluxWorld;
+use flux_device::DeviceProfile;
+use flux_simcore::SimDuration;
+use flux_workloads::spec;
+
+/// Normalized scores for one device (1.0 = vanilla AOSP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadrantScores {
+    /// Device label.
+    pub device: String,
+    /// (section label, normalized score) pairs — the six bars of Fig. 16.
+    pub sections: Vec<(String, f64)>,
+}
+
+/// Service calls each benchmark section performs per iteration; compute
+/// sections also charge pure CPU time that recording cannot touch.
+const SECTIONS: [(&str, u64, u64); 6] = [
+    // (label, service calls, pure-CPU µs) per iteration.
+    ("Quadrant CPU", 0, 900),
+    ("Quadrant Mem", 2, 500),
+    ("Quadrant I/O", 12, 350),
+    ("Quadrant 2D", 6, 400),
+    ("Quadrant 3D", 8, 600),
+    ("SunSpider", 1, 800),
+];
+
+/// Iterations per section.
+const ITERS: u64 = 200;
+
+fn run_section(world: &mut FluxWorld, package: &str, calls: u64, cpu_us: u64) -> SimDuration {
+    let dev = flux_core::DeviceId(0);
+    let start = world.clock.now();
+    for i in 0..ITERS {
+        world.clock.charge(SimDuration::from_micros(cpu_us));
+        for c in 0..calls {
+            // A benign recorded call: volume queries route through the
+            // decorated AudioService interface.
+            let _ = world.app_call(
+                dev,
+                package,
+                "audio",
+                "getStreamVolume",
+                flux_binder::Parcel::new().with_i32((i % 3) as i32 + (c % 2) as i32),
+            );
+        }
+    }
+    world.clock.now() - start
+}
+
+/// Runs the suite on one device profile, returning normalized scores.
+pub fn run_quadrant_suite(profile: DeviceProfile, seed: u64) -> QuadrantScores {
+    let label = profile.model.to_string();
+    let app = spec("Twitter").expect("Twitter spec exists");
+
+    let run = |recording: bool| -> Vec<SimDuration> {
+        let mut world = FluxWorld::new(seed);
+        world.recording = recording;
+        let dev = world
+            .add_device("bench", profile.clone())
+            .expect("device boots");
+        world.deploy(dev, &app).expect("app deploys");
+        SECTIONS
+            .iter()
+            .map(|(_, calls, cpu)| run_section(&mut world, &app.package, *calls, *cpu))
+            .collect()
+    };
+
+    let aosp = run(false);
+    let flux = run(true);
+    let sections = SECTIONS
+        .iter()
+        .zip(aosp.iter().zip(flux.iter()))
+        .map(|((label, _, _), (a, f))| {
+            // Benchmark *scores* are inverse to time.
+            let score = a.as_nanos() as f64 / f.as_nanos() as f64;
+            ((*label).to_owned(), score)
+        })
+        .collect();
+    QuadrantScores {
+        device: label,
+        sections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_negligible_as_in_figure_16() {
+        let scores = run_quadrant_suite(DeviceProfile::nexus7_2013(), 3);
+        assert_eq!(scores.sections.len(), 6);
+        for (label, score) in &scores.sections {
+            assert!(
+                (0.97..=1.001).contains(score),
+                "{label} score {score} out of Figure 16 range"
+            );
+        }
+        // Pure CPU is entirely untouched by recording.
+        let cpu = scores
+            .sections
+            .iter()
+            .find(|(l, _)| l == "Quadrant CPU")
+            .unwrap();
+        assert!((cpu.1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Errors raised by the simulated Binder driver.
+
+use crate::parcel::ParcelError;
+use flux_simcore::Pid;
+use std::fmt;
+
+/// An error from a Binder operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinderError {
+    /// The caller used a handle that is not in its handle table.
+    BadHandle {
+        /// The offending caller.
+        pid: Pid,
+        /// The handle that was not found.
+        handle: u32,
+    },
+    /// The target node no longer exists (owner died).
+    DeadNode {
+        /// Id of the dead node.
+        node: u64,
+    },
+    /// No service is registered under the given name.
+    NoSuchService {
+        /// The requested service name.
+        name: String,
+    },
+    /// A service with this name is already registered.
+    ServiceExists {
+        /// The duplicate name.
+        name: String,
+    },
+    /// The caller is not allowed to perform the operation.
+    PermissionDenied {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The target process is unknown to the driver.
+    NoSuchProcess {
+        /// The unknown PID.
+        pid: Pid,
+    },
+    /// An interface rejected the transaction (unknown method, bad args…).
+    TransactionFailed {
+        /// Interface descriptor, e.g. `android.app.INotificationManager`.
+        interface: String,
+        /// Method that failed.
+        method: String,
+        /// Reason from the service.
+        reason: String,
+    },
+    /// A parcel could not be read.
+    Parcel(ParcelError),
+    /// A handle id collision while injecting restored state.
+    HandleCollision {
+        /// The process being restored into.
+        pid: Pid,
+        /// The colliding handle id.
+        handle: u32,
+    },
+}
+
+impl fmt::Display for BinderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinderError::BadHandle { pid, handle } => {
+                write!(f, "{pid} holds no reference for handle {handle}")
+            }
+            BinderError::DeadNode { node } => write!(f, "binder node {node} is dead"),
+            BinderError::NoSuchService { name } => {
+                write!(f, "service manager has no entry for {name:?}")
+            }
+            BinderError::ServiceExists { name } => {
+                write!(f, "service {name:?} is already registered")
+            }
+            BinderError::PermissionDenied { reason } => write!(f, "permission denied: {reason}"),
+            BinderError::NoSuchProcess { pid } => write!(f, "unknown process {pid}"),
+            BinderError::TransactionFailed {
+                interface,
+                method,
+                reason,
+            } => write!(f, "{interface}.{method} failed: {reason}"),
+            BinderError::Parcel(e) => write!(f, "parcel error: {e}"),
+            BinderError::HandleCollision { pid, handle } => {
+                write!(f, "handle {handle} already present in {pid} during restore")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinderError {}
+
+impl From<ParcelError> for BinderError {
+    fn from(e: ParcelError) -> Self {
+        BinderError::Parcel(e)
+    }
+}

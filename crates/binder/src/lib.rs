@@ -1,0 +1,31 @@
+//! A simulated Android Binder IPC driver.
+//!
+//! Binder is the mechanism through which Android apps reach every system
+//! service, and it is the piece of kernel state CRIA works hardest to
+//! checkpoint and restore (§3.3 of the Flux paper). This crate models the
+//! driver at the level Flux cares about:
+//!
+//! * [`Parcel`] — typed transaction payloads with a compact wire encoding.
+//! * [`BinderDriver`] — nodes, per-process handle tables, strong references,
+//!   the reference-propagation invariant, and the ServiceManager registry
+//!   reachable at handle 0.
+//! * [`state`] — CRIA's capture/restore of per-process Binder state,
+//!   classifying connections as internal, external-system (reconnected by
+//!   name on the guest at the *same handle ids*) or external-non-system
+//!   (which makes migration refuse to proceed).
+//!
+//! The driver is deliberately pure state: service dispatch lives in
+//! `flux-services`, so the driver itself can be snapshotted.
+
+pub mod driver;
+pub mod error;
+pub mod parcel;
+pub mod state;
+
+pub use driver::{
+    BinderDriver, HandleEntry, HandleTable, Node, NodeId, NodeKind, RoutedTransaction,
+    SERVICE_MANAGER_HANDLE,
+};
+pub use error::BinderError;
+pub use parcel::{ObjRef, Parcel, ParcelError, Value};
+pub use state::{PendingConnection, SavedBinderState, SavedHandle, SavedNode, SavedTarget};

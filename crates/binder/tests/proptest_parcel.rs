@@ -1,0 +1,60 @@
+//! Property tests for the Parcel wire codec.
+
+use flux_binder::{ObjRef, Parcel, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::I32),
+        any::<i64>().prop_map(Value::I64),
+        // Finite floats only: NaN breaks PartialEq-based round-trip checks
+        // and never appears in real parcels.
+        prop::num::f64::NORMAL.prop_map(Value::F64),
+        any::<bool>().prop_map(Value::Bool),
+        ".{0,64}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..256).prop_map(Value::Blob),
+        any::<u64>().prop_map(|n| Value::Object(ObjRef::Own(n))),
+        any::<u32>().prop_map(|h| Value::Object(ObjRef::Handle(h))),
+        any::<i32>().prop_map(Value::Fd),
+        Just(Value::Null),
+    ]
+}
+
+proptest! {
+    /// Encoding then decoding any parcel yields the original parcel.
+    #[test]
+    fn encode_decode_roundtrip(values in prop::collection::vec(value_strategy(), 0..32)) {
+        let p = Parcel::from_values(values);
+        let decoded = Parcel::decode(&p.encode()).expect("decode");
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// `wire_size` always equals the actual encoded length.
+    #[test]
+    fn wire_size_is_exact(values in prop::collection::vec(value_strategy(), 0..32)) {
+        let p = Parcel::from_values(values);
+        prop_assert_eq!(p.wire_size(), p.encode().len());
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Parcel::decode(&bytes);
+    }
+
+    /// Truncating a valid encoding never produces a *different* valid parcel
+    /// of the same length claim; it either errors or the parcel was empty.
+    #[test]
+    fn truncation_is_detected(
+        values in prop::collection::vec(value_strategy(), 1..16),
+        cut in 1usize..8,
+    ) {
+        let p = Parcel::from_values(values);
+        let bytes = p.encode();
+        let keep = bytes.len().saturating_sub(cut);
+        if keep >= 4 {
+            let r = Parcel::decode(&bytes[..keep]);
+            prop_assert!(r.is_err(), "truncated decode unexpectedly succeeded");
+        }
+    }
+}

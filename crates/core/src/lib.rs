@@ -1,0 +1,54 @@
+//! Flux: multi-surface computing through app migration (EuroSys 2015).
+//!
+//! This crate is the paper's contribution, built on the simulated Android
+//! substrate of the sibling crates:
+//!
+//! * [`record`] — **Selective Record**: the interposition runtime that
+//!   appends service calls to a per-app log under the decorated-AIDL rules
+//!   and discards stale calls (`@drop`/`@if`).
+//! * [`replay`] — **Adaptive Replay**: replays the log on the guest through
+//!   contextualisation proxies (`@replayproxy`) that adapt calls to the
+//!   guest's hardware and state.
+//! * [`cria`] — **CRIA** packaging: the Flux checkpoint image bundling the
+//!   CRIU process dump, the record log and re-initialisation metadata.
+//! * [`pairing`] — the one-time device pairing: rsync `--link-dest` sync of
+//!   frameworks/libraries, APK + data sync, pseudo-install of the wrapper.
+//! * [`migration`] — the five-stage pipeline (preparation, checkpoint,
+//!   transfer, restore, reintegration) with full time and byte accounting.
+//! * [`world`] — the multi-device environment tying it all together.
+//!
+//! # Examples
+//!
+//! ```
+//! use flux_core::{migrate, pair, FluxWorld};
+//! use flux_device::DeviceProfile;
+//! use flux_workloads::spec;
+//!
+//! let mut world = FluxWorld::new(42);
+//! let phone = world.add_device("phone", DeviceProfile::nexus4()).unwrap();
+//! let tablet = world.add_device("tablet", DeviceProfile::nexus7_2013()).unwrap();
+//!
+//! let app = spec("WhatsApp").unwrap();
+//! world.deploy(phone, &app).unwrap();
+//! world.run_script(phone, &app.package.clone(), &app.actions.clone()).unwrap();
+//!
+//! pair(&mut world, phone, tablet).unwrap();
+//! let report = migrate(&mut world, phone, tablet, &app.package).unwrap();
+//! assert!(report.stages.total().as_secs_f64() > 0.0);
+//! ```
+
+pub mod cria;
+pub mod migration;
+pub mod pairing;
+pub mod record;
+pub mod replay;
+pub mod world;
+
+pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
+pub use migration::{
+    broadcast_connectivity, migrate, MigrationError, MigrationReport, StageTimes, TransferLedger,
+};
+pub use pairing::{pair, verify_app, PairingReport};
+pub use record::{CallLog, CallRecord, RecordOutcome, RecordStore};
+pub use replay::{replay_log, ReplayStats};
+pub use world::{Device, DeviceId, FluxWorld, Pairing, ReplayPolicy, WorldError};

@@ -1,0 +1,562 @@
+//! The five-stage migration pipeline (§3.1, Figures 3–4).
+//!
+//! A migration runs **preparation → checkpoint → transfer → restore →
+//! reintegration**, the exact stage split of Figure 13. Every stage charges
+//! virtual time from the owning device's cost model or the radio, so the
+//! per-stage breakdown, overall times (Figure 12), user-perceived times
+//! (Figure 14) and transferred bytes (Figure 15) all fall out of one run.
+//!
+//! Unsupported cases are detected up front and refused with a
+//! [`MigrationError`], matching §3.3–3.4: multi-process apps, preserved EGL
+//! contexts, in-flight ContentProvider interactions, open common SD-card
+//! files, incompatible API levels and non-system Binder connections.
+
+use crate::cria::{FluxImage, ReinitSpec};
+use crate::pairing::verify_app;
+use crate::record::CallLog;
+use crate::replay::{replay_log, ReplayStats};
+use crate::world::{DeviceId, FluxWorld, WorldError};
+use flux_appfw::{conditional_reinit, egl_unload, handle_trim_memory, move_to_background, App};
+use flux_kernel::criu;
+use flux_kernel::{FdKind, RestoreOptions, VmaKind};
+use flux_services::svc::activity::ActivityManagerService;
+use flux_services::svc::connectivity::ConnectivityManagerService;
+use flux_services::svc::package::PackageManagerService;
+use flux_services::{Intent, ACTION_CONNECTIVITY_CHANGE};
+use flux_simcore::{ByteSize, SimDuration};
+use flux_workloads::AppSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a migration was refused or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrationError {
+    /// The devices are not paired, or the app was not part of the pairing.
+    NotPaired,
+    /// The app is not running on the home device.
+    NoSuchApp(String),
+    /// Multi-process apps are unsupported (§3.4).
+    MultiProcess {
+        /// Number of processes found.
+        processes: usize,
+    },
+    /// The app holds an EGL context with `setPreserveEGLContextOnPause`
+    /// (§3.4 — the Subway Surfers case).
+    PreservedEglContext,
+    /// The app is mid-ContentProvider interaction (§3.4).
+    ContentProviderActive,
+    /// The app has common (non-app-specific) SD-card files open (§3.4).
+    CommonSdCardFile {
+        /// The offending path.
+        path: String,
+    },
+    /// The APK needs a newer API level than the guest provides (§3.1).
+    ApiLevelIncompatible {
+        /// Level the APK requires.
+        required: u32,
+        /// Level the guest offers.
+        guest: u32,
+    },
+    /// The app holds Binder connections to non-system services (§3.3).
+    NonSystemBinder {
+        /// Description of the offending connection.
+        description: String,
+    },
+    /// A lower-level failure.
+    Internal(String),
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::NotPaired => write!(f, "devices are not paired for this app"),
+            MigrationError::NoSuchApp(p) => write!(f, "app {p} is not running"),
+            MigrationError::MultiProcess { processes } => {
+                write!(
+                    f,
+                    "multi-process app ({processes} processes) is unsupported"
+                )
+            }
+            MigrationError::PreservedEglContext => {
+                write!(f, "app preserves its EGL context while paused; unsupported")
+            }
+            MigrationError::ContentProviderActive => {
+                write!(f, "app is interacting with a ContentProvider")
+            }
+            MigrationError::CommonSdCardFile { path } => {
+                write!(f, "open common SD card file: {path}")
+            }
+            MigrationError::ApiLevelIncompatible { required, guest } => {
+                write!(f, "APK requires API {required}, guest offers {guest}")
+            }
+            MigrationError::NonSystemBinder { description } => {
+                write!(f, "non-system binder connection: {description}")
+            }
+            MigrationError::Internal(m) => write!(f, "migration failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+impl From<WorldError> for MigrationError {
+    fn from(e: WorldError) -> Self {
+        MigrationError::Internal(e.to_string())
+    }
+}
+
+/// Virtual time spent per stage (Figure 13's categories).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Backgrounding + trim-memory + `eglUnload`.
+    pub preparation: SimDuration,
+    /// CRIU dump + compression.
+    pub checkpoint: SimDuration,
+    /// APK/data verification sync + radio transfer.
+    pub transfer: SimDuration,
+    /// Decompression + CRIU restore + Binder re-injection.
+    pub restore: SimDuration,
+    /// Adaptive Replay + connectivity events + re-layout + foreground.
+    pub reintegration: SimDuration,
+}
+
+impl StageTimes {
+    /// Total migration time (Figure 12).
+    pub fn total(&self) -> SimDuration {
+        self.preparation + self.checkpoint + self.transfer + self.restore + self.reintegration
+    }
+
+    /// User-perceived time: preparation and checkpoint overlap the
+    /// migration-target menu, so users mostly see transfer onward (§4).
+    pub fn user_perceived(&self) -> SimDuration {
+        self.transfer + self.restore + self.reintegration
+    }
+
+    /// User-perceived time excluding the transfer stage (Figure 14).
+    pub fn user_perceived_sans_transfer(&self) -> SimDuration {
+        self.restore + self.reintegration
+    }
+}
+
+/// Bytes moved by a migration (Figure 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferLedger {
+    /// Uncompressed checkpoint image size.
+    pub image_raw: ByteSize,
+    /// Compressed image bytes actually sent.
+    pub image_compressed: ByteSize,
+    /// Compressed record-log bytes.
+    pub log_compressed: ByteSize,
+    /// APK/data-directory delta shipped by the verification sync.
+    pub data_delta: ByteSize,
+}
+
+impl TransferLedger {
+    /// Total bytes over the air.
+    pub fn total(&self) -> ByteSize {
+        self.image_compressed + self.data_delta
+    }
+}
+
+/// A completed migration.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Migrated package.
+    pub package: String,
+    /// Home device name.
+    pub from: String,
+    /// Guest device name.
+    pub to: String,
+    /// Per-stage times.
+    pub stages: StageTimes,
+    /// Byte accounting.
+    pub ledger: TransferLedger,
+    /// Replay statistics.
+    pub replay: ReplayStats,
+    /// INET endpoints dropped at restore (the app sees a connectivity
+    /// change instead).
+    pub dropped_connections: Vec<String>,
+    /// Views redrawn during conditional re-initialisation.
+    pub redrawn_views: usize,
+}
+
+/// Pre-flight checks: everything §3.3–3.4 says makes an app unmigratable.
+fn preflight(
+    world: &FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+) -> Result<(), MigrationError> {
+    let h = world.device(home).map_err(MigrationError::from)?;
+    let g = world.device(guest).map_err(MigrationError::from)?;
+
+    let paired = g
+        .pairings
+        .get(&home.0)
+        .is_some_and(|p| p.packages.contains(package));
+    if !paired {
+        return Err(MigrationError::NotPaired);
+    }
+
+    let app = h
+        .apps
+        .get(package)
+        .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+
+    if app.is_multi_process() {
+        return Err(MigrationError::MultiProcess {
+            processes: app.pids().len(),
+        });
+    }
+    if app.gl.any_preserved() {
+        return Err(MigrationError::PreservedEglContext);
+    }
+    if app.in_content_provider_call {
+        return Err(MigrationError::ContentProviderActive);
+    }
+    if app.min_api > g.profile.api_level {
+        return Err(MigrationError::ApiLevelIncompatible {
+            required: app.min_api,
+            guest: g.profile.api_level,
+        });
+    }
+
+    // Open common SD-card files (outside the app-specific directory).
+    let proc = h
+        .kernel
+        .process(app.main_pid)
+        .map_err(|e| MigrationError::Internal(e.to_string()))?;
+    let app_sd_prefix = format!("/sdcard/Android/data/{package}");
+    for (_, kind) in proc.fds.iter() {
+        if let FdKind::File { path, .. } = kind {
+            if path.starts_with("/sdcard/") && !path.starts_with(&app_sd_prefix) {
+                return Err(MigrationError::CommonSdCardFile { path: path.clone() });
+            }
+        }
+    }
+
+    // Non-system Binder connections.
+    let saved = flux_binder::state::capture(&h.kernel.binder, app.main_pid)
+        .map_err(|e| MigrationError::Internal(e.to_string()))?;
+    if let Some(handle) = saved.first_non_system() {
+        return Err(MigrationError::NonSystemBinder {
+            description: format!("{:?}", handle.target),
+        });
+    }
+    Ok(())
+}
+
+/// Migrates `package` from `home` to `guest`.
+///
+/// In the UI this is the two-finger vertical swipe of Figure 1; here it is
+/// the full §3.1 life cycle. On success the app is gone from the home
+/// device (its icon remains conceptually; the spec stays installed) and
+/// runs on the guest with the same PID, Binder handles, notifications,
+/// alarms and sensor channels it had at home.
+pub fn migrate(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+) -> Result<MigrationReport, MigrationError> {
+    preflight(world, home, guest, package)?;
+
+    let home_name = world.device(home)?.name.clone();
+    let guest_name = world.device(guest)?.name.clone();
+    let home_profile = world.device(home)?.profile.clone();
+    let guest_profile = world.device(guest)?.profile.clone();
+    let home_cost = world.device(home)?.cost.clone();
+    let guest_cost = world.device(guest)?.cost.clone();
+    let spec: AppSpec = world
+        .device(home)?
+        .specs
+        .get(package)
+        .cloned()
+        .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+
+    // ---- Stage 1: preparation (home device) -----------------------------
+    let t0 = world.clock.now();
+    {
+        let now = world.clock.now();
+        let dev = world.device_mut(home)?;
+        let mut app = dev
+            .apps
+            .remove(package)
+            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+        let prep = (|| -> Result<(), MigrationError> {
+            move_to_background(&mut app, &mut dev.kernel, &mut dev.host, now)
+                .map_err(|e| MigrationError::Internal(e.to_string()))?;
+            let stats = handle_trim_memory(&mut app, &mut dev.kernel, &mut dev.host, now)
+                .map_err(|e| MigrationError::Internal(e.to_string()))?;
+            egl_unload(&mut app, &mut dev.kernel)
+                .map_err(|_| MigrationError::PreservedEglContext)?;
+            let _ = stats;
+            Ok(())
+        })();
+        dev.apps.insert(package.to_owned(), app);
+        prep?;
+        // The unoptimised prototype waits for the task idler (§4).
+        let idle = dev.cost.background_idle_latency;
+        let teardown = SimDuration::from_nanos(
+            dev.cost.gl_teardown_ns_per_resource * (spec.gl_contexts as u64 + 2),
+        );
+        let binder = dev.cost.binder_transaction * 4;
+        world.clock.charge(idle + teardown + binder);
+    }
+    let preparation = world.clock.now() - t0;
+
+    // ---- Stage 2: checkpoint (home device) ------------------------------
+    let t1 = world.clock.now();
+    let image = {
+        let now = world.clock.now();
+        let dev = world.device_mut(home)?;
+        let app = dev
+            .apps
+            .get(package)
+            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+        let uid = app.uid;
+        let main_pid = app.main_pid;
+        let process = criu::checkpoint(&dev.kernel, main_pid, now)
+            .map_err(|e| MigrationError::Internal(e.to_string()))?;
+        let log: CallLog = dev.records.take(uid);
+        FluxImage {
+            package: package.to_owned(),
+            home_device: home_name.clone(),
+            home_profile: home_profile.clone(),
+            reinit: ReinitSpec {
+                textures: ByteSize::from_mib_f64(spec.textures_mib),
+                gl_contexts: spec.gl_contexts,
+                views: spec.views,
+                heap: ByteSize::from_mib_f64(spec.heap_mib),
+            },
+            process,
+            log,
+        }
+    };
+    {
+        let raw = image.raw_bytes();
+        let objects = image.process.object_count();
+        world
+            .clock
+            .charge(home_cost.checkpoint_time(raw, objects) + home_cost.compress_time(raw));
+    }
+    let checkpoint = world.clock.now() - t1;
+
+    // ---- Stage 3: transfer ----------------------------------------------
+    let t2 = world.clock.now();
+    let verify = verify_app(world, home, guest, package)?;
+    let ledger = TransferLedger {
+        image_raw: image.raw_bytes(),
+        image_compressed: image.compressed_bytes(),
+        log_compressed: image.compressed_log_bytes(),
+        data_delta: verify.bytes_shipped,
+    };
+    let radio = world
+        .net
+        .transfer(ledger.total(), &home_profile.wifi, &guest_profile.wifi);
+    world.clock.charge(radio.duration);
+    let transfer = world.clock.now() - t2;
+
+    // ---- Stage 4: restore (guest device) --------------------------------
+    let t3 = world.clock.now();
+    let (restored, guest_uid) = {
+        let dev = world.device_mut(guest)?;
+        let pairing_root = dev
+            .pairings
+            .get(&home.0)
+            .map(|p| p.root.clone())
+            .ok_or(MigrationError::NotPaired)?;
+        let guest_uid = dev
+            .host
+            .service::<PackageManagerService>("package")
+            .and_then(|pm| pm.package(package).map(|r| r.uid))
+            .ok_or(MigrationError::NotPaired)?;
+        let ns = dev.kernel.namespaces.create();
+        let restored = criu::restore(
+            &mut dev.kernel,
+            &image.process,
+            &RestoreOptions {
+                namespace: ns,
+                uid: guest_uid,
+                jail_root: pairing_root,
+            },
+        )
+        .map_err(|e| MigrationError::Internal(e.to_string()))?;
+        (restored, guest_uid)
+    };
+    {
+        let raw = image.raw_bytes();
+        world.clock.charge(
+            guest_cost.decompress_time(image.compressed_bytes())
+                + guest_cost.restore_time(raw, image.process.object_count()),
+        );
+    }
+
+    // Rebuild the app-side framework object around the restored process.
+    {
+        let dev = world.device_mut(guest)?;
+        let heap_vma = dev.kernel.process(restored.real_pid).ok().and_then(|p| {
+            p.mem
+                .vmas()
+                .iter()
+                .filter(|v| matches!(v.kind, VmaKind::Anon))
+                .max_by_key(|v| v.len.as_u64())
+                .map(|v| v.id)
+        });
+        let app = App {
+            package: package.to_owned(),
+            uid: guest_uid,
+            main_pid: restored.real_pid,
+            extra_pids: Vec::new(),
+            activities: vec![flux_appfw::Activity {
+                name: ".MainActivity".into(),
+                state: flux_appfw::ActivityState::Stopped,
+                window_token: format!("{package}/.MainActivity"),
+            }],
+            view_root: {
+                let mut vr = flux_appfw::ViewRoot::build(
+                    image.reinit.views,
+                    (home_profile.screen.width, home_profile.screen.height),
+                );
+                vr.terminate_hardware_resources();
+                vr.invalidate_all();
+                vr
+            },
+            gl: flux_appfw::GlState::default(),
+            dalvik: flux_appfw::Dalvik {
+                heap_vma,
+                heap_size: image.reinit.heap,
+                code_cache_vma: None,
+            },
+            handles: BTreeMap::new(),
+            inbox: Vec::new(),
+            data_dir: format!("/data/data/{package}"),
+            min_api: spec.min_api,
+            in_content_provider_call: false,
+        };
+        dev.apps.insert(package.to_owned(), app);
+    }
+    let restore_time = world.clock.now() - t3;
+
+    // ---- Stage 5: reintegration (guest device) --------------------------
+    let t4 = world.clock.now();
+    let replay = replay_log(
+        world,
+        guest,
+        package,
+        &image.log,
+        image.process.checkpoint_time,
+        &home_profile,
+    )
+    .map_err(MigrationError::from)?;
+    world
+        .clock
+        .charge(guest_cost.replay_time(image.log.len() as u64));
+
+    // Connectivity interruption: lost, then regained on the guest (§3.1).
+    broadcast_connectivity(world, guest, false)?;
+    broadcast_connectivity(world, guest, true)?;
+
+    // Conditional re-initialisation at the guest's resolution.
+    let redrawn = {
+        let now = world.clock.now();
+        let dev = world.device_mut(guest)?;
+        let vendor = dev.profile.gpu.vendor_lib.clone();
+        let mut app = dev
+            .apps
+            .remove(package)
+            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+        let redrawn = conditional_reinit(
+            &mut app,
+            &mut dev.kernel,
+            &mut dev.host,
+            now,
+            &vendor,
+            image.reinit.textures,
+            image.reinit.gl_contexts,
+        )
+        .map_err(|e| MigrationError::Internal(e.to_string()))?;
+        dev.apps.insert(package.to_owned(), app);
+        redrawn
+    };
+    world.clock.charge(SimDuration::from_nanos(
+        guest_cost.view_reinit_ns_per_view * redrawn as u64,
+    ));
+    let reintegration = world.clock.now() - t4;
+
+    // ---- Finalise: the app has left the home device ----------------------
+    {
+        let now = world.clock.now();
+        let dev = world.device_mut(home)?;
+        if let Some(app) = dev.apps.remove(package) {
+            let uid = app.uid;
+            let _ = dev.kernel.kill(app.main_pid);
+            // Binder death notifications: services drop the app's state
+            // (wakelocks released, alarms cancelled, notifications gone).
+            let kernel = &mut dev.kernel;
+            dev.host.notify_uid_death(kernel, now, uid);
+        }
+    }
+
+    let stages = StageTimes {
+        preparation,
+        checkpoint,
+        transfer,
+        restore: restore_time,
+        reintegration,
+    };
+    world.trace.emit(
+        world.clock.now(),
+        "migration.complete",
+        format!(
+            "{package}: {home_name} -> {guest_name} in {} ({} over the air)",
+            stages.total(),
+            ledger.total()
+        ),
+    );
+    Ok(MigrationReport {
+        package: package.to_owned(),
+        from: home_name,
+        to: guest_name,
+        stages,
+        ledger,
+        replay,
+        dropped_connections: restored.dropped_connections,
+        redrawn_views: redrawn,
+    })
+}
+
+/// Delivers a connectivity-change broadcast on `device`, flipping the
+/// ConnectivityManager's active-network state.
+pub fn broadcast_connectivity(
+    world: &mut FluxWorld,
+    device: DeviceId,
+    connected: bool,
+) -> Result<(), MigrationError> {
+    let now = world.clock.now();
+    let dev = world.device_mut(device)?;
+    if let Some(conn) = dev
+        .host
+        .service_mut::<ConnectivityManagerService>("connectivity")
+    {
+        conn.set_connected(connected);
+    }
+    let intent = Intent::new(ACTION_CONNECTIVITY_CHANGE)
+        .with_extra("noConnectivity", if connected { "false" } else { "true" });
+    let deliveries = dev
+        .host
+        .with_service_ctx(&mut dev.kernel, now, "activity", |svc, ctx| {
+            let ams = svc
+                .as_any_mut()
+                .downcast_mut::<ActivityManagerService>()
+                .expect("activity service type");
+            ams.broadcast(ctx, &intent)
+        })
+        .map(|(_, d)| d)
+        .unwrap_or_default();
+    world.route_deliveries(device, deliveries)?;
+    // One Binder transaction per broadcast leg.
+    let binder = world.device(device)?.cost.binder_transaction;
+    world.clock.charge(binder);
+    Ok(())
+}

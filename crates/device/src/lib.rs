@@ -1,0 +1,16 @@
+//! Hardware profiles of the devices used in the paper's evaluation.
+//!
+//! Flux was evaluated on a Nexus 4 phone, a 2012 Nexus 7 tablet and two
+//! 2013 Nexus 7 tablets (§4). Device heterogeneity is exactly what Flux
+//! overcomes, so the profiles here carry the attributes that matter to
+//! migration: screen geometry (UI re-layout on the guest), the GPU vendor
+//! library (unloaded by `eglUnload` and re-loaded per-device), RAM and CPU
+//! class (cost-model scaling), kernel version, and the WiFi adapter (the
+//! 2012 Nexus 7 is 2.4 GHz-only, which the paper calls out as the transfer
+//! bottleneck).
+
+pub mod profile;
+pub mod sysimage;
+
+pub use profile::{DeviceModel, DeviceProfile, GpuSpec, HardwareInventory, ScreenSpec};
+pub use sysimage::populate_system;

@@ -1,0 +1,29 @@
+//! The simulated Android/Linux kernel substrate.
+//!
+//! Flux extends CRIU with Android-specific knowledge (§3.3 of the paper).
+//! This crate provides everything below the framework line:
+//!
+//! * [`process`] / [`mem`] / [`fd`] — processes, threads, VMAs and
+//!   descriptor tables at checkpoint fidelity.
+//! * [`drivers`] — the Android drivers the paper enumerates: ashmem, pmem,
+//!   wakelocks, the alarm driver and the Logger.
+//! * [`ns`] — private PID namespaces so restored apps keep their PIDs.
+//! * [`kernel`] — one [`Kernel`] per simulated device, tying the above to
+//!   the Binder driver from `flux-binder`.
+//! * [`criu`] — the checkpoint/restore engine and its wire image format.
+
+pub mod criu;
+pub mod drivers;
+pub mod fd;
+pub mod kernel;
+pub mod mem;
+pub mod ns;
+pub mod process;
+
+pub use criu::{CriuError, ProcessImage, RestoreOptions, Restored};
+pub use drivers::{AlarmClockType, AlarmDriver, Ashmem, Logger, Pmem, WakeLocks};
+pub use fd::{FdError, FdKind, FdTable};
+pub use kernel::{Kernel, KernelError};
+pub use mem::{AddressSpace, Prot, Vma, VmaKind, PAGE_SIZE};
+pub use ns::{Namespaces, NsError, PidNamespace};
+pub use process::{ProcState, Process, Thread};

@@ -1,0 +1,13 @@
+//! The WiFi radio and transfer model.
+//!
+//! The paper's evaluation ran on a congested campus WiFi network, and "over
+//! half the time on average is spent on the data and image transfer over
+//! WiFi" (§4). This crate models just enough radio behaviour to reproduce
+//! that: per-device adapters with a link standard and band, effective
+//! goodput well below link rate, extra congestion on the 2.4 GHz band (the
+//! 2012 Nexus 7 "is only capable of operating on the extremely congested
+//! 2.4 GHz band"), and deterministic jitter from the simulation RNG.
+
+pub mod wifi;
+
+pub use wifi::{Band, NetworkEnv, TransferStats, WifiAdapter, WifiStandard};

@@ -1,0 +1,204 @@
+//! WiFi adapters and the device-to-device transfer model.
+
+use flux_simcore::{ByteSize, SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// 802.11 standard of an adapter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WifiStandard {
+    /// 802.11n (all devices in the paper's evaluation).
+    N,
+    /// 802.11ac (the Nexus 5 the paper points to as the future).
+    Ac,
+}
+
+/// Radio band an association uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Band {
+    /// 2.4 GHz — "extremely congested" on the paper's campus network.
+    Ghz2_4,
+    /// 5 GHz — far less contended.
+    Ghz5,
+}
+
+/// One device's WiFi adapter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WifiAdapter {
+    /// Link standard.
+    pub standard: WifiStandard,
+    /// Whether the adapter can use the 5 GHz band. The 2012 Nexus 7
+    /// cannot, which is why its migrations are the slowest (§4).
+    pub dual_band: bool,
+    /// Negotiated PHY link rate in Mbit/s.
+    pub link_mbps: f64,
+}
+
+impl WifiAdapter {
+    /// The band this adapter associates on in the simulated environment.
+    pub fn band(&self) -> Band {
+        if self.dual_band {
+            Band::Ghz5
+        } else {
+            Band::Ghz2_4
+        }
+    }
+}
+
+/// Statistics of one completed transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Bytes moved.
+    pub bytes: ByteSize,
+    /// Wall (virtual) time the transfer took.
+    pub duration: SimDuration,
+    /// Achieved goodput in Mbit/s.
+    pub goodput_mbps: f64,
+}
+
+/// A shared wireless environment two paired devices communicate through.
+///
+/// Throughput is `min(endpoint rates)` where each endpoint's effective rate
+/// is its link rate degraded by MAC efficiency, band congestion and
+/// per-transfer jitter. The defaults are calibrated against the paper's
+/// observation that transfer dominates migration (>50 % of 7.88 s average)
+/// while moving at most 14 MB.
+#[derive(Debug, Clone)]
+pub struct NetworkEnv {
+    /// Fraction of theoretical MAC throughput actually achieved (rate
+    /// adaptation, contention, TCP overhead).
+    pub mac_efficiency: f64,
+    /// Multiplier applied on the 2.4 GHz band (campus congestion).
+    pub congestion_2_4: f64,
+    /// Multiplier applied on the 5 GHz band.
+    pub congestion_5: f64,
+    /// Fixed per-transfer setup latency (association is already up; this is
+    /// connection setup plus protocol handshake).
+    pub setup_latency: SimDuration,
+    /// Multiplicative jitter range around 1.0 (e.g. 0.12 = ±12 %).
+    pub jitter: f64,
+    rng: SimRng,
+}
+
+impl NetworkEnv {
+    /// A campus-WiFi environment with the calibrated defaults.
+    pub fn campus(seed: u64) -> Self {
+        Self {
+            mac_efficiency: 0.42,
+            congestion_2_4: 0.38,
+            congestion_5: 0.82,
+            setup_latency: SimDuration::from_millis(120),
+            jitter: 0.12,
+            rng: SimRng::seed(seed),
+        }
+    }
+
+    /// An uncontended lab network (used by ablation benches).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            mac_efficiency: 0.55,
+            congestion_2_4: 0.9,
+            congestion_5: 0.95,
+            setup_latency: SimDuration::from_millis(60),
+            jitter: 0.03,
+            rng: SimRng::seed(seed),
+        }
+    }
+
+    /// The effective one-way rate of `adapter` in this environment, in
+    /// Mbit/s, before jitter.
+    pub fn endpoint_mbps(&self, adapter: &WifiAdapter) -> f64 {
+        let band_factor = match adapter.band() {
+            Band::Ghz2_4 => self.congestion_2_4,
+            Band::Ghz5 => self.congestion_5,
+        };
+        adapter.link_mbps * self.mac_efficiency * band_factor
+    }
+
+    /// Transfers `bytes` from a device with adapter `a` to one with `b`,
+    /// returning the time taken and achieved goodput.
+    pub fn transfer(&mut self, bytes: ByteSize, a: &WifiAdapter, b: &WifiAdapter) -> TransferStats {
+        let base = self.endpoint_mbps(a).min(self.endpoint_mbps(b));
+        let jitter = self.rng.range_f64(1.0 - self.jitter, 1.0 + self.jitter);
+        let goodput_mbps = (base * jitter).max(0.1);
+        let secs = bytes.as_u64() as f64 * 8.0 / (goodput_mbps * 1e6);
+        let duration = self.setup_latency + SimDuration::from_secs_f64(secs);
+        TransferStats {
+            bytes,
+            duration,
+            goodput_mbps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n_dual() -> WifiAdapter {
+        WifiAdapter {
+            standard: WifiStandard::N,
+            dual_band: true,
+            link_mbps: 65.0,
+        }
+    }
+
+    fn n_single() -> WifiAdapter {
+        WifiAdapter {
+            standard: WifiStandard::N,
+            dual_band: false,
+            link_mbps: 65.0,
+        }
+    }
+
+    #[test]
+    fn single_band_adapter_is_slower_on_campus() {
+        let env = NetworkEnv::campus(1);
+        assert!(env.endpoint_mbps(&n_single()) < env.endpoint_mbps(&n_dual()));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let mut env = NetworkEnv::campus(1);
+        let t1 = env.transfer(ByteSize::from_mib(1), &n_dual(), &n_dual());
+        let t8 = env.transfer(ByteSize::from_mib(8), &n_dual(), &n_dual());
+        assert!(t8.duration > t1.duration * 4);
+    }
+
+    #[test]
+    fn pair_rate_is_min_of_endpoints() {
+        let env = NetworkEnv::campus(1);
+        let pair = env
+            .endpoint_mbps(&n_dual())
+            .min(env.endpoint_mbps(&n_single()));
+        assert_eq!(pair, env.endpoint_mbps(&n_single()));
+    }
+
+    #[test]
+    fn calibration_transfer_of_6mib_lands_in_paper_range() {
+        // ~6 MB between dual-band devices should take a few seconds on the
+        // congested campus network (the paper's migrations average 7.88 s
+        // with transfer the majority).
+        let mut env = NetworkEnv::campus(7);
+        let t = env.transfer(ByteSize::from_mib(6), &n_dual(), &n_dual());
+        let secs = t.duration.as_secs_f64();
+        assert!((1.0..12.0).contains(&secs), "took {secs}s");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = NetworkEnv::campus(42);
+        let mut b = NetworkEnv::campus(42);
+        let ta = a.transfer(ByteSize::from_mib(3), &n_dual(), &n_single());
+        let tb = b.transfer(ByteSize::from_mib(3), &n_dual(), &n_single());
+        assert_eq!(ta.duration, tb.duration);
+    }
+
+    #[test]
+    fn quiet_network_is_faster_than_campus() {
+        let mut campus = NetworkEnv::campus(3);
+        let mut quiet = NetworkEnv::quiet(3);
+        let tc = campus.transfer(ByteSize::from_mib(10), &n_single(), &n_single());
+        let tq = quiet.transfer(ByteSize::from_mib(10), &n_single(), &n_single());
+        assert!(tq.duration < tc.duration);
+    }
+}

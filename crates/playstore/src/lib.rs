@@ -1,0 +1,21 @@
+//! A synthetic Google Play corpus in the image of PlayDrone.
+//!
+//! §4 of the paper crawls Google Play with PlayDrone (reference 63 of the paper), downloading
+//! metadata and APKs for **488,259 apps**, and reports two results this
+//! crate regenerates:
+//!
+//! * Figure 17 — the CDF of installation sizes: "Roughly 60% of the apps
+//!   are less than 1 MB in size, and roughly 90% of the apps are less than
+//!   10 MB";
+//! * the app-compatibility census — only **3,300** of the downloaded apps
+//!   call `setPreserveEGLContextOnPause`, so Flux's one GL limitation
+//!   affects a small fraction of the store.
+//!
+//! Installation sizes are drawn from a log-normal whose parameters are
+//! solved from the paper's two quantiles, so the generated CDF matches the
+//! published curve by construction while the tail stays heavy and
+//! realistic.
+
+pub mod corpus;
+
+pub use corpus::{Corpus, PlayApp, PAPER_CORPUS_SIZE, PAPER_PRESERVE_EGL_COUNT};

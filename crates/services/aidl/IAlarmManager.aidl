@@ -1,0 +1,37 @@
+// AlarmManagerService interface, Flux-decorated.
+//
+// NOTE: Figure 9 of the paper writes "@drop this;" on both methods. For
+// `remove` we follow §3.2's prose instead ("calls with the same operation
+// argument to set and remove should be dropped from the record") and name
+// `set` explicitly, so a remove erases the alarm it cancels and then
+// suppresses itself. `set` keeps Figure 9's literal form: a constructor
+// must never suppress itself, or a re-set after a remove would be lost.
+interface IAlarmManager {
+    @record {
+        @drop this;
+        @if operation;
+        @replayproxy \
+            flux.recordreplay.Proxies.alarmMgrSet;
+    }
+    void set(int type, long triggerAtTime, in PendingIntent operation);
+
+    @record {
+        @drop this, set;
+        @if operation;
+        @replayproxy \
+            flux.recordreplay.Proxies.alarmMgrRemove;
+    }
+    void remove(in PendingIntent operation);
+
+    @record {
+        @drop this;
+        @replayproxy flux.recordreplay.Proxies.wallClockSet;
+    }
+    void setTime(long millis);
+
+    @record {
+        @drop this;
+        @replayproxy flux.recordreplay.Proxies.timeZoneSet;
+    }
+    void setTimeZone(String zone);
+}

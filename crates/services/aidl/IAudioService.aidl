@@ -1,0 +1,228 @@
+// AudioService, Flux-decorated. Audio state is the richest software-service
+// surface Flux decorates (Table 2: 150 LOC): volume levels must be rescaled
+// to the guest's range through replay proxies, focus and media-button
+// registrations must be re-established, and routing toggles replay against
+// whatever audio hardware the guest actually has.
+interface IAudioService {
+    @record {
+        @drop this;
+        @if streamType;
+        @replayproxy \
+            flux.recordreplay.Proxies.audioAdjustStream;
+    }
+    void adjustStreamVolume(int streamType, int direction, int flags, String callingPackage);
+    @record {
+        @drop this;
+        @if streamType;
+        @replayproxy \
+            flux.recordreplay.Proxies.audioSetStream;
+    }
+    void setStreamVolume(int streamType, int index, int flags, String callingPackage);
+    @record {
+        @drop this;
+        @replayproxy \
+            flux.recordreplay.Proxies.audioAdjustMaster;
+    }
+    void adjustMasterVolume(int steps, int flags, String callingPackage);
+    @record {
+        @drop this;
+        @replayproxy \
+            flux.recordreplay.Proxies.audioSetMaster;
+    }
+    void setMasterVolume(int index, int flags, String callingPackage);
+    @record {
+        @drop this;
+        @if streamType;
+    }
+    void setStreamSolo(int streamType, boolean state, in IBinder cb);
+    @record {
+        @drop this;
+        @if streamType;
+    }
+    void setStreamMute(int streamType, boolean state, in IBinder cb);
+    boolean isStreamMute(int streamType);
+    @record {
+        @drop this;
+        @if cb;
+    }
+    void setMasterMute(boolean state, int flags, in IBinder cb);
+    boolean isMasterMute();
+    int getStreamVolume(int streamType);
+    int getMasterVolume();
+    int getStreamMaxVolume(int streamType);
+    int getMasterMaxVolume();
+    int getLastAudibleStreamVolume(int streamType);
+    int getLastAudibleMasterVolume();
+    @record {
+        @drop this;
+        @if on;
+    }
+    void setMicrophoneMute(boolean on);
+    @record {
+        @drop this;
+        @replayproxy \
+            flux.recordreplay.Proxies.audioRingerMode;
+    }
+    void setRingerMode(int ringerMode);
+    int getRingerMode();
+    @record {
+        @drop this;
+        @if vibrateType;
+    }
+    void setVibrateSetting(int vibrateType, int vibrateSetting);
+    int getVibrateSetting(int vibrateType);
+    boolean shouldVibrate(int vibrateType);
+    @record {
+        @drop this;
+        @if cb;
+    }
+    void setMode(int mode, in IBinder cb);
+    int getMode();
+    oneway void playSoundEffect(int effectType);
+    oneway void playSoundEffectVolume(int effectType, float volume);
+    boolean loadSoundEffects();
+    oneway void unloadSoundEffects();
+    oneway void reloadAudioSettings();
+    @record {
+        @drop this;
+        @if on;
+    }
+    void setSpeakerphoneOn(boolean on);
+    boolean isSpeakerphoneOn();
+    @record {
+        @drop this;
+        @if on;
+    }
+    void setBluetoothScoOn(boolean on);
+    boolean isBluetoothScoOn();
+    @record {
+        @drop this;
+        @if on;
+    }
+    void setBluetoothA2dpOn(boolean on);
+    boolean isBluetoothA2dpOn();
+    @record {
+        @drop this;
+        @if clientId;
+        @replayproxy \
+            flux.recordreplay.Proxies.audioFocusRequest;
+    }
+    int requestAudioFocus(int mainStreamType, int durationHint, in IBinder cb, in IAudioFocusDispatcher fd, String clientId, String callingPackageName);
+    @record {
+        @drop this, requestAudioFocus;
+        @if clientId;
+    }
+    int abandonAudioFocus(in IAudioFocusDispatcher fd, String clientId);
+    @record {
+        @drop this;
+        @if clientId;
+    }
+    void unregisterAudioFocusClient(String clientId);
+    int getCurrentAudioFocus();
+    @record {
+        @drop this;
+        @if pi;
+    }
+    void registerMediaButtonIntent(in PendingIntent pi, in ComponentName c, in IBinder token);
+    @record {
+        @drop this, registerMediaButtonIntent;
+        @if pi;
+    }
+    void unregisterMediaButtonIntent(in PendingIntent pi);
+    @record {
+        @drop this;
+    }
+    oneway void registerMediaButtonEventReceiverForCalls();
+    @record {
+        @drop this, registerMediaButtonEventReceiverForCalls;
+    }
+    oneway void unregisterMediaButtonEventReceiverForCalls();
+    @record {
+        @drop this;
+        @if rcd;
+    }
+    boolean registerRemoteControlDisplay(in IRemoteControlDisplay rcd, int w, int h);
+    @record {
+        @drop this, registerRemoteControlDisplay;
+        @if rcd;
+    }
+    oneway void unregisterRemoteControlDisplay(in IRemoteControlDisplay rcd);
+    @record {
+        @drop this;
+        @if rcd;
+    }
+    oneway void remoteControlDisplayUsesBitmapSize(in IRemoteControlDisplay rcd, int w, int h);
+    @record {
+        @drop this;
+        @if rcd;
+    }
+    oneway void remoteControlDisplayWantsPlaybackPositionSync(in IRemoteControlDisplay rcd, boolean wantsSync);
+    @record {
+        @drop this;
+        @if rccId;
+    }
+    void setPlaybackInfoForRcc(int rccId, int what, int value);
+    @record {
+        @drop this;
+        @if rccId;
+    }
+    void setPlaybackStateForRcc(int rccId, int state, long timeMs, float speed);
+    int getRemoteControlClientNowPlayingEntries();
+    void setRemoteControlClientPlayItem(long uid, int scope);
+    void setRemoteControlClientBrowsedPlayer();
+    @record {
+        @drop this;
+        @if mediaIntent;
+    }
+    int registerRemoteControlClient(in PendingIntent mediaIntent, in IRemoteControlClient rcClient, String callingPackageName);
+    @record {
+        @drop this, registerRemoteControlClient;
+        @if mediaIntent;
+    }
+    oneway void unregisterRemoteControlClient(in PendingIntent mediaIntent, in IRemoteControlClient rcClient);
+    @record {
+        @drop this;
+        @if cb;
+    }
+    void startBluetoothSco(in IBinder cb, int targetSdkVersion);
+    @record {
+        @drop this, startBluetoothSco;
+        @if cb;
+    }
+    void stopBluetoothSco(in IBinder cb);
+    @record {
+        @drop this;
+    }
+    void forceVolumeControlStream(int streamType, in IBinder cb);
+    @record {
+        @drop this;
+    }
+    oneway void setRingtonePlayer(in IRingtonePlayer player);
+    IRingtonePlayer getRingtonePlayer();
+    int getMasterStreamType();
+    @record {
+        @drop this;
+        @if type;
+        @elif name;
+    }
+    void setWiredDeviceConnectionState(int type, int state, String name);
+    @record {
+        @drop this;
+        @if device;
+    }
+    int setBluetoothA2dpDeviceConnectionState(in BluetoothDevice device, int state);
+    AudioRoutesInfo startWatchingRoutes(in IAudioRoutesObserver observer);
+    boolean isCameraSoundForced();
+    boolean isValidRingerMode(int ringerMode);
+    oneway void dispatchMediaKeyEvent(in KeyEvent keyEvent);
+    void dispatchMediaKeyEventUnderWakelock(in KeyEvent keyEvent);
+    void disableSafeMediaVolume();
+    int requestAudioFocusForCall(int streamType, int durationHint);
+    @record {
+        @drop this;
+        @if address;
+    }
+    void setRemoteSubmixOn(boolean on, int address);
+    void avrcpSupportsAbsoluteVolume(String address, boolean support);
+    boolean isSpeakerphoneSupported();
+}

@@ -1,0 +1,51 @@
+// CameraService, Flux-decorated. A camera connection is deep device state:
+// connects are replayed through proxies that re-open the guest device's
+// camera and re-apply parameters; disconnect erases the whole history for
+// that camera id.
+interface ICameraService {
+    int getNumberOfCameras();
+    int getCameraInfo(int cameraId, out CameraInfo info);
+
+    @record {
+        @drop this;
+        @if cameraId;
+        @replayproxy \
+            flux.recordreplay.Proxies.cameraConnect;
+    }
+    ICamera connect(in ICameraClient client, int cameraId, String clientPackageName, int clientUid);
+
+    @record {
+        @drop this;
+        @if cameraId;
+        @replayproxy \
+            flux.recordreplay.Proxies.cameraConnectDevice;
+    }
+    ICameraDeviceUser connectDevice(in ICameraDeviceCallbacks callbacks, int cameraId, String clientPackageName, int clientUid);
+
+    @record {
+        @drop this, connect, connectDevice,
+              setParameters;
+        @if cameraId;
+    }
+    void disconnect(int cameraId);
+
+    @record {
+        @drop this;
+        @if cameraId;
+        @replayproxy \
+            flux.recordreplay.Proxies.cameraParameters;
+    }
+    void setParameters(int cameraId, String params);
+
+    @record {
+        @drop this;
+        @if listener;
+    }
+    void addListener(in ICameraServiceListener listener);
+
+    @record {
+        @drop this, addListener;
+        @if listener;
+    }
+    void removeListener(in ICameraServiceListener listener);
+}

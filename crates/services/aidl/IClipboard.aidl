@@ -1,0 +1,18 @@
+// ClipboardService interface, Flux-decorated. Only the most recent clip
+// matters after migration, so each set drops its predecessor.
+interface IClipboard {
+    @record { @drop this; }
+    void setPrimaryClip(in ClipData clip);
+
+    ClipData getPrimaryClip(String pkg);
+    ClipDescription getPrimaryClipDescription();
+    boolean hasPrimaryClip();
+    boolean hasClipboardText();
+    @record
+    void addPrimaryClipChangedListener(in IOnPrimaryClipChangedListener listener);
+    @record {
+        @drop this, addPrimaryClipChangedListener;
+        @if listener;
+    }
+    void removePrimaryClipChangedListener(in IOnPrimaryClipChangedListener listener);
+}

@@ -1,0 +1,91 @@
+// ConnectivityManagerService, Flux-decorated. Only routes, network
+// preferences and feature requests the app itself installed are replayed;
+// active connections are deliberately *not* (the app handles the
+// connectivity-change broadcast instead, §3.1).
+interface IConnectivityManager {
+    NetworkInfo getActiveNetworkInfo();
+    NetworkInfo getActiveNetworkInfoForUid(int uid);
+    NetworkInfo getNetworkInfo(int networkType);
+    NetworkInfo[] getAllNetworkInfo();
+    boolean isNetworkSupported(int networkType);
+    LinkProperties getActiveLinkProperties();
+    LinkProperties getLinkProperties(int networkType);
+    NetworkState[] getAllNetworkState();
+    NetworkQuotaInfo getActiveNetworkQuotaInfo();
+    boolean isActiveNetworkMetered();
+    @record {
+        @drop this;
+        @if pref;
+    }
+    void setNetworkPreference(int pref);
+    int getNetworkPreference();
+    @record {
+        @drop this;
+        @if networkType, feature;
+        @replayproxy flux.recordreplay.Proxies.networkFeature;
+    }
+    int startUsingNetworkFeature(int networkType, String feature, in IBinder binder);
+    @record {
+        @drop this, startUsingNetworkFeature;
+        @if networkType, feature;
+    }
+    int stopUsingNetworkFeature(int networkType, String feature);
+    @record {
+        @drop this;
+        @if networkType, hostAddress;
+    }
+    boolean requestRouteToHostAddress(int networkType, in byte[] hostAddress);
+    boolean getMobileDataEnabled();
+    @record {
+        @drop this;
+        @if enabled;
+    }
+    void setMobileDataEnabled(boolean enabled);
+    @record {
+        @drop this;
+        @if networkType;
+    }
+    void setDataDependency(int networkType, boolean met);
+    void tether(String iface);
+    void untether(String iface);
+    boolean isTetheringSupported();
+    String[] getTetherableIfaces();
+    String[] getTetheredIfaces();
+    String[] getTetheringErroredIfaces();
+    String[] getTetherableUsbRegexs();
+    String[] getTetherableWifiRegexs();
+    String[] getTetherableBluetoothRegexs();
+    int setUsbTethering(boolean enable);
+    void requestNetworkTransitionWakelock(String forWhom);
+    void reportInetCondition(int networkType, int percentage);
+    ProxyProperties getGlobalProxy();
+    void setGlobalProxy(in ProxyProperties p);
+    ProxyProperties getProxy();
+    void setDataDependencyMet(int networkType, boolean met);
+    void protectVpn(in ParcelFileDescriptor socket);
+    boolean prepareVpn(String oldPackage, String newPackage);
+    ParcelFileDescriptor establishVpn(in VpnConfig config);
+    VpnConfig getVpnConfig();
+    void startLegacyVpn(in VpnProfile profile);
+    LegacyVpnInfo getLegacyVpnInfo();
+    boolean updateLockdownVpn();
+    void captivePortalCheckCompleted(in NetworkInfo info, boolean isCaptivePortal);
+    void supplyMessenger(int networkType, in Messenger messenger);
+    int findConnectionTypeForIface(String iface);
+    int checkMobileProvisioning(int suggestedTimeOutMs);
+    String getMobileProvisioningUrl();
+    String getMobileRedirectedProvisioningUrl();
+    LinkQualityInfo getLinkQualityInfo(int networkType);
+    LinkQualityInfo getActiveLinkQualityInfo();
+    LinkQualityInfo[] getAllLinkQualityInfo();
+    void setProvisioningNotificationVisible(boolean visible, int networkType, String extraInfo, String url);
+    @record
+    void setAirplaneMode(boolean enable);
+    boolean isNetworkActive();
+    void registerNetworkActivityListener(in INetworkActivityListener l);
+    void unregisterNetworkActivityListener(in INetworkActivityListener l);
+    String[] getTetheredDhcpRanges();
+    int getLastTetherError(String iface);
+    NetworkInfo getProvisioningOrActiveNetworkInfo();
+    void markSocketAsUser(in ParcelFileDescriptor socket, int uid);
+}

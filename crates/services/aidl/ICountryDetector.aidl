@@ -1,0 +1,12 @@
+// CountryDetectorService, Flux-decorated: listener registrations are the
+// only app-specific state.
+interface ICountryDetector {
+    Country detectCountry();
+    @record
+    void addCountryListener(in ICountryListener listener);
+    @record {
+        @drop this, addCountryListener;
+        @if listener;
+    }
+    void removeCountryListener(in ICountryListener listener);
+}

@@ -1,0 +1,30 @@
+// InputManagerService, Flux-decorated: keyboard-layout associations are the
+// per-app state that must survive migration.
+interface IInputManager {
+    InputDevice getInputDevice(int deviceId);
+    int[] getInputDeviceIds();
+    boolean hasKeys(int deviceId, int sourceMask, in int[] keyCodes, out boolean[] keyExists);
+    boolean injectInputEvent(in InputEvent ev, int mode);
+    KeyboardLayout[] getKeyboardLayouts();
+    KeyboardLayout getKeyboardLayout(String keyboardLayoutDescriptor);
+    String getCurrentKeyboardLayoutForInputDevice(in InputDeviceIdentifier identifier);
+    @record {
+        @drop this; @if identifier;
+    }
+    void setCurrentKeyboardLayoutForInputDevice(in InputDeviceIdentifier identifier, String keyboardLayoutDescriptor);
+    String[] getKeyboardLayoutsForInputDevice(in InputDeviceIdentifier identifier);
+    @record {
+        @drop this;
+        @if identifier, keyboardLayoutDescriptor;
+    }
+    void addKeyboardLayoutForInputDevice(in InputDeviceIdentifier identifier, String keyboardLayoutDescriptor);
+    @record {
+        @drop this, addKeyboardLayoutForInputDevice;
+        @if identifier, keyboardLayoutDescriptor;
+    }
+    void removeKeyboardLayoutForInputDevice(in InputDeviceIdentifier identifier, String keyboardLayoutDescriptor);
+    void registerInputDevicesChangedListener(in IInputDevicesChangedListener listener);
+    void tryPointerSpeed(int speed);
+    void setPointerSpeed(int speed);
+    void vibrate(int deviceId, in long[] pattern, int repeat, in IBinder token);
+}

@@ -1,0 +1,72 @@
+// InputMethodManagerService, Flux-decorated. The bound input connection
+// and the soft-input visibility the app asked for must be re-established
+// on the guest (with its own IME), so client attachment replays through a
+// contextualisation proxy.
+interface IInputMethodManager {
+    List<InputMethodInfo> getInputMethodList();
+    List<InputMethodInfo> getEnabledInputMethodList();
+    List<InputMethodSubtype> getEnabledInputMethodSubtypeList(String imiId, boolean allowsImplicitlySelectedSubtypes);
+    InputMethodSubtype getLastInputMethodSubtype();
+    List getShortcutInputMethodsAndSubtypes();
+    @record {
+        @drop this;
+        @if client;
+        @replayproxy \
+            flux.recordreplay.Proxies.imeAddClient;
+    }
+    void addClient(in IInputMethodClient client, in IInputContext inputContext, int uid, int pid);
+    @record {
+        @drop this, addClient, startInput,
+              showSoftInput, hideSoftInput;
+        @if client;
+    }
+    void removeClient(in IInputMethodClient client);
+    @record {
+        @drop this;
+        @if client;
+        @replayproxy \
+            flux.recordreplay.Proxies.imeStartInput;
+    }
+    InputBindResult startInput(in IInputMethodClient client, in IInputContext inputContext, in EditorInfo attribute, int controlFlags);
+    void finishInput(in IInputMethodClient client);
+    @record {
+        @drop this;
+        @if client;
+    }
+    boolean showSoftInput(in IInputMethodClient client, int flags, in ResultReceiver resultReceiver);
+    @record {
+        @drop this, showSoftInput;
+        @if client;
+    }
+    boolean hideSoftInput(in IInputMethodClient client, int flags, in ResultReceiver resultReceiver);
+    InputBindResult windowGainedFocus(in IInputMethodClient client, in IBinder windowToken, int controlFlags, int softInputMode, int windowFlags, in EditorInfo attribute, in IInputContext inputContext);
+    void showInputMethodPickerFromClient(in IInputMethodClient client);
+    void showInputMethodAndSubtypeEnablerFromClient(in IInputMethodClient client, String topId);
+    @record {
+        @drop this;
+        @if id;
+    }
+    void setInputMethod(in IBinder token, String id);
+    @record {
+        @drop this;
+        @if id;
+    }
+    void setInputMethodAndSubtype(in IBinder token, String id, in InputMethodSubtype subtype);
+    void hideMySoftInput(in IBinder token, int flags);
+    void showMySoftInput(in IBinder token, int flags);
+    void updateStatusIcon(in IBinder token, String packageName, int iconId);
+    void setImeWindowStatus(in IBinder token, int vis, int backDisposition);
+    InputMethodSubtype getCurrentInputMethodSubtype();
+    boolean setCurrentInputMethodSubtype(in InputMethodSubtype subtype);
+    boolean switchToLastInputMethod(in IBinder token);
+    boolean switchToNextInputMethod(in IBinder token, boolean onlyCurrentIme);
+    boolean shouldOfferSwitchingToNextInputMethod(in IBinder token);
+    boolean setInputMethodEnabled(String id, boolean enabled);
+    @record {
+        @drop this;
+        @if id;
+    }
+    void setAdditionalInputMethodSubtypes(String id, in InputMethodSubtype[] subtypes);
+    void notifySuggestionPicked(in SuggestionSpan span, String originalString, int index);
+    int getInputMethodWindowVisibleHeight();
+}

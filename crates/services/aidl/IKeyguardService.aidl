@@ -1,0 +1,41 @@
+// KeyguardService, Flux-decorated: disable/reenable pairs cancel by token.
+interface IKeyguardService {
+    @record {
+        @drop this;
+        @if token;
+    }
+    void disableKeyguard(in IBinder token, String tag);
+    @record {
+        @drop this, disableKeyguard;
+        @if token;
+    }
+    void reenableKeyguard(in IBinder token);
+    @record {
+        @drop this;
+        @if enabled;
+    }
+    void setKeyguardEnabled(boolean enabled);
+    boolean isShowing();
+    boolean isSecure();
+    boolean isShowingAndNotOccluded();
+    boolean isInputRestricted();
+    boolean isDismissable();
+    void verifyUnlock(in IKeyguardExitCallback callback);
+    void keyguardDone(boolean authenticated, boolean wakeup);
+    void dismiss();
+    void onDreamingStarted();
+    void onDreamingStopped();
+    void onScreenTurnedOff(int reason);
+    void onScreenTurnedOn(in IKeyguardShowCallback callback);
+    void setHidden(boolean isHidden);
+    @record {
+        @drop this;
+    }
+    void doKeyguardTimeout(in Bundle options);
+    @record
+    void setCurrentUser(int userId);
+    void showAssistant();
+    void onBootCompleted();
+    void onSystemReady();
+    void onActivityDrawn();
+}

@@ -1,0 +1,34 @@
+// LocationManagerService, Flux-decorated. Update requests are re-issued on
+// the guest through a proxy that checks whether the guest has the provider
+// hardware at all (§3.2: absent hardware may be forwarded over the network
+// at the user's option).
+interface ILocationManager {
+    @record {
+        @drop this;
+        @if listener;
+        @replayproxy \
+            flux.recordreplay.Proxies.locationRequest;
+    }
+    void requestLocationUpdates(in LocationRequest request, in ILocationListener listener, in PendingIntent intent, String packageName);
+    @record {
+        @drop this, requestLocationUpdates;
+        @if listener;
+    }
+    void removeUpdates(in ILocationListener listener, in PendingIntent intent, String packageName);
+    @record { @drop this; @if listener; }
+    boolean addGpsStatusListener(in IGpsStatusListener listener, String packageName);
+    @record {
+        @drop this, addGpsStatusListener;
+        @if listener;
+    }
+    void removeGpsStatusListener(in IGpsStatusListener listener);
+    Location getLastLocation(in LocationRequest request, String packageName);
+    boolean geocoderIsPresent();
+    String getFromLocation(double latitude, double longitude, int maxResults, in GeocoderParams params, out List<Address> addrs);
+    List<String> getAllProviders();
+    List<String> getProviders(in Criteria criteria, boolean enabledOnly);
+    String getBestProvider(in Criteria criteria, boolean enabledOnly);
+    boolean isProviderEnabled(String provider);
+    ProviderProperties getProviderProperties(String provider);
+    boolean sendExtraCommand(String provider, String command, inout Bundle extras);
+}

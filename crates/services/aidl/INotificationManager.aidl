@@ -1,0 +1,59 @@
+// NotificationManagerService interface (KitKat), Flux-decorated.
+// Decoration follows Figure 7 of the paper: a cancel erases the matching
+// enqueue and suppresses itself.
+interface INotificationManager {
+    @record {
+        @drop this;
+        @if pkg, id;
+    }
+    void enqueueNotification(String pkg, int id, in Notification notification, inout int[] idOut);
+
+    @record {
+        @drop this, enqueueNotification;
+        @if pkg, id;
+    }
+    void cancelNotification(String pkg, int id);
+
+    @record {
+        @drop this, enqueueNotification, \
+              cancelNotification, enqueueNotificationWithTag;
+        @if pkg;
+    }
+    void cancelAllNotifications(String pkg);
+
+    @record {
+        @drop this;
+        @if pkg, tag, id;
+    }
+    void enqueueNotificationWithTag(String pkg, String tag, int id, in Notification notification, inout int[] idOut);
+
+    @record {
+        @drop this, enqueueNotificationWithTag;
+        @if pkg, tag, id;
+        @elif pkg, id;
+    }
+    void cancelNotificationWithTag(String pkg, String tag, int id);
+
+    @record {
+        @drop this;
+        @if pkg, uid;
+    }
+    void setNotificationsEnabledForPackage(String pkg, int uid, boolean enabled);
+
+    boolean areNotificationsEnabledForPackage(String pkg, int uid);
+    void enqueueToast(String pkg, ITransientNotification callback, int duration);
+    void cancelToast(String pkg, ITransientNotification callback);
+    StatusBarNotification[] getActiveNotifications(String callingPkg);
+    StatusBarNotification[] getHistoricalNotifications(String callingPkg, int count);
+    @record {
+        @drop this;
+        @if listener, userid;
+    }
+    void registerListener(in INotificationListener listener, in ComponentName component, int userid);
+    @record {
+        @drop this, registerListener;
+        @if listener, userid;
+    }
+    void unregisterListener(in INotificationListener listener, int userid);
+    void cancelNotificationFromListener(in INotificationListener token, String pkg, String tag, int id);
+}

@@ -1,0 +1,9 @@
+// Network service discovery, Flux-decorated: a live registration channel
+// must be re-established on the guest; tearing it down clears the record.
+interface INsdManager {
+    @record
+    Messenger getMessenger();
+    @record {
+        @drop this, getMessenger; }
+    void setEnabled(boolean enabled);
+}

@@ -1,0 +1,39 @@
+// PowerManagerService, Flux-decorated. Wakelocks held through the service
+// are the app-specific state: acquire/release pairs cancel by lock token,
+// and surviving acquires are replayed on the guest so it stays awake
+// exactly as the home device would have.
+interface IPowerManager {
+    @record {
+        @drop this;
+        @if lock;
+        @replayproxy flux.recordreplay.Proxies.wakeLockAcquire;
+    }
+    void acquireWakeLock(in IBinder lock, int flags, String tag, String packageName, in WorkSource ws);
+    @record {
+        @drop this, acquireWakeLock;
+        @if lock;
+    }
+    void releaseWakeLock(in IBinder lock, int flags);
+    @record {
+        @drop this;
+        @if lock;
+    }
+    void updateWakeLockWorkSource(in IBinder lock, in WorkSource ws);
+    boolean isWakeLockLevelSupported(int level);
+    void userActivity(long time, int event, int flags);
+    void wakeUp(long time);
+    void goToSleep(long time, int reason, int flags);
+    void nap(long time);
+    boolean isScreenOn();
+    void reboot(boolean confirm, String reason, boolean wait);
+    void shutdown(boolean confirm, boolean wait);
+    void crash(String message);
+    @record
+    void setStayOnSetting(int val);
+    void setMaximumScreenOffTimeoutFromDeviceAdmin(int timeMs);
+    void setTemporaryScreenBrightnessSettingOverride(int brightness);
+    void setTemporaryScreenAutoBrightnessAdjustmentSettingOverride(float adj);
+    void setAttentionLight(boolean on, int color);
+    void setScreenBrightnessOverrideFromWindowManager(int brightness);
+    void setUserActivityTimeoutOverrideFromWindowManager(long timeoutMillis);
+}

@@ -1,0 +1,12 @@
+// SensorService interface. The service is implemented natively in C++ and
+// AIDL cannot generate native record/replay code (§3.2), so there are no
+// decorations here: the record rules and replay proxies are hand-written in
+// flux-services::sensor_native, mirroring the paper's 94 hand-written LOC.
+interface ISensorServer {
+    Sensor[] getSensorList(String opPackageName);
+    ISensorEventConnection createSensorEventConnection(String opPackageName);
+    boolean enableSensor(in ISensorEventConnection connection, int handle, int samplingPeriodUs);
+    boolean disableSensor(in ISensorEventConnection connection, int handle);
+    ParcelFileDescriptor getSensorChannel(in ISensorEventConnection connection);
+    int flushSensor(in ISensorEventConnection connection);
+}

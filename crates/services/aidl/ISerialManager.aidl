@@ -1,0 +1,6 @@
+// SerialService interface. Not yet decorated in the Flux prototype
+// (Table 2 lists its LOC as TBD).
+interface ISerialManager {
+    String[] getSerialPorts();
+    ParcelFileDescriptor openSerialPort(String name);
+}

@@ -1,0 +1,29 @@
+// TextServicesManagerService, Flux-decorated: spell-checker sessions are
+// per-app state recreated on the guest.
+interface ITextServicesManager {
+    @record {
+        @drop this;
+        @if locale;
+        @replayproxy flux.recordreplay.Proxies.spellCheckerSession;
+    }
+    void getSpellCheckerService(String sciId, String locale, in ITextServicesSessionListener tsListener, in ISpellCheckerSessionListener scListener, in Bundle bundle);
+    @record {
+        @drop this, getSpellCheckerService;
+    }
+    void finishSpellCheckerService(in ISpellCheckerSessionListener listener);
+    SpellCheckerInfo getCurrentSpellChecker(String locale);
+    SpellCheckerSubtype getCurrentSpellCheckerSubtype(String locale, boolean allowImplicitlySelectedSubtype);
+    @record {
+        @drop this;
+        @if locale;
+    }
+    void setCurrentSpellChecker(String locale, String sciId);
+    @record {
+        @drop this;
+        @if locale;
+    }
+    void setCurrentSpellCheckerSubtype(String locale, int hashCode);
+    void setSpellCheckerEnabled(boolean enabled);
+    boolean isSpellCheckerEnabled();
+    SpellCheckerInfo[] getEnabledSpellCheckers();
+}

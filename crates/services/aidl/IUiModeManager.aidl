@@ -1,0 +1,17 @@
+// UiModeManagerService, Flux-decorated: only the latest mode matters.
+interface IUiModeManager {
+    @record {
+        @drop this;
+    }
+    void enableCarMode(int flags);
+    @record {
+        @drop this, enableCarMode;
+    }
+    void disableCarMode(int flags);
+    int getCurrentModeType();
+    @record {
+        @drop this;
+    }
+    void setNightMode(int mode);
+    int getNightMode();
+}

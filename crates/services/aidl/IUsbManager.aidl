@@ -1,0 +1,23 @@
+// UsbService interface. Not yet decorated in the Flux prototype (Table 2
+// lists its LOC as TBD).
+interface IUsbManager {
+    void getDeviceList(out Bundle devices);
+    ParcelFileDescriptor openDevice(String deviceName);
+    UsbAccessory getCurrentAccessory();
+    ParcelFileDescriptor openAccessory(in UsbAccessory accessory);
+    void setDevicePackage(in UsbDevice device, String packageName, int userId);
+    void setAccessoryPackage(in UsbAccessory accessory, String packageName, int userId);
+    boolean hasDevicePermission(in UsbDevice device);
+    boolean hasAccessoryPermission(in UsbAccessory accessory);
+    void requestDevicePermission(in UsbDevice device, String packageName, in PendingIntent pi);
+    void requestAccessoryPermission(in UsbAccessory accessory, String packageName, in PendingIntent pi);
+    void grantDevicePermission(in UsbDevice device, int uid);
+    void grantAccessoryPermission(in UsbAccessory accessory, int uid);
+    boolean hasDefaults(String packageName, int userId);
+    void clearDefaults(String packageName, int userId);
+    void setCurrentFunction(String function, boolean makeDefault);
+    void setMassStorageBackingFile(String path);
+    void allowUsbDebugging(boolean alwaysAllow, String publicKey);
+    void denyUsbDebugging();
+    void clearUsbDebuggingKeys();
+}

@@ -1,0 +1,40 @@
+// VibratorService, Flux-decorated. Vibrations are short-lived device
+// output: a cancel (or a newer request from the same token) makes earlier
+// requests irrelevant, and replay rescales timings through a proxy because
+// vibration motors differ across devices. Even the capability query is
+// recorded: Adaptive Replay consults it when the guest lacks a vibrator.
+interface IVibratorService {
+    @record
+    boolean hasVibrator();
+
+    @record {
+        @drop
+            this;
+        @if token;
+        @elif milliseconds;
+        @replayproxy \
+            flux.recordreplay.Proxies.vibratorReplay;
+    }
+    void vibrate(long milliseconds, in IBinder token);
+
+    @record {
+        @drop
+            this;
+        @if token;
+        @elif repeat;
+        @replayproxy \
+            flux.recordreplay.Proxies.vibratorPatternReplay;
+    }
+    void vibratePattern(in long[] pattern, int repeat, in IBinder token);
+
+    @record {
+        @drop
+              this,
+              vibrate,
+              vibratePattern;
+        @if token;
+        @replayproxy \
+            flux.recordreplay.Proxies.vibratorCancel;
+    }
+    void cancelVibrate(in IBinder token);
+}

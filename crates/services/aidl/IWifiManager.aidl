@@ -1,0 +1,108 @@
+// WifiService, Flux-decorated. Network configurations the app added, scan
+// requests and locks are app-specific; connectivity itself is NOT replayed
+// verbatim — the app is told of a disconnect and a fresh connection on the
+// guest (§3.1), so enable/disable calls replay through proxies that respect
+// the guest's current radio state.
+interface IWifiManager {
+    List<ScanResult> getScanResults(String callingPackage);
+    @record {
+        @drop this;
+        @replayproxy flux.recordreplay.Proxies.wifiScanRequest;
+    }
+    void startScan(in WorkSource ws);
+    List<WifiConfiguration> getConfiguredNetworks();
+    @record {
+        @drop this;
+        @if config;
+        @replayproxy flux.recordreplay.Proxies.wifiAddNetwork;
+    }
+    int addOrUpdateNetwork(in WifiConfiguration config);
+    @record {
+        @drop this, enableNetwork, disableNetwork;
+        @if netId;
+    }
+    boolean removeNetwork(int netId);
+    @record {
+        @drop this;
+        @if netId;
+    }
+    boolean enableNetwork(int netId, boolean disableOthers);
+    @record {
+        @drop this, enableNetwork;
+        @if netId;
+    }
+    boolean disableNetwork(int netId);
+    boolean pingSupplicant();
+    WifiInfo getConnectionInfo();
+    @record {
+        @drop this;
+        @if enable;
+        @replayproxy flux.recordreplay.Proxies.wifiSetEnabled;
+    }
+    boolean setWifiEnabled(boolean enable);
+    int getWifiEnabledState();
+    @record {
+        @drop this;
+    }
+    void setCountryCode(String country, boolean persist);
+    void setFrequencyBand(int band, boolean persist);
+    int getFrequencyBand();
+    boolean isDualBandSupported();
+    boolean saveConfiguration();
+    DhcpInfo getDhcpInfo();
+    boolean isScanAlwaysAvailable();
+    @record {
+        @drop this;
+        @if binder;
+        @replayproxy \
+            flux.recordreplay.Proxies.wifiLockAcquire;
+    }
+    boolean acquireWifiLock(in IBinder binder, int lockType, String tag, in WorkSource ws);
+    @record {
+        @drop this;
+        @if binder;
+    }
+    void updateWifiLockWorkSource(in IBinder binder, in WorkSource ws);
+    @record {
+        @drop this, acquireWifiLock;
+        @if binder;
+    }
+    boolean releaseWifiLock(in IBinder binder);
+    void initializeMulticastFiltering();
+    boolean isMulticastEnabled();
+    @record {
+        @drop this;
+    }
+    void acquireMulticastLock(in IBinder binder, String tag);
+    @record {
+        @drop this, acquireMulticastLock;
+    }
+    void releaseMulticastLock();
+    @record {
+        @drop this;
+        @if enable;
+        @replayproxy flux.recordreplay.Proxies.wifiApSet;
+    }
+    void setWifiApEnabled(in WifiConfiguration wifiConfig, boolean enable);
+    int getWifiApEnabledState();
+    WifiConfiguration getWifiApConfiguration();
+    void setWifiApConfiguration(in WifiConfiguration wifiConfig);
+    void startWifi();
+    void stopWifi();
+    void addToBlacklist(String bssid);
+    void clearBlacklist();
+    Messenger getWifiServiceMessenger();
+    String getConfigFile();
+    void enableTdls(String remoteIPAddress, boolean enable);
+    void enableTdlsWithMacAddress(String remoteMacAddress, boolean enable);
+    boolean requestBatchedScan(in BatchedScanSettings requested, in IBinder binder, in WorkSource ws);
+    void stopBatchedScan(in BatchedScanSettings requested);
+    List<BatchedScanResult> getBatchedScanResults(String callingPackage);
+    boolean isBatchedScanSupported();
+    void enableAggressiveHandover(int enabled);
+    int getAggressiveHandover();
+    void setAllowScansWithTraffic(int enabled);
+    int getAllowScansWithTraffic();
+    String getWpsNfcConfigurationToken(int netId);
+    boolean startWps(in WpsInfo config);
+}

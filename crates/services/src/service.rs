@@ -1,0 +1,99 @@
+//! The system-service trait and per-call context.
+
+use crate::intent::Delivery;
+use flux_binder::{BinderError, NodeId, Parcel};
+use flux_kernel::Kernel;
+use flux_simcore::{Pid, SimTime, Uid};
+use std::any::Any;
+
+/// Context handed to a service for one transaction.
+///
+/// Carries the caller's identity, the target node (so one service object
+/// can back several nodes, e.g. the SensorService and its per-app
+/// SensorEventConnections), mutable kernel access, and output channels for
+/// deliveries and freshly created service nodes.
+pub struct ServiceCtx<'a> {
+    /// PID of the calling process.
+    pub caller_pid: Pid,
+    /// UID of the calling process.
+    pub caller_uid: Uid,
+    /// Current virtual time.
+    pub now: SimTime,
+    /// PID of the system-service process hosting the service.
+    pub service_pid: Pid,
+    /// The node the transaction was addressed to.
+    pub target_node: NodeId,
+    /// The kernel of the device the service runs on.
+    pub kernel: &'a mut Kernel,
+    /// Events produced during the call, routed to apps by the environment.
+    pub deliveries: Vec<Delivery>,
+    /// Nodes the service created during the call (connection objects);
+    /// the host binds them back to this service after dispatch.
+    pub new_service_nodes: Vec<NodeId>,
+}
+
+impl ServiceCtx<'_> {
+    /// Queues an event for delivery to the app with `uid`.
+    pub fn deliver(&mut self, to_uid: Uid, event: crate::intent::Event) {
+        self.deliveries.push(Delivery {
+            to_uid,
+            event,
+            at: self.now,
+        });
+    }
+
+    /// Creates a connection node owned by the service process and records
+    /// it for binding to this service.
+    pub fn create_connection_node(&mut self, descriptor: &str) -> Result<NodeId, BinderError> {
+        let node = self.kernel.binder.create_node(
+            self.service_pid,
+            flux_binder::NodeKind::Service {
+                descriptor: descriptor.to_owned(),
+            },
+        )?;
+        self.new_service_nodes.push(node);
+        Ok(node)
+    }
+
+    /// Builds the standard "transaction failed" error for this service.
+    pub fn fail(&self, interface: &str, method: &str, reason: impl Into<String>) -> BinderError {
+        BinderError::TransactionFailed {
+            interface: interface.to_owned(),
+            method: method.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
+/// A long-running Android system service.
+///
+/// Services are dispatched *by method name* at the AIDL level — the same
+/// level Selective Record interposes on — rather than by raw transaction
+/// code; the compiled interface provides the name↔code mapping.
+pub trait SystemService: std::fmt::Debug {
+    /// AIDL interface descriptor, e.g. `"INotificationManager"`.
+    fn descriptor(&self) -> &'static str;
+
+    /// ServiceManager registration name, e.g. `"notification"`.
+    fn registry_name(&self) -> &'static str;
+
+    /// Handles one transaction.
+    fn on_call(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        method: &str,
+        args: &Parcel,
+    ) -> Result<Parcel, BinderError>;
+
+    /// Invoked when every process of an app (by UID) has died — the moral
+    /// equivalent of a Binder death notification. Services drop the app's
+    /// state: wakelocks are released, alarms cancelled, notifications
+    /// removed, sensor connections torn down.
+    fn on_uid_death(&mut self, _ctx: &mut ServiceCtx<'_>, _uid: Uid) {}
+
+    /// Downcast support for tests and environment-side inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

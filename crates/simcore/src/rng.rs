@@ -1,0 +1,146 @@
+//! Deterministic randomness for workloads and radio noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable random source for the simulation.
+///
+/// Everything stochastic in the reproduction — WiFi throughput jitter, the
+/// synthetic Google Play corpus, workload think-times — draws from a
+/// `SimRng` so a fixed seed reproduces an experiment bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use flux_simcore::SimRng;
+///
+/// let mut a = SimRng::seed(7);
+/// let mut b = SimRng::seed(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a child RNG from this one, labelled by `stream`.
+    ///
+    /// Children with different labels are statistically independent, so a
+    /// subsystem can take its own stream without perturbing others.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.inner.gen();
+        SimRng::seed(base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// A uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform float in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A normally distributed float (Box–Muller), mean `mu`, std-dev `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        // Box–Muller transform; avoid ln(0) by clamping u1 away from zero.
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mu + sigma * z
+    }
+
+    /// A log-normally distributed float with the given parameters of the
+    /// underlying normal distribution.
+    ///
+    /// Used by the synthetic Google Play corpus: app installation sizes are
+    /// heavy-tailed (Figure 17), and a log-normal matches the paper's CDF.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SimRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(42);
+        let mut b = SimRng::seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_differ_from_parent_and_each_other() {
+        let mut root = SimRng::seed(1);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn range_is_inclusive_exclusive() {
+        let mut r = SimRng::seed(3);
+        for _ in 0..1000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        assert_eq!(r.range_u64(5, 5), 5);
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_mean() {
+        let mut r = SimRng::seed(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.normal(10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = SimRng::seed(11);
+        for _ in 0..1000 {
+            assert!(r.log_normal(0.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! A lightweight event trace.
+//!
+//! Migration experiments want to explain *where* virtual time went (Figure
+//! 13's stage breakdown). Components append [`TraceEvent`]s as they work and
+//! the harnesses aggregate them afterwards.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One traced event: a timestamp, a category and a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub at: SimTime,
+    /// Dot-separated category, e.g. `"migration.checkpoint"`.
+    pub category: String,
+    /// Free-form detail for humans and tests.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.category, self.detail)
+    }
+}
+
+/// An append-only trace of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use flux_simcore::{SimTime, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.emit(SimTime::from_millis(5), "binder.transact", "code=1");
+/// assert_eq!(trace.events_in("binder").count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace that drops all events (for benchmarks).
+    pub fn disabled() -> Self {
+        Self {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Appends an event if tracing is enabled.
+    pub fn emit(&mut self, at: SimTime, category: &str, detail: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                category: category.to_owned(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose category starts with `prefix`.
+    pub fn events_in<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.category.starts_with(prefix))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_filter_by_prefix() {
+        let mut t = Trace::new();
+        t.emit(SimTime::ZERO, "migration.prep", "background");
+        t.emit(SimTime::from_millis(1), "migration.checkpoint", "4 MB");
+        t.emit(SimTime::from_millis(2), "binder.transact", "code=3");
+        assert_eq!(t.events_in("migration").count(), 2);
+        assert_eq!(t.events_in("binder").count(), 1);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime::ZERO, "x", "y");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1500),
+            category: "a.b".into(),
+            detail: "c".into(),
+        };
+        assert_eq!(e.to_string(), "[1.500s] a.b: c");
+    }
+}

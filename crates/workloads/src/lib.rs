@@ -1,0 +1,18 @@
+//! Table 3 of the Flux paper: the top free Android apps and their
+//! workloads, expressed as data the `flux-core` environment can execute.
+//!
+//! Each [`AppSpec`] carries (a) the resource footprint that determines its
+//! checkpoint image and transfer size — calibrated so Figures 12 and 15
+//! reproduce their shapes — and (b) a scripted [`Action`] sequence
+//! exercising the same service mix the paper's workload descriptions imply
+//! (e.g. WhatsApp posts notifications and sets alarms; games allocate GPU
+//! textures; Snapchat uses the camera).
+//!
+//! Two apps intentionally fail to migrate, as in §4: Facebook is
+//! multi-process and Subway Surfers preserves its EGL context.
+
+pub mod actions;
+pub mod specs;
+
+pub use actions::Action;
+pub use specs::{spec, top_apps, AppSpec};

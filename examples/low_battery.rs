@@ -1,0 +1,122 @@
+//! Low battery: use case (3) from §1 of the paper.
+//!
+//! Skype is keeping the 2012 Nexus 7 awake waiting for a call, with a
+//! message-retry alarm pending. The battery runs low, so the user flicks
+//! the app to their phone. The wakelock is re-acquired on the phone, the
+//! still-pending alarm is re-set (the already-fired one is *not*, per the
+//! Figure 10 proxy), and the alarm later fires on the phone.
+//!
+//! Run with: `cargo run --example low_battery`
+
+use flux_core::{migrate, pair, FluxWorld};
+use flux_device::DeviceProfile;
+use flux_services::Event;
+use flux_simcore::SimDuration;
+use flux_workloads::{spec, Action};
+
+fn main() {
+    let mut world = FluxWorld::new(17);
+    let tablet = world
+        .add_device("tablet", DeviceProfile::nexus7_2012())
+        .expect("boots");
+    let phone = world
+        .add_device("phone", DeviceProfile::nexus4())
+        .expect("boots");
+
+    let skype = spec("Skype").expect("Skype is in Table 3");
+    world.deploy(tablet, &skype).expect("deploy");
+    world
+        .run_script(tablet, &skype.package, &skype.actions.clone())
+        .expect("Skype waits for calls");
+
+    // Two alarms: one fires *before* the migration, one after.
+    world
+        .perform(
+            tablet,
+            &skype.package,
+            &Action::SetAlarm {
+                operation: "soon".into(),
+                in_secs: 5,
+            },
+        )
+        .expect("near alarm");
+    world
+        .perform(
+            tablet,
+            &skype.package,
+            &Action::SetAlarm {
+                operation: "later".into(),
+                in_secs: 3_600,
+            },
+        )
+        .expect("far alarm");
+    world
+        .perform(
+            tablet,
+            &skype.package,
+            &Action::AcquireWakeLock {
+                tag: "awaiting-call".into(),
+            },
+        )
+        .expect("wakelock");
+
+    // Ten seconds pass; the "soon" alarm fires on the tablet.
+    world.tick(SimDuration::from_secs(10));
+    let fired_at_home = world
+        .device_mut(tablet)
+        .unwrap()
+        .apps
+        .get_mut(&skype.package)
+        .unwrap()
+        .drain_inbox()
+        .into_iter()
+        .filter(|e| matches!(e, Event::AlarmFired { .. }))
+        .count();
+    println!("alarms fired on the tablet before migration: {fired_at_home}");
+    assert_eq!(fired_at_home, 1);
+    assert!(world.device(tablet).unwrap().kernel.wakelocks.any_held());
+
+    // Battery low -> migrate to the phone.
+    pair(&mut world, tablet, phone).expect("pairing");
+    let report = migrate(&mut world, tablet, phone, &skype.package).expect("migration");
+    println!(
+        "migrated in {} — replay skipped {} call(s):",
+        report.stages.total(),
+        report.replay.skipped
+    );
+    for note in &report.replay.notes {
+        println!("  {note}");
+    }
+    // The fired "soon" alarm must NOT have been re-set on the phone.
+    assert!(report
+        .replay
+        .notes
+        .iter()
+        .any(|n| n.contains("already triggered")));
+
+    // The wakelock now keeps the *phone* awake; the tablet can sleep.
+    assert!(world.device(phone).unwrap().kernel.wakelocks.any_held());
+    assert!(!world.device(tablet).unwrap().kernel.wakelocks.any_held());
+    println!("wakelock re-acquired on the phone; tablet free to sleep.");
+
+    // An hour later the surviving alarm fires — on the phone.
+    world.tick(SimDuration::from_secs(3_600));
+    let fired_on_phone: Vec<Event> = world
+        .device_mut(phone)
+        .unwrap()
+        .apps
+        .get_mut(&skype.package)
+        .unwrap()
+        .drain_inbox()
+        .into_iter()
+        .filter(|e| matches!(e, Event::AlarmFired { .. }))
+        .collect();
+    println!(
+        "alarms fired on the phone after migration: {}",
+        fired_on_phone.len()
+    );
+    assert!(fired_on_phone
+        .iter()
+        .any(|e| matches!(e, Event::AlarmFired { operation } if operation == "later")));
+    println!("the pending alarm survived the migration and fired on the guest.");
+}

@@ -1,0 +1,89 @@
+//! Collaborative meeting: use case (4) from §1 of the paper.
+//!
+//! An app is passed around a meeting — owner's phone to one attendee's
+//! tablet, then on to a second tablet, then back to the owner — with its
+//! full state each hop. Each hop records on one device and replays on the
+//! next; migrating on from a guest works because replay rebuilds the
+//! record log as a side effect.
+//!
+//! Run with: `cargo run --example meeting_share`
+
+use flux_binder::Parcel;
+use flux_core::{migrate, pair, FluxWorld};
+use flux_device::DeviceProfile;
+use flux_services::svc::clipboard::ClipboardService;
+use flux_workloads::spec;
+
+fn main() {
+    let mut world = FluxWorld::new(99);
+    let owner = world
+        .add_device("owner-phone", DeviceProfile::nexus4())
+        .expect("boots");
+    let alice = world
+        .add_device("alice-tablet", DeviceProfile::nexus7_2013())
+        .expect("boots");
+    let bob = world
+        .add_device("bob-tablet", DeviceProfile::nexus7_2012())
+        .expect("boots");
+
+    let app = spec("Pinterest").expect("Pinterest is in Table 3");
+    world.deploy(owner, &app).expect("deploy");
+    world
+        .run_script(owner, &app.package, &app.actions.clone())
+        .expect("owner browses");
+
+    // Everyone in the meeting pairs with everyone (as in §4's setup).
+    pair(&mut world, owner, alice).expect("owner->alice pairing");
+
+    // Owner annotates a shared board note, then passes the app to Alice.
+    world
+        .app_call(
+            owner,
+            &app.package,
+            "clipboard",
+            "setPrimaryClip",
+            Parcel::new().with_blob(b"owner: see board 3".to_vec()),
+        )
+        .expect("owner note");
+    let hop1 = migrate(&mut world, owner, alice, &app.package).expect("hop to alice");
+    println!("owner-phone -> alice-tablet: {}", hop1.stages.total());
+
+    // Alice adds her note and passes it on to Bob. The hop out of Alice's
+    // device works because replay rebuilt the record log there.
+    pair(&mut world, alice, bob).expect("alice->bob pairing");
+    world
+        .app_call(
+            alice,
+            &app.package,
+            "clipboard",
+            "setPrimaryClip",
+            Parcel::new().with_blob(b"alice: budget approved".to_vec()),
+        )
+        .expect("alice note");
+    let hop2 = migrate(&mut world, alice, bob, &app.package).expect("hop to bob");
+    println!("alice-tablet -> bob-tablet: {}", hop2.stages.total());
+
+    // Bob's device sees Alice's latest note — the clipboard followed the
+    // app, and only the *latest* clip was replayed (the @drop rule erased
+    // the owner's earlier one from the log).
+    let clip = world
+        .device(bob)
+        .unwrap()
+        .host
+        .service::<ClipboardService>("clipboard")
+        .unwrap()
+        .primary_clip()
+        .map(|b| String::from_utf8_lossy(b).into_owned());
+    println!("clipboard on bob-tablet: {clip:?}");
+    assert_eq!(clip.as_deref(), Some("alice: budget approved"));
+
+    // And back to the owner to wrap up the meeting.
+    pair(&mut world, bob, owner).expect("bob->owner pairing");
+    let hop3 = migrate(&mut world, bob, owner, &app.package).expect("hop home");
+    println!("bob-tablet -> owner-phone: {}", hop3.stages.total());
+    assert!(world.device(owner).unwrap().apps.contains_key(&app.package));
+    println!(
+        "\nThree hops, one app instance, no cloud. Total meeting overhead: {}",
+        hop1.stages.total() + hop2.stages.total() + hop3.stages.total()
+    );
+}

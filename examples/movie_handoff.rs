@@ -1,0 +1,103 @@
+//! Movie handoff: the paper's motivating Netflix scenario (§1).
+//!
+//! "It is possible to begin a movie using the Netflix app on a phone and
+//! switch to a larger screen to continue watching." The app holds audio
+//! focus and a music-stream volume; on the tablet the volume is *rescaled*
+//! by the Adaptive Replay proxy because phone and tablet volume ranges
+//! differ, and the app is told its connection dropped and a new one exists.
+//!
+//! Run with: `cargo run --example movie_handoff`
+
+use flux_core::{migrate, pair, FluxWorld};
+use flux_device::DeviceProfile;
+use flux_services::svc::audio::{AudioService, STREAM_MUSIC};
+use flux_services::Event;
+use flux_workloads::spec;
+
+fn main() {
+    let mut world = FluxWorld::new(7);
+    let phone = world
+        .add_device("phone", DeviceProfile::nexus4())
+        .expect("phone boots");
+    let tablet = world
+        .add_device("tablet", DeviceProfile::nexus7_2013())
+        .expect("tablet boots");
+
+    let netflix = spec("Netflix").expect("Netflix is in Table 3");
+    world.deploy(phone, &netflix).expect("deploy");
+    world
+        .run_script(phone, &netflix.package, &netflix.actions.clone())
+        .expect("browse and start playback");
+
+    let phone_volume = world
+        .device(phone)
+        .unwrap()
+        .host
+        .service::<AudioService>("audio")
+        .unwrap()
+        .stream_volume(STREAM_MUSIC);
+    let phone_max = world
+        .device(phone)
+        .unwrap()
+        .host
+        .service::<AudioService>("audio")
+        .unwrap()
+        .max_volume();
+    println!("On the phone: music volume {phone_volume}/{phone_max}, audio focus held.");
+
+    pair(&mut world, phone, tablet).expect("pairing");
+    let report = migrate(&mut world, phone, tablet, &netflix.package).expect("handoff");
+    println!(
+        "\nHandoff took {} ({} over the air); user-perceived {}.",
+        report.stages.total(),
+        report.ledger.total(),
+        report.stages.user_perceived()
+    );
+    for note in &report.replay.notes {
+        println!("  replay note: {note}");
+    }
+
+    // Volume rescaled into the tablet's range.
+    let tablet_audio = world
+        .device(tablet)
+        .unwrap()
+        .host
+        .service::<AudioService>("audio")
+        .unwrap();
+    let tablet_volume = tablet_audio.stream_volume(STREAM_MUSIC);
+    let tablet_max = tablet_audio.max_volume();
+    println!("\nOn the tablet: music volume {tablet_volume}/{tablet_max} (rescaled).");
+    assert_eq!(
+        tablet_volume,
+        (f64::from(phone_volume) * f64::from(tablet_max) / f64::from(phone_max)).round() as i32
+    );
+
+    // Audio focus followed the app.
+    let uid = world
+        .device(tablet)
+        .unwrap()
+        .app_uid(&netflix.package)
+        .unwrap();
+    assert_eq!(
+        tablet_audio.focus_holder().map(|(u, _)| *u),
+        Some(uid),
+        "audio focus must be re-established on the guest"
+    );
+
+    // The app saw a connectivity interruption, not a broken socket.
+    let app = world
+        .device_mut(tablet)
+        .unwrap()
+        .apps
+        .get_mut(&netflix.package)
+        .unwrap();
+    let connectivity_events = app
+        .drain_inbox()
+        .into_iter()
+        .filter(
+            |e| matches!(e, Event::Broadcast { intent } if intent.action.contains("CONNECTIVITY")),
+        )
+        .count();
+    println!("Connectivity-change broadcasts delivered to the app: {connectivity_events}");
+    println!("The movie resumes on the big screen.");
+}

@@ -1,0 +1,104 @@
+//! Quickstart: the Figure 1 scenario.
+//!
+//! A user writes half a message in WhatsApp on their phone, swipes, and the
+//! running app — with its posted notification, pending retry alarm and
+//! clipboard state — appears on their tablet, re-laid-out for the bigger
+//! screen. No cloud, no app modification.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flux_binder::Parcel;
+use flux_core::{migrate, pair, FluxWorld};
+use flux_device::DeviceProfile;
+use flux_services::svc::notification::NotificationManagerService;
+use flux_workloads::spec;
+
+fn main() {
+    // Two devices on the same campus WiFi.
+    let mut world = FluxWorld::new(42);
+    let phone = world
+        .add_device("phone", DeviceProfile::nexus4())
+        .expect("phone boots");
+    let tablet = world
+        .add_device("tablet", DeviceProfile::nexus7_2013())
+        .expect("tablet boots");
+
+    // Install and use WhatsApp on the phone (its home device).
+    let app = spec("WhatsApp").expect("WhatsApp is in Table 3");
+    world.deploy(phone, &app).expect("install + launch");
+    world
+        .run_script(phone, &app.package, &app.actions.clone())
+        .expect("workload runs");
+
+    // Put something recognisable on the clipboard mid-composition.
+    world
+        .app_call(
+            phone,
+            &app.package,
+            "clipboard",
+            "setPrimaryClip",
+            Parcel::new().with_blob(b"Hi, this is how Flux works".to_vec()),
+        )
+        .expect("clipboard set");
+
+    // One-time pairing, then the two-finger swipe.
+    let pairing = pair(&mut world, phone, tablet).expect("pairing succeeds");
+    println!(
+        "Paired: synced {} over the air ({} files hard-linked against /system)",
+        pairing.bytes_shipped(),
+        pairing.system_sync.files_hard_linked
+    );
+
+    let report = migrate(&mut world, phone, tablet, &app.package).expect("migration succeeds");
+
+    println!(
+        "\nMigrated {} from {} to {}:",
+        report.package, report.from, report.to
+    );
+    println!("  preparation   : {}", report.stages.preparation);
+    println!("  checkpoint    : {}", report.stages.checkpoint);
+    println!(
+        "  transfer      : {}  ({} over the air)",
+        report.stages.transfer,
+        report.ledger.total()
+    );
+    println!("  restore       : {}", report.stages.restore);
+    println!("  reintegration : {}", report.stages.reintegration);
+    println!("  total         : {}", report.stages.total());
+    println!(
+        "  replay        : {} replayed, {} proxied, {} skipped",
+        report.replay.replayed, report.replay.proxied, report.replay.skipped
+    );
+
+    // The notification the app posted at home is live on the tablet.
+    let tablet_dev = world.device(tablet).expect("tablet exists");
+    let uid = tablet_dev.app_uid(&app.package).expect("app on tablet");
+    let notifications = tablet_dev
+        .host
+        .service::<NotificationManagerService>("notification")
+        .expect("notification service")
+        .active_for(uid);
+    println!(
+        "\nNotifications visible on the tablet: {} (posted at home, replayed here)",
+        notifications.len()
+    );
+    assert_eq!(notifications.len(), 1);
+
+    // The app is gone from the phone and resumed on the tablet, laid out
+    // for the tablet's 1920x1200 display.
+    assert!(world
+        .device(phone)
+        .unwrap()
+        .apps
+        .get(&app.package)
+        .is_none());
+    let migrated = tablet_dev
+        .apps
+        .get(&app.package)
+        .expect("app runs on tablet");
+    println!(
+        "App re-laid out at {:?} (was {:?} on the phone).",
+        migrated.view_root.layout_size,
+        (768, 1280)
+    );
+}

@@ -1,0 +1,446 @@
+//! End-to-end migration scenarios across the whole stack.
+
+use flux_binder::Parcel;
+use flux_core::{migrate, pair, DeviceId, FluxWorld, MigrationError};
+use flux_device::{DeviceModel, DeviceProfile};
+use flux_services::svc::alarm::AlarmManagerService;
+use flux_services::svc::notification::NotificationManagerService;
+use flux_services::svc::sensor::SensorService;
+use flux_services::Event;
+use flux_simcore::SimDuration;
+use flux_workloads::{spec, top_apps, Action};
+
+/// Boots a two-device world, deploys `app_name` on the home device, runs
+/// its workload and pairs the devices.
+fn staged(
+    app_name: &str,
+    home_model: DeviceModel,
+    guest_model: DeviceModel,
+) -> (FluxWorld, DeviceId, DeviceId, String) {
+    let mut world = FluxWorld::new(1234);
+    let home = world
+        .add_device("home", DeviceProfile::of(home_model))
+        .unwrap();
+    let guest = world
+        .add_device("guest", DeviceProfile::of(guest_model))
+        .unwrap();
+    let app = spec(app_name).expect("app in Table 3");
+    world.deploy(home, &app).unwrap();
+    world
+        .run_script(home, &app.package, &app.actions.clone())
+        .unwrap();
+    pair(&mut world, home, guest).unwrap();
+    (world, home, guest, app.package.clone())
+}
+
+#[test]
+fn notification_state_follows_the_app() {
+    let (mut world, home, guest, pkg) =
+        staged("WhatsApp", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    // Post-then-cancel churn: only the surviving notification may migrate.
+    world
+        .perform(
+            home,
+            &pkg,
+            &Action::PostNotification {
+                id: 50,
+                payload_kib: 4,
+            },
+        )
+        .unwrap();
+    world
+        .perform(home, &pkg, &Action::CancelNotification { id: 50 })
+        .unwrap();
+
+    migrate(&mut world, home, guest, &pkg).unwrap();
+
+    let guest_dev = world.device(guest).unwrap();
+    let uid = guest_dev.app_uid(&pkg).unwrap();
+    let active = guest_dev
+        .host
+        .service::<NotificationManagerService>("notification")
+        .unwrap()
+        .active_for(uid);
+    // Exactly the WhatsApp workload's one notification (id 2); 50 is gone.
+    assert_eq!(active.len(), 1);
+    assert_eq!(active[0].id, 2);
+
+    // And the home device no longer shows it.
+    let home_dev = world.device(home).unwrap();
+    assert_eq!(
+        home_dev
+            .host
+            .service::<NotificationManagerService>("notification")
+            .unwrap()
+            .active_count(),
+        0
+    );
+}
+
+#[test]
+fn pending_alarms_migrate_and_fire_on_guest() {
+    let (mut world, home, guest, pkg) =
+        staged("eBay", DeviceModel::Nexus7_2013, DeviceModel::Nexus7_2013);
+    migrate(&mut world, home, guest, &pkg).unwrap();
+
+    // The auction-ending alarm (420 s) is pending on the guest.
+    let guest_dev = world.device(guest).unwrap();
+    let uid = guest_dev.app_uid(&pkg).unwrap();
+    let pending = guest_dev
+        .host
+        .service::<AlarmManagerService>("alarm")
+        .unwrap()
+        .pending_for(uid);
+    assert_eq!(pending.len(), 1);
+
+    // Advance past the trigger: the app receives the broadcast on the guest.
+    world.tick(SimDuration::from_secs(600));
+    let events = world
+        .device_mut(guest)
+        .unwrap()
+        .apps
+        .get_mut(&pkg)
+        .unwrap()
+        .drain_inbox();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::AlarmFired { operation } if operation == "auction-ending")));
+}
+
+#[test]
+fn sensor_connection_keeps_handle_and_descriptor() {
+    let (mut world, home, guest, pkg) =
+        staged("Snapchat", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+
+    // Snapshot the app-visible identifiers on the home device.
+    let (old_handle, old_fd) = {
+        let dev = world.device(home).unwrap();
+        let uid = dev.app_uid(&pkg).unwrap();
+        let log = dev.records.log(uid).unwrap();
+        let conn = log
+            .entries()
+            .iter()
+            .find(|e| e.method == "createSensorEventConnection")
+            .expect("connection recorded");
+        let chan = log
+            .entries()
+            .iter()
+            .find(|e| e.method == "getSensorChannel")
+            .expect("channel recorded");
+        (
+            match conn.reply.object(0).unwrap() {
+                flux_binder::ObjRef::Handle(h) => h,
+                o => panic!("expected handle, got {o:?}"),
+            },
+            chan.reply.fd(0).unwrap(),
+        )
+    };
+
+    migrate(&mut world, home, guest, &pkg).unwrap();
+
+    let dev = world.device(guest).unwrap();
+    let app = dev.apps.get(&pkg).unwrap();
+    // The old handle resolves to a live connection node on the guest.
+    let node = dev
+        .kernel
+        .binder
+        .resolve_handle(app.main_pid, old_handle)
+        .expect("old handle valid on guest");
+    let uid = app.uid;
+    let connections = dev
+        .host
+        .service::<SensorService>("sensorservice")
+        .unwrap()
+        .connections_of(uid);
+    assert!(connections.iter().any(|c| c.node == node));
+    // The event channel sits at the same descriptor number, as a live
+    // Unix socket (dup2'd over the reserved slot).
+    let proc = dev.kernel.process(app.main_pid).unwrap();
+    assert!(matches!(
+        proc.fds.get(old_fd),
+        Some(flux_kernel::FdKind::UnixSocket { .. })
+    ));
+    // The enabled sensor survived too.
+    assert!(connections.iter().any(|c| !c.enabled.is_empty()));
+}
+
+#[test]
+fn virt_pid_is_stable_across_migration() {
+    let (mut world, home, guest, pkg) =
+        staged("Twitter", DeviceModel::Nexus7_2012, DeviceModel::Nexus4);
+    let home_pid = world.device(home).unwrap().apps.get(&pkg).unwrap().main_pid;
+    let virt = world
+        .device(home)
+        .unwrap()
+        .kernel
+        .process(home_pid)
+        .unwrap()
+        .virt_pid;
+
+    migrate(&mut world, home, guest, &pkg).unwrap();
+
+    let dev = world.device(guest).unwrap();
+    let app = dev.apps.get(&pkg).unwrap();
+    let proc = dev.kernel.process(app.main_pid).unwrap();
+    assert_eq!(
+        proc.virt_pid, virt,
+        "app observes the same PID via its namespace"
+    );
+    assert!(proc.namespace.is_some());
+    assert!(proc
+        .jail_root
+        .as_deref()
+        .unwrap_or("")
+        .contains("/data/flux/"));
+}
+
+#[test]
+fn migration_refusals_match_section_3_4() {
+    // Multi-process.
+    let (mut world, home, guest, pkg) =
+        staged("Facebook", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    assert!(matches!(
+        migrate(&mut world, home, guest, &pkg),
+        Err(MigrationError::MultiProcess { processes: 2 })
+    ));
+
+    // Preserved EGL context.
+    let (mut world, home, guest, pkg) = staged(
+        "Subway Surfers",
+        DeviceModel::Nexus4,
+        DeviceModel::Nexus7_2013,
+    );
+    assert!(matches!(
+        migrate(&mut world, home, guest, &pkg),
+        Err(MigrationError::PreservedEglContext)
+    ));
+
+    // Mid-ContentProvider interaction.
+    let (mut world, home, guest, pkg) =
+        staged("Twitter", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    world
+        .perform(home, &pkg, &Action::BeginProviderQuery)
+        .unwrap();
+    assert!(matches!(
+        migrate(&mut world, home, guest, &pkg),
+        Err(MigrationError::ContentProviderActive)
+    ));
+    world
+        .perform(home, &pkg, &Action::EndProviderQuery)
+        .unwrap();
+    assert!(migrate(&mut world, home, guest, &pkg).is_ok());
+
+    // Open common SD-card file.
+    let (mut world, home, guest, pkg) =
+        staged("ZEDGE", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    world
+        .perform(
+            home,
+            &pkg,
+            &Action::OpenCommonSdFile {
+                name: "Music/song.mp3".into(),
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        migrate(&mut world, home, guest, &pkg),
+        Err(MigrationError::CommonSdCardFile { .. })
+    ));
+
+    // Unpaired devices.
+    let mut world = FluxWorld::new(3);
+    let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
+    let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
+    let app = spec("Twitter").unwrap();
+    world.deploy(home, &app).unwrap();
+    assert!(matches!(
+        migrate(&mut world, home, guest, &app.package),
+        Err(MigrationError::NotPaired)
+    ));
+}
+
+#[test]
+fn api_level_incompatibility_is_refused() {
+    let mut world = FluxWorld::new(8);
+    let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
+    // A guest stuck on an older stack.
+    let mut old = DeviceProfile::nexus7_2012();
+    old.api_level = 17;
+    let guest = world.add_device("g", old).unwrap();
+    let mut app = spec("Twitter").unwrap();
+    app.min_api = 19;
+    world.deploy(home, &app).unwrap();
+    pair(&mut world, home, guest).unwrap();
+    assert!(matches!(
+        migrate(&mut world, home, guest, &app.package),
+        Err(MigrationError::ApiLevelIncompatible {
+            required: 19,
+            guest: 17
+        })
+    ));
+}
+
+#[test]
+fn dropped_network_connections_are_reported() {
+    let (mut world, home, guest, pkg) =
+        staged("Netflix", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    let report = migrate(&mut world, home, guest, &pkg).unwrap();
+    assert_eq!(report.dropped_connections.len(), 1);
+    assert!(report.dropped_connections[0].contains(":443"));
+}
+
+#[test]
+fn receivers_get_connectivity_change_after_migration() {
+    let (mut world, home, guest, pkg) =
+        staged("Skype", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    migrate(&mut world, home, guest, &pkg).unwrap();
+    // Skype registered a CONNECTIVITY_CHANGE receiver; replay re-registered
+    // it, so the disconnect + reconnect broadcasts reached the app.
+    let events = world
+        .device_mut(guest)
+        .unwrap()
+        .apps
+        .get_mut(&pkg)
+        .unwrap()
+        .drain_inbox();
+    let conn_events = events
+        .iter()
+        .filter(
+            |e| matches!(e, Event::Broadcast { intent } if intent.action.contains("CONNECTIVITY")),
+        )
+        .count();
+    assert_eq!(conn_events, 2, "loss + new connection");
+}
+
+#[test]
+fn all_sixteen_migratable_apps_succeed_on_the_hardest_pair() {
+    // Nexus 7 (2012) -> Nexus 4: different GPU vendors, kernels, screens.
+    for app in top_apps() {
+        if app.multi_process || app.preserve_egl {
+            continue;
+        }
+        let (mut world, home, guest, pkg) =
+            staged(&app.name, DeviceModel::Nexus7_2012, DeviceModel::Nexus4);
+        let report = migrate(&mut world, home, guest, &pkg).unwrap_or_else(|e| {
+            panic!("{} failed: {e}", app.name);
+        });
+        // The vendor GL library was swapped to the guest's.
+        let dev = world.device(guest).unwrap();
+        let a = dev.apps.get(&pkg).unwrap();
+        if app.gl_contexts > 0 {
+            assert_eq!(
+                a.gl.vendor_lib.as_deref(),
+                Some("libGLES_adreno.so"),
+                "{}",
+                app.name
+            );
+        }
+        assert!(report.stages.total() > SimDuration::ZERO);
+    }
+}
+
+#[test]
+fn migrate_back_home_round_trip() {
+    let (mut world, home, guest, pkg) =
+        staged("Bible", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    migrate(&mut world, home, guest, &pkg).unwrap();
+
+    // Add state on the guest, then bring the app home.
+    world
+        .perform(
+            guest,
+            &pkg,
+            &Action::PostNotification {
+                id: 99,
+                payload_kib: 2,
+            },
+        )
+        .unwrap();
+    pair(&mut world, guest, home).unwrap();
+    migrate(&mut world, guest, home, &pkg).unwrap();
+
+    let home_dev = world.device(home).unwrap();
+    let uid = home_dev.app_uid(&pkg).unwrap();
+    let active = home_dev
+        .host
+        .service::<NotificationManagerService>("notification")
+        .unwrap()
+        .active_for(uid);
+    assert!(
+        active.iter().any(|n| n.id == 99),
+        "guest-side state came home"
+    );
+    assert!(world.device(guest).unwrap().apps.get(&pkg).is_none());
+}
+
+#[test]
+fn recording_disabled_blocks_nothing_but_replays_nothing() {
+    let mut world = FluxWorld::new(5);
+    world.recording = false;
+    let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
+    let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
+    let app = spec("WhatsApp").unwrap();
+    world.deploy(home, &app).unwrap();
+    world
+        .run_script(home, &app.package, &app.actions.clone())
+        .unwrap();
+    pair(&mut world, home, guest).unwrap();
+    let report = migrate(&mut world, home, guest, &app.package).unwrap();
+    // Vanilla AOSP mode: nothing recorded, so nothing to replay — the
+    // notification does NOT follow the app.
+    assert_eq!(report.replay.total(), 0);
+    let uid = world.device(guest).unwrap().app_uid(&app.package).unwrap();
+    assert_eq!(
+        world
+            .device(guest)
+            .unwrap()
+            .host
+            .service::<NotificationManagerService>("notification")
+            .unwrap()
+            .active_for(uid)
+            .len(),
+        0
+    );
+}
+
+#[test]
+fn clipboard_call_with_replay_keeps_only_latest_clip() {
+    let (mut world, home, guest, pkg) =
+        staged("Twitter", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
+    for i in 0..5u8 {
+        world
+            .app_call(
+                home,
+                &pkg,
+                "clipboard",
+                "setPrimaryClip",
+                Parcel::new().with_blob(vec![i; 64]),
+            )
+            .unwrap();
+    }
+    // The record log holds exactly one setPrimaryClip (the @drop this rule).
+    let uid = world.device(home).unwrap().app_uid(&pkg).unwrap();
+    let clip_entries = world
+        .device(home)
+        .unwrap()
+        .records
+        .log(uid)
+        .unwrap()
+        .entries()
+        .iter()
+        .filter(|e| e.method == "setPrimaryClip")
+        .count();
+    assert_eq!(clip_entries, 1);
+
+    migrate(&mut world, home, guest, &pkg).unwrap();
+    let clip = world
+        .device(guest)
+        .unwrap()
+        .host
+        .service::<flux_services::svc::clipboard::ClipboardService>("clipboard")
+        .unwrap()
+        .primary_clip()
+        .unwrap()
+        .to_vec();
+    assert_eq!(clip, vec![4u8; 64]);
+}

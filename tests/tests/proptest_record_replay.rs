@@ -1,0 +1,193 @@
+//! Property tests on the Selective Record / Adaptive Replay invariants.
+//!
+//! The core correctness claim of §3.2 is that replaying the (pruned) log
+//! reproduces the app-specific service state the app had at checkpoint.
+//! These properties drive random notification/alarm/clipboard churn and
+//! check that claim against the live service implementations.
+
+use flux_binder::Parcel;
+use flux_core::{migrate, pair, DeviceId, FluxWorld};
+use flux_device::DeviceProfile;
+use flux_services::svc::alarm::AlarmManagerService;
+use flux_services::svc::notification::NotificationManagerService;
+use flux_simcore::Uid;
+use flux_workloads::spec;
+use proptest::prelude::*;
+
+/// One random step of service churn.
+#[derive(Debug, Clone)]
+enum Step {
+    Post(i32),
+    Cancel(i32),
+    SetAlarm(u8, u32),
+    RemoveAlarm(u8),
+    Clip(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..6i32).prop_map(Step::Post),
+        (0..6i32).prop_map(Step::Cancel),
+        (0..4u8, 60..100_000u32).prop_map(|(op, at)| Step::SetAlarm(op, at)),
+        (0..4u8).prop_map(Step::RemoveAlarm),
+        any::<u8>().prop_map(Step::Clip),
+    ]
+}
+
+fn apply(world: &mut FluxWorld, dev: DeviceId, pkg: &str, step: &Step) {
+    match step {
+        Step::Post(id) => {
+            world
+                .app_call(
+                    dev,
+                    pkg,
+                    "notification",
+                    "enqueueNotification",
+                    Parcel::new()
+                        .with_str(pkg.to_owned())
+                        .with_i32(*id)
+                        .with_blob(vec![0; 64])
+                        .with_null(),
+                )
+                .unwrap();
+        }
+        Step::Cancel(id) => {
+            world
+                .app_call(
+                    dev,
+                    pkg,
+                    "notification",
+                    "cancelNotification",
+                    Parcel::new().with_str(pkg.to_owned()).with_i32(*id),
+                )
+                .unwrap();
+        }
+        Step::SetAlarm(op, in_secs) => {
+            let trigger =
+                world.clock.now() + flux_simcore::SimDuration::from_secs(u64::from(*in_secs));
+            world
+                .app_call(
+                    dev,
+                    pkg,
+                    "alarm",
+                    "set",
+                    Parcel::new()
+                        .with_i32(0)
+                        .with_i64(trigger.as_millis() as i64)
+                        .with_str(format!("op{op}")),
+                )
+                .unwrap();
+        }
+        Step::RemoveAlarm(op) => {
+            world
+                .app_call(
+                    dev,
+                    pkg,
+                    "alarm",
+                    "remove",
+                    Parcel::new().with_str(format!("op{op}")),
+                )
+                .unwrap();
+        }
+        Step::Clip(v) => {
+            world
+                .app_call(
+                    dev,
+                    pkg,
+                    "clipboard",
+                    "setPrimaryClip",
+                    Parcel::new().with_blob(vec![*v; 32]),
+                )
+                .unwrap();
+        }
+    }
+}
+
+/// Observable app-specific service state: notification ids, pending alarm
+/// operations (with trigger times), clipboard contents.
+fn observe(
+    world: &FluxWorld,
+    dev: DeviceId,
+    uid: Uid,
+) -> (Vec<i32>, Vec<(String, u64)>, Option<Vec<u8>>) {
+    let d = world.device(dev).unwrap();
+    let mut notifications: Vec<i32> = d
+        .host
+        .service::<NotificationManagerService>("notification")
+        .unwrap()
+        .active_for(uid)
+        .iter()
+        .map(|n| n.id)
+        .collect();
+    notifications.sort_unstable();
+    let mut alarms: Vec<(String, u64)> = d
+        .host
+        .service::<AlarmManagerService>("alarm")
+        .unwrap()
+        .pending_for(uid)
+        .iter()
+        .map(|a| (a.operation.clone(), a.trigger_at.as_millis()))
+        .collect();
+    alarms.sort();
+    let clip = d
+        .host
+        .service::<flux_services::svc::clipboard::ClipboardService>("clipboard")
+        .unwrap()
+        .primary_clip()
+        .map(<[u8]>::to_vec);
+    (notifications, alarms, clip)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After arbitrary churn and a migration, the guest's service state for
+    /// the app equals the home's state at checkpoint.
+    #[test]
+    fn replayed_state_equals_home_state(steps in prop::collection::vec(step_strategy(), 1..24)) {
+        let mut world = FluxWorld::new(777);
+        let home = world.add_device("h", DeviceProfile::nexus7_2013()).unwrap();
+        let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
+        let app = spec("Twitter").unwrap();
+        // Deploy without the canned workload so only `steps` shape state.
+        world.install_app(home, &app).unwrap();
+        world.launch_app(home, &app.package).unwrap();
+        for s in &steps {
+            apply(&mut world, home, &app.package, s);
+        }
+        let home_uid = world.device(home).unwrap().app_uid(&app.package).unwrap();
+        let before = observe(&world, home, home_uid);
+
+        pair(&mut world, home, guest).unwrap();
+        migrate(&mut world, home, guest, &app.package).unwrap();
+
+        let guest_uid = world.device(guest).unwrap().app_uid(&app.package).unwrap();
+        let after = observe(&world, guest, guest_uid);
+        prop_assert_eq!(before, after);
+    }
+
+    /// The record log never grows beyond the number of *live* state items
+    /// plus unmatched cancels — churn cannot inflate it (§3.2's log-size
+    /// motivation).
+    #[test]
+    fn log_is_bounded_by_live_state(steps in prop::collection::vec(step_strategy(), 1..64)) {
+        let mut world = FluxWorld::new(778);
+        let home = world.add_device("h", DeviceProfile::nexus7_2013()).unwrap();
+        let app = spec("Twitter").unwrap();
+        world.install_app(home, &app).unwrap();
+        world.launch_app(home, &app.package).unwrap();
+        for s in &steps {
+            apply(&mut world, home, &app.package, s);
+        }
+        let uid = world.device(home).unwrap().app_uid(&app.package).unwrap();
+        let (notifications, alarms, clip) = observe(&world, home, uid);
+        let live = notifications.len() + alarms.len() + usize::from(clip.is_some());
+        let log_len = world.device(home).unwrap().records.log(uid).unwrap().len();
+        // Unmatched cancels/removes may be recorded on top of live state:
+        // at most one per distinct notification id (6) and alarm op (4).
+        prop_assert!(
+            log_len <= live + 10,
+            "log has {} entries for {} live items", log_len, live
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests on the rsync synchroniser.
+
+use flux_fs::{sync, Content, SimFs, SyncOptions};
+use flux_simcore::{ByteSize, CostModel};
+use proptest::prelude::*;
+
+/// A random file set: (name index, size KiB, content tag).
+fn files_strategy() -> impl Strategy<Value = Vec<(u8, u32, u8)>> {
+    prop::collection::vec((0u8..40, 1u32..4096, any::<u8>()), 1..40)
+}
+
+fn build_fs(files: &[(u8, u32, u8)], root: &str) -> SimFs {
+    let mut fs = SimFs::new();
+    for (name, kib, tag) in files {
+        fs.write(
+            &format!("{root}/f{name:02}"),
+            Content::new(ByteSize::from_kib(u64::from(*kib)), u64::from(*tag) + 1),
+        );
+    }
+    fs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After a sync, the destination mirrors the source: every source file
+    /// exists at the destination with identical content.
+    #[test]
+    fn sync_makes_destination_mirror_source(
+        src_files in files_strategy(),
+        dst_files in files_strategy(),
+    ) {
+        let src = build_fs(&src_files, "/src");
+        let mut dst = build_fs(&dst_files, "/dst/mirror"); // pre-existing junk
+        let opts = SyncOptions::default();
+        sync(&src, "/src", &mut dst, "/dst/mirror", &opts, &CostModel::reference()).unwrap();
+        for (path, entry) in src.list("/src") {
+            let rel = path.strip_prefix("/src").unwrap();
+            let mirrored = dst.get(&format!("/dst/mirror{rel}")).unwrap();
+            prop_assert_eq!(mirrored.content, entry.content);
+        }
+    }
+
+    /// A second sync of unchanged content ships zero bytes.
+    #[test]
+    fn sync_is_idempotent(src_files in files_strategy()) {
+        let src = build_fs(&src_files, "/src");
+        let mut dst = SimFs::new();
+        let opts = SyncOptions::default();
+        sync(&src, "/src", &mut dst, "/d", &opts, &CostModel::reference()).unwrap();
+        let second = sync(&src, "/src", &mut dst, "/d", &opts, &CostModel::reference()).unwrap();
+        prop_assert_eq!(second.bytes_shipped, ByteSize::ZERO);
+        prop_assert_eq!(second.files_up_to_date, second.files_total);
+    }
+
+    /// Shipped bytes never exceed differing bytes, which never exceed
+    /// considered bytes; file-action counts partition the file set.
+    #[test]
+    fn sync_accounting_invariants(
+        src_files in files_strategy(),
+        link_files in files_strategy(),
+    ) {
+        let src = build_fs(&src_files, "/src");
+        let mut dst = build_fs(&link_files, "/system");
+        let opts = SyncOptions {
+            link_dest: Some("/system".into()),
+            ..SyncOptions::default()
+        };
+        let r = sync(&src, "/src", &mut dst, "/d", &opts, &CostModel::reference()).unwrap();
+        prop_assert!(r.bytes_shipped <= r.bytes_differing);
+        prop_assert!(r.bytes_differing <= r.bytes_considered);
+        prop_assert_eq!(
+            r.files_up_to_date + r.files_hard_linked + r.files_delta + r.files_full,
+            r.files_total
+        );
+    }
+
+    /// Files identical to a --link-dest candidate at the same relative path
+    /// are hard-linked (zero allocated space) rather than shipped.
+    #[test]
+    fn link_dest_links_identical_content(src_files in files_strategy()) {
+        let src = build_fs(&src_files, "/src");
+        // The guest's /system holds byte-identical copies at matching paths.
+        let mut dst = build_fs(&src_files, "/system");
+        let opts = SyncOptions {
+            link_dest: Some("/system".into()),
+            ..SyncOptions::default()
+        };
+        let r = sync(&src, "/src", &mut dst, "/d", &opts, &CostModel::reference()).unwrap();
+        prop_assert_eq!(r.bytes_shipped, ByteSize::ZERO);
+        prop_assert_eq!(dst.allocated_size("/d"), ByteSize::ZERO);
+        prop_assert_eq!(r.files_hard_linked, r.files_total);
+    }
+}

@@ -1,0 +1,263 @@
+//! Service-layer integration tests: Binder dispatch into the live service
+//! stack, without Flux in the loop.
+
+use flux_binder::Parcel;
+use flux_kernel::Kernel;
+use flux_services::svc::audio::{AudioService, STREAM_MUSIC};
+use flux_services::svc::power::PowerManagerService;
+use flux_services::svc::wifi::WifiService;
+use flux_services::{boot_android, ServiceHost, ServicesConfig};
+use flux_simcore::{Pid, SimTime, Uid};
+
+fn booted() -> (Kernel, ServiceHost, Pid) {
+    let mut kernel = Kernel::new("3.4");
+    let host = boot_android(&mut kernel, &ServicesConfig::default()).unwrap();
+    let app = kernel.spawn(Uid(10_030), "com.example.dispatch");
+    (kernel, host, app)
+}
+
+fn call(
+    kernel: &mut Kernel,
+    host: &mut ServiceHost,
+    app: Pid,
+    service: &str,
+    method: &str,
+    args: Parcel,
+) -> Parcel {
+    let handle = kernel.binder.get_service(app, service).unwrap();
+    host.dispatch(kernel, SimTime::ZERO, app, handle, method, args)
+        .unwrap_or_else(|e| panic!("{service}.{method} failed: {e}"))
+        .reply
+}
+
+#[test]
+fn audio_volume_roundtrip_clamps_to_device_range() {
+    let (mut kernel, mut host, app) = booted();
+    call(
+        &mut kernel,
+        &mut host,
+        app,
+        "audio",
+        "setStreamVolume",
+        Parcel::new()
+            .with_i32(STREAM_MUSIC)
+            .with_i32(99)
+            .with_i32(0)
+            .with_str("pkg"),
+    );
+    let max = host.service::<AudioService>("audio").unwrap().max_volume();
+    let reply = call(
+        &mut kernel,
+        &mut host,
+        app,
+        "audio",
+        "getStreamVolume",
+        Parcel::new().with_i32(STREAM_MUSIC),
+    );
+    assert_eq!(reply.i32(0).unwrap(), max);
+}
+
+#[test]
+fn unknown_method_is_rejected_by_interface_validation() {
+    let (mut kernel, mut host, app) = booted();
+    let handle = kernel.binder.get_service(app, "audio").unwrap();
+    let r = host.dispatch(
+        &mut kernel,
+        SimTime::ZERO,
+        app,
+        handle,
+        "noSuchMethodAnywhere",
+        Parcel::new(),
+    );
+    assert!(r.is_err());
+}
+
+#[test]
+fn wifi_network_lifecycle() {
+    let (mut kernel, mut host, app) = booted();
+    let id = call(
+        &mut kernel,
+        &mut host,
+        app,
+        "wifi",
+        "addOrUpdateNetwork",
+        Parcel::new().with_str("home-ssid"),
+    )
+    .i32(0)
+    .unwrap();
+    let ok = call(
+        &mut kernel,
+        &mut host,
+        app,
+        "wifi",
+        "enableNetwork",
+        Parcel::new().with_i32(id).with_bool(false),
+    )
+    .bool(0)
+    .unwrap();
+    assert!(ok);
+    let uid = Uid(10_030);
+    assert_eq!(
+        host.service::<WifiService>("wifi")
+            .unwrap()
+            .networks_of(uid),
+        vec![(id, "home-ssid")]
+    );
+    let removed = call(
+        &mut kernel,
+        &mut host,
+        app,
+        "wifi",
+        "removeNetwork",
+        Parcel::new().with_i32(id),
+    )
+    .bool(0)
+    .unwrap();
+    assert!(removed);
+    assert!(host
+        .service::<WifiService>("wifi")
+        .unwrap()
+        .networks_of(uid)
+        .is_empty());
+}
+
+#[test]
+fn wakelocks_reach_the_kernel_driver_and_die_with_the_app() {
+    let (mut kernel, mut host, app) = booted();
+    call(
+        &mut kernel,
+        &mut host,
+        app,
+        "power",
+        "acquireWakeLock",
+        Parcel::new()
+            .with_str("lock:download")
+            .with_i32(1)
+            .with_str("download")
+            .with_str("pkg")
+            .with_null(),
+    );
+    assert!(kernel.wakelocks.any_held());
+    assert_eq!(
+        host.service::<PowerManagerService>("power")
+            .unwrap()
+            .locks_of(Uid(10_030)),
+        1
+    );
+
+    // The death sweep releases everything the app held.
+    host.notify_uid_death(&mut kernel, SimTime::ZERO, Uid(10_030));
+    assert!(!kernel.wakelocks.any_held());
+    assert_eq!(
+        host.service::<PowerManagerService>("power")
+            .unwrap()
+            .locks_of(Uid(10_030)),
+        0
+    );
+}
+
+#[test]
+fn sensor_connection_flow_over_binder() {
+    let (mut kernel, mut host, app) = booted();
+    let reply = call(
+        &mut kernel,
+        &mut host,
+        app,
+        "sensorservice",
+        "createSensorEventConnection",
+        Parcel::new().with_str("pkg"),
+    );
+    let conn = reply.object(0).unwrap();
+    // enableSensor through the returned connection reference.
+    let ok = call(
+        &mut kernel,
+        &mut host,
+        app,
+        "sensorservice",
+        "enableSensor",
+        Parcel::new().with_object(conn).with_i32(0).with_i32(66_000),
+    )
+    .bool(0)
+    .unwrap();
+    assert!(ok);
+    let fd = call(
+        &mut kernel,
+        &mut host,
+        app,
+        "sensorservice",
+        "getSensorChannel",
+        Parcel::new().with_object(conn),
+    )
+    .fd(0)
+    .unwrap();
+    // The socket landed in the app's descriptor table.
+    assert!(matches!(
+        kernel.process(app).unwrap().fds.get(fd),
+        Some(flux_kernel::FdKind::UnixSocket { .. })
+    ));
+    // Enabling a sensor the device does not have fails cleanly.
+    let handle = kernel.binder.get_service(app, "sensorservice").unwrap();
+    let bad = host.dispatch(
+        &mut kernel,
+        SimTime::ZERO,
+        app,
+        handle,
+        "enableSensor",
+        Parcel::new().with_object(conn).with_i32(99).with_i32(0),
+    );
+    assert!(bad.is_err());
+}
+
+#[test]
+fn broadcasts_reach_only_matching_receivers() {
+    let (mut kernel, mut host, app) = booted();
+    let other = kernel.spawn(Uid(10_031), "com.example.other");
+    // App registers for connectivity changes; `other` for something else.
+    call(
+        &mut kernel,
+        &mut host,
+        app,
+        "activity",
+        "registerReceiver",
+        Parcel::new()
+            .with_null()
+            .with_str("pkg")
+            .with_str("rx-a")
+            .with_str("android.net.conn.CONNECTIVITY_CHANGE")
+            .with_null()
+            .with_i32(0),
+    );
+    let handle = kernel.binder.get_service(other, "activity").unwrap();
+    host.dispatch(
+        &mut kernel,
+        SimTime::ZERO,
+        other,
+        handle,
+        "registerReceiver",
+        Parcel::new()
+            .with_null()
+            .with_str("other")
+            .with_str("rx-b")
+            .with_str("android.intent.action.BATTERY_LOW")
+            .with_null()
+            .with_i32(0),
+    )
+    .unwrap();
+
+    let app_handle = kernel.binder.get_service(app, "activity").unwrap();
+    let result = host
+        .dispatch(
+            &mut kernel,
+            SimTime::ZERO,
+            app,
+            app_handle,
+            "broadcastIntent",
+            Parcel::new()
+                .with_null()
+                .with_str("android.net.conn.CONNECTIVITY_CHANGE"),
+        )
+        .unwrap();
+    assert_eq!(result.reply.i32(0).unwrap(), 1, "one matching receiver");
+    assert_eq!(result.deliveries.len(), 1);
+    assert_eq!(result.deliveries[0].to_uid, Uid(10_030));
+}
