@@ -2,7 +2,7 @@
 //! service stack.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flux_core::{pair, replay_log, FluxWorld};
+use flux_core::{pair, replay_log, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_workloads::spec;
 
@@ -12,11 +12,15 @@ fn bench_replay(c: &mut Criterion) {
             || {
                 // Record a workload on the home device, then hand the log
                 // to a fresh guest with the app already present.
-                let mut world = FluxWorld::new(13);
-                let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
-                let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
                 let app = spec("WhatsApp").unwrap();
-                world.deploy(home, &app).unwrap();
+                let (mut world, ids) = WorldBuilder::new()
+                    .seed(13)
+                    .device("h", DeviceProfile::nexus4())
+                    .device("g", DeviceProfile::nexus7_2013())
+                    .app(0, app.clone())
+                    .build()
+                    .unwrap();
+                let (home, guest) = (ids[0], ids[1]);
                 world
                     .run_script(home, &app.package, &app.actions.clone())
                     .unwrap();

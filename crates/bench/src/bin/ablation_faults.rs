@@ -1,0 +1,128 @@
+//! Fault-injection ablation: migration robustness under adverse wireless
+//! and kernel conditions, across retry policies.
+//!
+//! Sweeps fault rate × retry policy and reports, per cell:
+//!
+//! * **success rate** — migrations that completed despite injected link
+//!   drops, congestion spikes and kernel stalls (failures roll back
+//!   transactionally, so the app keeps running on the home device);
+//! * **added latency** — mean migration time (stage total + retry
+//!   backoff) minus the zero-fault baseline for the same seed;
+//! * **attempts** — mean attempts per successful migration, showing how
+//!   much the resumable chunked transfer is exercised.
+//!
+//! Run with: `cargo run --release --bin ablation_faults`
+
+use flux_core::{migrate_with, pair, MigrationReport, RetryPolicy, WorldBuilder};
+use flux_device::DeviceProfile;
+use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
+use flux_workloads::spec;
+
+/// Injected fault rates (events per virtual second, per fault kind).
+const RATES: [f64; 4] = [0.0, 0.01, 0.03, 0.10];
+/// Virtual-time horizon the fault schedule covers.
+const HORIZON: SimDuration = SimDuration::from_secs(600);
+/// Independent worlds per (rate, policy) cell.
+const SEEDS: u64 = 8;
+
+fn policies() -> Vec<(&'static str, RetryPolicy)> {
+    vec![
+        ("fail-fast (1 attempt)", RetryPolicy::none()),
+        ("default (4 attempts)", RetryPolicy::default()),
+        (
+            "patient (6 attempts)",
+            RetryPolicy {
+                max_attempts: 6,
+                ..RetryPolicy::default()
+            },
+        ),
+    ]
+}
+
+/// One fault-injected migration of WhatsApp phone→tablet.
+fn run_one(seed: u64, rate: f64, policy: &RetryPolicy) -> Result<MigrationReport, String> {
+    let app = spec("WhatsApp").expect("WhatsApp is in Table 3");
+    let plan = if rate > 0.0 {
+        FaultPlan::generate(seed, &FaultConfig::uniform(rate, HORIZON))
+    } else {
+        FaultPlan::none()
+    };
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(seed)
+        .fault_plan(plan)
+        .device("phone", DeviceProfile::nexus4())
+        .device("tablet", DeviceProfile::nexus7_2013())
+        .app(0, app.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let (phone, tablet) = (ids[0], ids[1]);
+    world
+        .run_script(phone, &app.package, &app.actions.clone())
+        .map_err(|e| e.to_string())?;
+    pair(&mut world, phone, tablet).map_err(|e| e.to_string())?;
+    migrate_with(&mut world, phone, tablet, &app.package, policy).map_err(|e| e.to_string())
+}
+
+fn main() {
+    println!("Fault-injection ablation: WhatsApp, Nexus 4 -> Nexus 7 (2013)");
+    println!(
+        "{} seeds per cell, fault horizon {}, rates are per-kind events/s\n",
+        SEEDS, HORIZON
+    );
+
+    // Zero-fault baseline per seed (policy is irrelevant without faults).
+    let baseline: Vec<SimDuration> = (0..SEEDS)
+        .map(|seed| {
+            let r =
+                run_one(seed, 0.0, &RetryPolicy::default()).expect("zero-fault migration succeeds");
+            assert_eq!(r.attempts, 1, "zero-fault run must not retry");
+            r.stages.total() + r.backoff
+        })
+        .collect();
+
+    println!(
+        "{:<12} {:<24} {:>9} {:>14} {:>10}",
+        "fault rate", "retry policy", "success", "added latency", "attempts"
+    );
+    for rate in RATES.iter().skip(1) {
+        for (name, policy) in policies() {
+            let mut ok = 0u64;
+            let mut added = SimDuration::ZERO;
+            let mut attempts = 0u64;
+            for seed in 0..SEEDS {
+                match run_one(seed, *rate, &policy) {
+                    Ok(r) => {
+                        ok += 1;
+                        let total = r.stages.total() + r.backoff;
+                        added += total.saturating_sub(baseline[seed as usize]);
+                        attempts += r.attempts as u64;
+                    }
+                    Err(e) => {
+                        assert!(
+                            e.contains("rolled back"),
+                            "fault-rate {rate} seed {seed}: unexpected failure: {e}"
+                        );
+                    }
+                }
+            }
+            let mean_added = added
+                .as_nanos()
+                .checked_div(ok)
+                .map_or(SimDuration::ZERO, SimDuration::from_nanos);
+            let mean_attempts = if ok > 0 {
+                attempts as f64 / ok as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<12} {:<24} {:>8}% {:>14} {:>10.2}",
+                format!("{rate:.2}/s"),
+                name,
+                100 * ok / SEEDS,
+                format!("{mean_added}"),
+                mean_attempts
+            );
+        }
+    }
+    println!("\nFailed migrations rolled back: the app stayed on the phone.");
+}

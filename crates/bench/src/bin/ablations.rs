@@ -10,7 +10,7 @@
 //!    depend on both; we re-run the sync with each disabled.
 
 use flux_binder::Parcel;
-use flux_core::{DeviceId, FluxWorld};
+use flux_core::{DeviceId, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_fs::{sync, SimFs, SyncOptions};
 use flux_simcore::{CostModel, SimTime};
@@ -28,12 +28,14 @@ fn ablation_selective_record() {
     println!("Ablation 1: Selective Record vs record-everything\n");
     let rounds = 500u64;
 
-    let mut world = FluxWorld::new(5);
-    let dev = world
-        .add_device("home", DeviceProfile::nexus7_2013())
-        .expect("device boots");
     let app = spec("WhatsApp").unwrap();
-    world.deploy(dev, &app).expect("deploys");
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(5)
+        .device("home", DeviceProfile::nexus7_2013())
+        .app(0, app.clone())
+        .build()
+        .expect("world builds");
+    let dev = ids[0];
     let pkg = &app.package;
     for i in 0..rounds {
         world
@@ -103,11 +105,13 @@ fn ablation_trim_memory() {
 
     // Without preparation: measure what the address space holds while the
     // GPU state is still live.
-    let mut world = FluxWorld::new(7);
-    let dev: DeviceId = world
-        .add_device("home", DeviceProfile::nexus7_2013())
-        .expect("device boots");
-    world.deploy(dev, &app).expect("deploys");
+    let (world, ids) = WorldBuilder::new()
+        .seed(7)
+        .device("home", DeviceProfile::nexus7_2013())
+        .app(0, app.clone())
+        .build()
+        .expect("world builds");
+    let dev: DeviceId = ids[0];
     let d = world.device(dev).unwrap();
     let a = d.apps.get(&app.package).unwrap();
     let proc = d.kernel.process(a.main_pid).unwrap();

@@ -5,17 +5,17 @@
 //! linking identical files on the target; a 56 MB compressed delta is
 //! actually transferred.
 
-use flux_core::{pair, FluxWorld};
+use flux_core::{pair, WorldBuilder};
 use flux_device::DeviceProfile;
 
 fn main() {
-    let mut world = FluxWorld::new(9);
-    let home = world
-        .add_device("nexus7", DeviceProfile::nexus7_2012())
-        .expect("home boots");
-    let guest = world
-        .add_device("nexus7-2013", DeviceProfile::nexus7_2013())
-        .expect("guest boots");
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(9)
+        .device("nexus7", DeviceProfile::nexus7_2012())
+        .device("nexus7-2013", DeviceProfile::nexus7_2013())
+        .build()
+        .expect("world builds");
+    let (home, guest) = (ids[0], ids[1]);
 
     let report = pair(&mut world, home, guest).expect("pairing succeeds");
     let s = &report.system_sync;

@@ -1,6 +1,6 @@
 //! The §4 migration evaluation: 18 apps × 4 device pairs.
 
-use flux_core::{migrate, pair, FluxWorld, MigrationReport};
+use flux_core::{migrate, pair, MigrationReport, WorldBuilder};
 use flux_device::{DeviceModel, DeviceProfile};
 use flux_simcore::SimDuration;
 use flux_workloads::{top_apps, AppSpec};
@@ -132,14 +132,14 @@ pub fn run_one(
     guest_model: DeviceModel,
     spec: &AppSpec,
 ) -> Result<MigrationReport, String> {
-    let mut world = FluxWorld::new(seed);
-    let home = world
-        .add_device("home", DeviceProfile::of(home_model))
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(seed)
+        .device("home", DeviceProfile::of(home_model))
+        .device("guest", DeviceProfile::of(guest_model))
+        .app(0, spec.clone())
+        .build()
         .map_err(|e| e.to_string())?;
-    let guest = world
-        .add_device("guest", DeviceProfile::of(guest_model))
-        .map_err(|e| e.to_string())?;
-    world.deploy(home, spec).map_err(|e| e.to_string())?;
+    let (home, guest) = (ids[0], ids[1]);
     world
         .run_script(home, &spec.package, &spec.actions.clone())
         .map_err(|e| e.to_string())?;
@@ -160,13 +160,13 @@ pub fn run_full_evaluation(seed: u64) -> Evaluation {
         .flat_map(|(a, spec)| (0..pairs.len()).map(move |i| (a, spec.clone(), i)))
         .collect();
 
-    let mut rows: Vec<(usize, MigRow)> = crossbeam::thread::scope(|scope| {
+    let mut rows: Vec<(usize, MigRow)> = std::thread::scope(|scope| {
         let chunk = jobs.len().div_ceil(num_threads());
         let handles: Vec<_> = jobs
             .chunks(chunk.max(1))
             .map(|batch| {
                 let pairs = pairs.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     batch
                         .iter()
                         .map(|(a, spec, i)| {
@@ -190,8 +190,7 @@ pub fn run_full_evaluation(seed: u64) -> Evaluation {
             .into_iter()
             .flat_map(|h| h.join().expect("evaluation worker panicked"))
             .collect()
-    })
-    .expect("evaluation scope");
+    });
 
     rows.sort_by_key(|(order, _)| *order);
     Evaluation {

@@ -8,7 +8,7 @@
 //! while I/O-ish and 2D/3D sections make service calls where the record
 //! interposition sits on the path.
 
-use flux_core::FluxWorld;
+use flux_core::{FluxWorld, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_simcore::SimDuration;
 use flux_workloads::spec;
@@ -63,12 +63,13 @@ pub fn run_quadrant_suite(profile: DeviceProfile, seed: u64) -> QuadrantScores {
     let app = spec("Twitter").expect("Twitter spec exists");
 
     let run = |recording: bool| -> Vec<SimDuration> {
-        let mut world = FluxWorld::new(seed);
-        world.recording = recording;
-        let dev = world
-            .add_device("bench", profile.clone())
-            .expect("device boots");
-        world.deploy(dev, &app).expect("app deploys");
+        let (mut world, _ids) = WorldBuilder::new()
+            .seed(seed)
+            .recording(recording)
+            .device("bench", profile.clone())
+            .app(0, app.clone())
+            .build()
+            .expect("world builds");
         SECTIONS
             .iter()
             .map(|(_, calls, cpu)| run_section(&mut world, &app.package, *calls, *cpu))

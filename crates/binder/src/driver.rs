@@ -81,7 +81,6 @@ impl Default for HandleTable {
 }
 
 impl HandleTable {
-
     /// Looks up the node behind `handle`.
     pub fn get(&self, handle: u32) -> Option<HandleEntry> {
         self.entries.get(&handle).copied()

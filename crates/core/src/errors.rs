@@ -1,0 +1,112 @@
+//! The unified error type for the public Flux API.
+//!
+//! Lower layers keep their own focused error enums ([`WorldError`],
+//! [`MigrationError`], [`BinderError`]); everything user-facing —
+//! [`FluxWorld::app_call`](crate::FluxWorld::app_call),
+//! [`FluxWorld::perform`](crate::FluxWorld::perform),
+//! [`migrate`](crate::migrate), [`pair`](crate::pair) and the
+//! [`WorldBuilder`](crate::WorldBuilder) — returns [`FluxError`], which
+//! wraps them with stable `From` impls and `source()` chaining.
+
+use crate::migration::MigrationError;
+use crate::world::WorldError;
+use flux_binder::BinderError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure surfaced by the public Flux API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FluxError {
+    /// An environment-level failure: unknown device or app, service boot,
+    /// delivery routing.
+    World(WorldError),
+    /// A migration was refused (§3.3–3.4) or failed and was rolled back.
+    Migration(MigrationError),
+    /// A raw Binder-level failure outside any other context.
+    Binder(BinderError),
+    /// A world was configured inconsistently (builder validation).
+    Config(String),
+}
+
+impl fmt::Display for FluxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluxError::World(e) => write!(f, "{e}"),
+            FluxError::Migration(e) => write!(f, "{e}"),
+            FluxError::Binder(e) => write!(f, "binder: {e}"),
+            FluxError::Config(m) => write!(f, "world configuration: {m}"),
+        }
+    }
+}
+
+impl Error for FluxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FluxError::World(e) => Some(e),
+            FluxError::Migration(e) => Some(e),
+            FluxError::Binder(e) => Some(e),
+            FluxError::Config(_) => None,
+        }
+    }
+}
+
+impl From<WorldError> for FluxError {
+    fn from(e: WorldError) -> Self {
+        FluxError::World(e)
+    }
+}
+
+impl From<MigrationError> for FluxError {
+    fn from(e: MigrationError) -> Self {
+        FluxError::Migration(e)
+    }
+}
+
+impl From<BinderError> for FluxError {
+    fn from(e: BinderError) -> Self {
+        FluxError::Binder(e)
+    }
+}
+
+impl FluxError {
+    /// The migration refusal/failure inside, if that is what this is.
+    pub fn as_migration(&self) -> Option<&MigrationError> {
+        match self {
+            FluxError::Migration(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_wrap_each_layer() {
+        let w: FluxError = WorldError::NoSuchDevice(3).into();
+        assert_eq!(w, FluxError::World(WorldError::NoSuchDevice(3)));
+        let m: FluxError = MigrationError::NotPaired.into();
+        assert!(m.as_migration().is_some());
+        let b: FluxError = BinderError::NoSuchService {
+            name: "window".into(),
+        }
+        .into();
+        assert!(matches!(b, FluxError::Binder(_)));
+    }
+
+    #[test]
+    fn source_chains_to_the_wrapped_error() {
+        let e: FluxError = MigrationError::NotPaired.into();
+        let src = e.source().expect("has a source");
+        assert_eq!(src.to_string(), MigrationError::NotPaired.to_string());
+        assert!(FluxError::Config("bad".into()).source().is_none());
+    }
+
+    #[test]
+    fn display_forwards_the_inner_message() {
+        let e: FluxError = MigrationError::MultiProcess { processes: 2 }.into();
+        assert!(e.to_string().contains("multi-process"));
+    }
+}

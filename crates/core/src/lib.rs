@@ -20,33 +20,41 @@
 //! # Examples
 //!
 //! ```
-//! use flux_core::{migrate, pair, FluxWorld};
+//! use flux_core::{migrate, pair, WorldBuilder};
 //! use flux_device::DeviceProfile;
 //! use flux_workloads::spec;
 //!
-//! let mut world = FluxWorld::new(42);
-//! let phone = world.add_device("phone", DeviceProfile::nexus4()).unwrap();
-//! let tablet = world.add_device("tablet", DeviceProfile::nexus7_2013()).unwrap();
-//!
 //! let app = spec("WhatsApp").unwrap();
-//! world.deploy(phone, &app).unwrap();
+//! let (mut world, ids) = WorldBuilder::new()
+//!     .seed(42)
+//!     .device("phone", DeviceProfile::nexus4())
+//!     .device("tablet", DeviceProfile::nexus7_2013())
+//!     .app(0, app.clone())
+//!     .pair(0, 1)
+//!     .build()
+//!     .unwrap();
+//! let (phone, tablet) = (ids[0], ids[1]);
 //! world.run_script(phone, &app.package.clone(), &app.actions.clone()).unwrap();
 //!
-//! pair(&mut world, phone, tablet).unwrap();
 //! let report = migrate(&mut world, phone, tablet, &app.package).unwrap();
 //! assert!(report.stages.total().as_secs_f64() > 0.0);
 //! ```
 
+pub mod builder;
 pub mod cria;
+pub mod errors;
 pub mod migration;
 pub mod pairing;
 pub mod record;
 pub mod replay;
 pub mod world;
 
+pub use builder::WorldBuilder;
 pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
+pub use errors::FluxError;
 pub use migration::{
-    broadcast_connectivity, migrate, MigrationError, MigrationReport, StageTimes, TransferLedger,
+    broadcast_connectivity, migrate, migrate_with, MigrationError, MigrationReport, MigrationStage,
+    RetryPolicy, StageTimes, TransferLedger, KERNEL_STALL_WATCHDOG,
 };
 pub use pairing::{pair, verify_app, PairingReport};
 pub use record::{CallLog, CallRecord, RecordOutcome, RecordStore};

@@ -1,4 +1,5 @@
-//! The five-stage migration pipeline (§3.1, Figures 3–4).
+//! The five-stage migration pipeline (§3.1, Figures 3–4), with fault
+//! injection, retry and transactional rollback.
 //!
 //! A migration runs **preparation → checkpoint → transfer → restore →
 //! reintegration**, the exact stage split of Figure 13. Every stage charges
@@ -10,23 +11,71 @@
 //! [`MigrationError`], matching §3.3–3.4: multi-process apps, preserved EGL
 //! contexts, in-flight ContentProvider interactions, open common SD-card
 //! files, incompatible API levels and non-system Binder connections.
+//!
+//! When the world carries a non-empty
+//! [`FaultPlan`](flux_simcore::FaultPlan), stages can *fail* rather than
+//! merely cost time: link drops abort the chunked image transfer mid-way,
+//! and kernel stalls past [`KERNEL_STALL_WATCHDOG`] abort a checkpoint or
+//! restore. Failed stages are retried under a [`RetryPolicy`] with
+//! exponential backoff charged to virtual time, resuming from delivered
+//! state — chunks acknowledged by the guest are never re-sent. If the
+//! retry budget runs out (or an unrecoverable error occurs mid-flight),
+//! the migration **rolls back**: partial guest state — the wrapper
+//! process, staged image chunks, injected Binder references — is torn
+//! down, and the home-side app returns to the foreground, verified by
+//! invariant checks. A migration therefore either fully completes or
+//! leaves the world as if it had never started (plus the time it wasted).
 
 use crate::cria::{FluxImage, ReinitSpec};
+use crate::errors::FluxError;
 use crate::pairing::verify_app;
 use crate::record::CallLog;
 use crate::replay::{replay_log, ReplayStats};
-use crate::world::{DeviceId, FluxWorld, WorldError};
+use crate::world::{fnv, DeviceId, FluxWorld, WorldError};
 use flux_appfw::{conditional_reinit, egl_unload, handle_trim_memory, move_to_background, App};
+use flux_device::DeviceProfile;
 use flux_kernel::criu;
 use flux_kernel::{FdKind, RestoreOptions, VmaKind};
+use flux_net::{ChunkedOutcome, DEFAULT_CHUNK};
 use flux_services::svc::activity::ActivityManagerService;
 use flux_services::svc::connectivity::ConnectivityManagerService;
 use flux_services::svc::package::PackageManagerService;
 use flux_services::{Intent, ACTION_CONNECTIVITY_CHANGE};
-use flux_simcore::{ByteSize, SimDuration};
+use flux_simcore::{ByteSize, CostModel, FaultPlan, SimDuration, TraceKind};
 use flux_workloads::AppSpec;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// A kernel stall at least this long trips the checkpoint/restore watchdog
+/// and aborts the stage (shorter stalls only add latency).
+pub const KERNEL_STALL_WATCHDOG: SimDuration = SimDuration::from_millis(800);
+
+/// The five pipeline stages, for failure reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationStage {
+    /// Backgrounding + trim-memory + `eglUnload` on the home device.
+    Preparation,
+    /// CRIU dump + compression on the home device.
+    Checkpoint,
+    /// Verification sync + chunked radio transfer.
+    Transfer,
+    /// Decompression + CRIU restore on the guest device.
+    Restore,
+    /// Adaptive Replay + connectivity + re-layout on the guest device.
+    Reintegration,
+}
+
+impl fmt::Display for MigrationStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationStage::Preparation => write!(f, "preparation"),
+            MigrationStage::Checkpoint => write!(f, "checkpoint"),
+            MigrationStage::Transfer => write!(f, "transfer"),
+            MigrationStage::Restore => write!(f, "restore"),
+            MigrationStage::Reintegration => write!(f, "reintegration"),
+        }
+    }
+}
 
 /// Why a migration was refused or failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +111,22 @@ pub enum MigrationError {
         /// Description of the offending connection.
         description: String,
     },
+    /// Injected faults exhausted the retry budget; the migration was
+    /// rolled back and the app runs on the home device again.
+    FaultAborted {
+        /// The stage that kept failing.
+        stage: MigrationStage,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Human-readable description of the last fault.
+        detail: String,
+    },
+    /// Rollback could not restore the home-side invariants — the one
+    /// failure mode that is not transparent to the user.
+    RollbackFailed {
+        /// What went wrong.
+        reason: String,
+    },
     /// A lower-level failure.
     Internal(String),
 }
@@ -92,6 +157,19 @@ impl fmt::Display for MigrationError {
             MigrationError::NonSystemBinder { description } => {
                 write!(f, "non-system binder connection: {description}")
             }
+            MigrationError::FaultAborted {
+                stage,
+                attempts,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "migration aborted at {stage} after {attempts} attempt(s), rolled back: {detail}"
+                )
+            }
+            MigrationError::RollbackFailed { reason } => {
+                write!(f, "rollback failed: {reason}")
+            }
             MigrationError::Internal(m) => write!(f, "migration failed: {m}"),
         }
     }
@@ -102,6 +180,45 @@ impl std::error::Error for MigrationError {}
 impl From<WorldError> for MigrationError {
     fn from(e: WorldError) -> Self {
         MigrationError::Internal(e.to_string())
+    }
+}
+
+/// How often and how patiently failed stages are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 means fail fast.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub backoff_base: SimDuration,
+    /// Upper bound on a single backoff.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base: SimDuration::from_millis(200),
+            backoff_cap: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: the first fault aborts the migration.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Exponential backoff charged after the `failed_attempts`-th failure
+    /// (1-based): `base * 2^(failed_attempts - 1)`, capped.
+    pub fn backoff_after(&self, failed_attempts: u32) -> SimDuration {
+        let exp = failed_attempts.saturating_sub(1).min(20);
+        let ns = self.backoff_base.as_nanos().saturating_mul(1u64 << exp);
+        SimDuration::from_nanos(ns.min(self.backoff_cap.as_nanos()))
     }
 }
 
@@ -121,7 +238,9 @@ pub struct StageTimes {
 }
 
 impl StageTimes {
-    /// Total migration time (Figure 12).
+    /// Total migration time (Figure 12). Excludes retry backoff, which
+    /// [`MigrationReport::backoff`] reports separately so the accounting
+    /// balances: wall time = stage total + backoff.
     pub fn total(&self) -> SimDuration {
         self.preparation + self.checkpoint + self.transfer + self.restore + self.reintegration
     }
@@ -167,7 +286,7 @@ pub struct MigrationReport {
     pub from: String,
     /// Guest device name.
     pub to: String,
-    /// Per-stage times.
+    /// Per-stage times, accumulated across attempts.
     pub stages: StageTimes,
     /// Byte accounting.
     pub ledger: TransferLedger,
@@ -178,6 +297,12 @@ pub struct MigrationReport {
     pub dropped_connections: Vec<String>,
     /// Views redrawn during conditional re-initialisation.
     pub redrawn_views: usize,
+    /// Attempts made (1 when no fault struck).
+    pub attempts: u32,
+    /// Fault events that hit this migration.
+    pub faults: u32,
+    /// Retry backoff charged to virtual time, outside the stage times.
+    pub backoff: SimDuration,
 }
 
 /// Pre-flight checks: everything §3.3–3.4 says makes an app unmigratable.
@@ -246,221 +371,426 @@ fn preflight(
     Ok(())
 }
 
-/// Migrates `package` from `home` to `guest`.
+/// Immutable facts about the migration, gathered once up front.
+struct MigCtx {
+    home: DeviceId,
+    guest: DeviceId,
+    package: String,
+    home_name: String,
+    guest_name: String,
+    home_profile: DeviceProfile,
+    guest_profile: DeviceProfile,
+    home_cost: CostModel,
+    guest_cost: CostModel,
+    spec: AppSpec,
+    /// Where partially transferred image chunks are staged on the guest.
+    staged_path: String,
+}
+
+/// Mutable progress carried across attempts: completed stages are not
+/// redone, delivered chunks are not re-sent.
+#[derive(Default)]
+struct Progress {
+    prep_done: bool,
+    image: Option<FluxImage>,
+    delivered_chunks: usize,
+    transfer_done: bool,
+    data_delta: ByteSize,
+    restore_done: bool,
+    dropped_connections: Vec<String>,
+    guest_inserted: bool,
+    times: StageTimes,
+    attempts: u32,
+    faults: u32,
+    backoff: SimDuration,
+}
+
+/// How one attempt's stage failed.
+enum StageFailure {
+    /// An injected fault; the stage can be retried.
+    Fault {
+        stage: MigrationStage,
+        detail: String,
+    },
+    /// An unrecoverable error; roll back and surface it.
+    Fatal(FluxError),
+}
+
+impl From<FluxError> for StageFailure {
+    fn from(e: FluxError) -> Self {
+        StageFailure::Fatal(e)
+    }
+}
+
+impl From<WorldError> for StageFailure {
+    fn from(e: WorldError) -> Self {
+        StageFailure::Fatal(e.into())
+    }
+}
+
+impl From<MigrationError> for StageFailure {
+    fn from(e: MigrationError) -> Self {
+        StageFailure::Fatal(e.into())
+    }
+}
+
+/// Migrates `package` from `home` to `guest` under the default
+/// [`RetryPolicy`].
 ///
 /// In the UI this is the two-finger vertical swipe of Figure 1; here it is
 /// the full §3.1 life cycle. On success the app is gone from the home
 /// device (its icon remains conceptually; the spec stays installed) and
 /// runs on the guest with the same PID, Binder handles, notifications,
-/// alarms and sensor channels it had at home.
+/// alarms and sensor channels it had at home. On failure the world rolls
+/// back to the pre-migration state and the error says why.
 pub fn migrate(
     world: &mut FluxWorld,
     home: DeviceId,
     guest: DeviceId,
     package: &str,
-) -> Result<MigrationReport, MigrationError> {
+) -> Result<MigrationReport, FluxError> {
+    migrate_with(world, home, guest, package, &RetryPolicy::default())
+}
+
+/// [`migrate`] with an explicit retry policy.
+pub fn migrate_with(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+    policy: &RetryPolicy,
+) -> Result<MigrationReport, FluxError> {
     preflight(world, home, guest, package)?;
 
-    let home_name = world.device(home)?.name.clone();
-    let guest_name = world.device(guest)?.name.clone();
-    let home_profile = world.device(home)?.profile.clone();
-    let guest_profile = world.device(guest)?.profile.clone();
-    let home_cost = world.device(home)?.cost.clone();
-    let guest_cost = world.device(guest)?.cost.clone();
-    let spec: AppSpec = world
-        .device(home)?
-        .specs
-        .get(package)
-        .cloned()
-        .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+    let pairing_root = world
+        .device(guest)?
+        .pairings
+        .get(&home.0)
+        .map(|p| p.root.clone())
+        .ok_or(MigrationError::NotPaired)?;
+    let ctx = MigCtx {
+        home,
+        guest,
+        package: package.to_owned(),
+        home_name: world.device(home)?.name.clone(),
+        guest_name: world.device(guest)?.name.clone(),
+        home_profile: world.device(home)?.profile.clone(),
+        guest_profile: world.device(guest)?.profile.clone(),
+        home_cost: world.device(home)?.cost.clone(),
+        guest_cost: world.device(guest)?.cost.clone(),
+        spec: world
+            .device(home)?
+            .specs
+            .get(package)
+            .cloned()
+            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?,
+        staged_path: format!("{pairing_root}/.migrate/{package}.image"),
+    };
+    let plan = world.fault_plan.clone();
+    let mut prog = Progress::default();
+
+    loop {
+        prog.attempts += 1;
+        match run_attempt(world, &ctx, &plan, &mut prog) {
+            Ok((replay, redrawn)) => return finalise(world, &ctx, prog, replay, redrawn),
+            Err(StageFailure::Fatal(e)) => {
+                rollback(world, &ctx, &mut prog)?;
+                return Err(e);
+            }
+            Err(StageFailure::Fault { stage, detail }) => {
+                prog.faults += 1;
+                let now = world.clock.now();
+                world.trace.emit_kind(
+                    now,
+                    TraceKind::Fault,
+                    "migration.fault",
+                    format!("{stage}: {detail}"),
+                );
+                if prog.attempts >= policy.max_attempts {
+                    let attempts = prog.attempts;
+                    rollback(world, &ctx, &mut prog)?;
+                    return Err(MigrationError::FaultAborted {
+                        stage,
+                        attempts,
+                        detail,
+                    }
+                    .into());
+                }
+                let backoff = policy.backoff_after(prog.attempts);
+                world.clock.charge(backoff);
+                prog.backoff += backoff;
+                world.trace.emit_kind(
+                    world.clock.now(),
+                    TraceKind::Retry,
+                    "migration.retry",
+                    format!(
+                        "attempt {} of {} resumes at {stage} after {backoff} backoff",
+                        prog.attempts + 1,
+                        policy.max_attempts
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Runs one attempt, resuming from the first incomplete stage. Returns the
+/// reintegration outputs on success.
+fn run_attempt(
+    world: &mut FluxWorld,
+    ctx: &MigCtx,
+    plan: &FaultPlan,
+    prog: &mut Progress,
+) -> Result<(ReplayStats, usize), StageFailure> {
+    let package = ctx.package.as_str();
 
     // ---- Stage 1: preparation (home device) -----------------------------
-    let t0 = world.clock.now();
-    {
-        let now = world.clock.now();
-        let dev = world.device_mut(home)?;
-        let mut app = dev
-            .apps
-            .remove(package)
-            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
-        let prep = (|| -> Result<(), MigrationError> {
-            move_to_background(&mut app, &mut dev.kernel, &mut dev.host, now)
-                .map_err(|e| MigrationError::Internal(e.to_string()))?;
-            let stats = handle_trim_memory(&mut app, &mut dev.kernel, &mut dev.host, now)
-                .map_err(|e| MigrationError::Internal(e.to_string()))?;
-            egl_unload(&mut app, &mut dev.kernel)
-                .map_err(|_| MigrationError::PreservedEglContext)?;
-            let _ = stats;
-            Ok(())
-        })();
-        dev.apps.insert(package.to_owned(), app);
-        prep?;
-        // The unoptimised prototype waits for the task idler (§4).
-        let idle = dev.cost.background_idle_latency;
-        let teardown = SimDuration::from_nanos(
-            dev.cost.gl_teardown_ns_per_resource * (spec.gl_contexts as u64 + 2),
-        );
-        let binder = dev.cost.binder_transaction * 4;
-        world.clock.charge(idle + teardown + binder);
+    if !prog.prep_done {
+        let t0 = world.clock.now();
+        {
+            let now = world.clock.now();
+            let dev = world.device_mut(ctx.home)?;
+            let mut app = dev
+                .apps
+                .remove(package)
+                .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+            let prep = (|| -> Result<(), MigrationError> {
+                move_to_background(&mut app, &mut dev.kernel, &mut dev.host, now)
+                    .map_err(|e| MigrationError::Internal(e.to_string()))?;
+                let stats = handle_trim_memory(&mut app, &mut dev.kernel, &mut dev.host, now)
+                    .map_err(|e| MigrationError::Internal(e.to_string()))?;
+                egl_unload(&mut app, &mut dev.kernel)
+                    .map_err(|_| MigrationError::PreservedEglContext)?;
+                let _ = stats;
+                Ok(())
+            })();
+            dev.apps.insert(package.to_owned(), app);
+            prep?;
+            // The unoptimised prototype waits for the task idler (§4).
+            let idle = dev.cost.background_idle_latency;
+            let teardown = SimDuration::from_nanos(
+                dev.cost.gl_teardown_ns_per_resource * (ctx.spec.gl_contexts as u64 + 2),
+            );
+            let binder = dev.cost.binder_transaction * 4;
+            world.clock.charge(idle + teardown + binder);
+        }
+        prog.times.preparation += world.clock.now() - t0;
+        prog.prep_done = true;
     }
-    let preparation = world.clock.now() - t0;
 
     // ---- Stage 2: checkpoint (home device) ------------------------------
-    let t1 = world.clock.now();
-    let image = {
-        let now = world.clock.now();
-        let dev = world.device_mut(home)?;
-        let app = dev
-            .apps
-            .get(package)
-            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
-        let uid = app.uid;
-        let main_pid = app.main_pid;
-        let process = criu::checkpoint(&dev.kernel, main_pid, now)
-            .map_err(|e| MigrationError::Internal(e.to_string()))?;
-        let log: CallLog = dev.records.take(uid);
-        FluxImage {
-            package: package.to_owned(),
-            home_device: home_name.clone(),
-            home_profile: home_profile.clone(),
-            reinit: ReinitSpec {
-                textures: ByteSize::from_mib_f64(spec.textures_mib),
-                gl_contexts: spec.gl_contexts,
-                views: spec.views,
-                heap: ByteSize::from_mib_f64(spec.heap_mib),
-            },
-            process,
-            log,
-        }
-    };
-    {
+    if prog.image.is_none() {
+        let t1 = world.clock.now();
+        let image = {
+            let now = world.clock.now();
+            let dev = world.device_mut(ctx.home)?;
+            let app = dev
+                .apps
+                .get(package)
+                .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+            let uid = app.uid;
+            let main_pid = app.main_pid;
+            let process = criu::checkpoint(&dev.kernel, main_pid, now)
+                .map_err(|e| MigrationError::Internal(e.to_string()))?;
+            // The log is *cloned* here and only removed from the home
+            // device at finalise, so rollback leaves it untouched.
+            let log: CallLog = dev.records.log(uid).cloned().unwrap_or_default();
+            FluxImage {
+                package: package.to_owned(),
+                home_device: ctx.home_name.clone(),
+                home_profile: ctx.home_profile.clone(),
+                reinit: ReinitSpec {
+                    textures: ByteSize::from_mib_f64(ctx.spec.textures_mib),
+                    gl_contexts: ctx.spec.gl_contexts,
+                    views: ctx.spec.views,
+                    heap: ByteSize::from_mib_f64(ctx.spec.heap_mib),
+                },
+                process,
+                log,
+            }
+        };
         let raw = image.raw_bytes();
         let objects = image.process.object_count();
-        world
-            .clock
-            .charge(home_cost.checkpoint_time(raw, objects) + home_cost.compress_time(raw));
+        let cost = ctx.home_cost.checkpoint_time(raw, objects) + ctx.home_cost.compress_time(raw);
+        if let Some(fail) = charge_with_stalls(world, plan, cost, MigrationStage::Checkpoint, prog)
+        {
+            prog.times.checkpoint += world.clock.now() - t1;
+            return Err(fail);
+        }
+        prog.image = Some(image);
+        prog.times.checkpoint += world.clock.now() - t1;
     }
-    let checkpoint = world.clock.now() - t1;
 
     // ---- Stage 3: transfer ----------------------------------------------
-    let t2 = world.clock.now();
-    let verify = verify_app(world, home, guest, package)?;
-    let ledger = TransferLedger {
-        image_raw: image.raw_bytes(),
-        image_compressed: image.compressed_bytes(),
-        log_compressed: image.compressed_log_bytes(),
-        data_delta: verify.bytes_shipped,
-    };
-    let radio = world
-        .net
-        .transfer(ledger.total(), &home_profile.wifi, &guest_profile.wifi);
-    world.clock.charge(radio.duration);
-    let transfer = world.clock.now() - t2;
+    if !prog.transfer_done {
+        let t2 = world.clock.now();
+        // The verification sync is naturally resumable: files delivered by
+        // an earlier attempt classify as up-to-date and ship zero bytes.
+        let verify = verify_app(world, ctx.home, ctx.guest, package)?;
+        prog.data_delta += verify.bytes_shipped;
+        let ledger = ledger_of(prog);
+        let now = world.clock.now();
+        let radio = world.net.transfer_chunked(
+            now,
+            ledger.total(),
+            DEFAULT_CHUNK,
+            &ctx.home_profile.wifi,
+            &ctx.guest_profile.wifi,
+            prog.delivered_chunks,
+            plan,
+        );
+        world.clock.charge(radio.duration);
+        prog.delivered_chunks = radio.delivered_chunks;
+        if radio.congested_chunks > 0 {
+            prog.faults += 1;
+            world.trace.emit_kind(
+                world.clock.now(),
+                TraceKind::Fault,
+                "net.fault",
+                format!(
+                    "congestion slowed {} of {} chunks",
+                    radio.congested_chunks, radio.total_chunks
+                ),
+            );
+        }
+        // Stage what the guest acknowledged so a retry resumes instead of
+        // starting over.
+        stage_chunks(world, ctx, prog)?;
+        prog.times.transfer += world.clock.now() - t2;
+        match radio.outcome {
+            ChunkedOutcome::Complete => prog.transfer_done = true,
+            ChunkedOutcome::LinkDropped { at } => {
+                return Err(StageFailure::Fault {
+                    stage: MigrationStage::Transfer,
+                    detail: format!(
+                        "link dropped at {at} with {}/{} chunks delivered",
+                        radio.delivered_chunks, radio.total_chunks
+                    ),
+                });
+            }
+        }
+    }
 
     // ---- Stage 4: restore (guest device) --------------------------------
-    let t3 = world.clock.now();
-    let (restored, guest_uid) = {
-        let dev = world.device_mut(guest)?;
-        let pairing_root = dev
-            .pairings
-            .get(&home.0)
-            .map(|p| p.root.clone())
-            .ok_or(MigrationError::NotPaired)?;
-        let guest_uid = dev
-            .host
-            .service::<PackageManagerService>("package")
-            .and_then(|pm| pm.package(package).map(|r| r.uid))
-            .ok_or(MigrationError::NotPaired)?;
-        let ns = dev.kernel.namespaces.create();
-        let restored = criu::restore(
-            &mut dev.kernel,
-            &image.process,
-            &RestoreOptions {
-                namespace: ns,
-                uid: guest_uid,
-                jail_root: pairing_root,
-            },
-        )
-        .map_err(|e| MigrationError::Internal(e.to_string()))?;
-        (restored, guest_uid)
-    };
-    {
-        let raw = image.raw_bytes();
-        world.clock.charge(
-            guest_cost.decompress_time(image.compressed_bytes())
-                + guest_cost.restore_time(raw, image.process.object_count()),
-        );
-    }
-
-    // Rebuild the app-side framework object around the restored process.
-    {
-        let dev = world.device_mut(guest)?;
-        let heap_vma = dev.kernel.process(restored.real_pid).ok().and_then(|p| {
-            p.mem
-                .vmas()
-                .iter()
-                .filter(|v| matches!(v.kind, VmaKind::Anon))
-                .max_by_key(|v| v.len.as_u64())
-                .map(|v| v.id)
-        });
-        let app = App {
-            package: package.to_owned(),
-            uid: guest_uid,
-            main_pid: restored.real_pid,
-            extra_pids: Vec::new(),
-            activities: vec![flux_appfw::Activity {
-                name: ".MainActivity".into(),
-                state: flux_appfw::ActivityState::Stopped,
-                window_token: format!("{package}/.MainActivity"),
-            }],
-            view_root: {
-                let mut vr = flux_appfw::ViewRoot::build(
-                    image.reinit.views,
-                    (home_profile.screen.width, home_profile.screen.height),
-                );
-                vr.terminate_hardware_resources();
-                vr.invalidate_all();
-                vr
-            },
-            gl: flux_appfw::GlState::default(),
-            dalvik: flux_appfw::Dalvik {
-                heap_vma,
-                heap_size: image.reinit.heap,
-                code_cache_vma: None,
-            },
-            handles: BTreeMap::new(),
-            inbox: Vec::new(),
-            data_dir: format!("/data/data/{package}"),
-            min_api: spec.min_api,
-            in_content_provider_call: false,
+    let image = prog.image.as_ref().expect("checkpoint completed").clone();
+    if !prog.restore_done {
+        let t3 = world.clock.now();
+        let (restored, guest_uid) = {
+            let dev = world.device_mut(ctx.guest)?;
+            let pairing_root = dev
+                .pairings
+                .get(&ctx.home.0)
+                .map(|p| p.root.clone())
+                .ok_or(MigrationError::NotPaired)?;
+            let guest_uid = dev
+                .host
+                .service::<PackageManagerService>("package")
+                .and_then(|pm| pm.package(package).map(|r| r.uid))
+                .ok_or(MigrationError::NotPaired)?;
+            let ns = dev.kernel.namespaces.create();
+            let restored = criu::restore(
+                &mut dev.kernel,
+                &image.process,
+                &RestoreOptions {
+                    namespace: ns,
+                    uid: guest_uid,
+                    jail_root: pairing_root,
+                },
+            )
+            .map_err(|e| MigrationError::Internal(e.to_string()))?;
+            (restored, guest_uid)
         };
-        dev.apps.insert(package.to_owned(), app);
+
+        // Rebuild the app-side framework object around the restored process.
+        {
+            let dev = world.device_mut(ctx.guest)?;
+            let heap_vma = dev.kernel.process(restored.real_pid).ok().and_then(|p| {
+                p.mem
+                    .vmas()
+                    .iter()
+                    .filter(|v| matches!(v.kind, VmaKind::Anon))
+                    .max_by_key(|v| v.len.as_u64())
+                    .map(|v| v.id)
+            });
+            let app = App {
+                package: package.to_owned(),
+                uid: guest_uid,
+                main_pid: restored.real_pid,
+                extra_pids: Vec::new(),
+                activities: vec![flux_appfw::Activity {
+                    name: ".MainActivity".into(),
+                    state: flux_appfw::ActivityState::Stopped,
+                    window_token: format!("{package}/.MainActivity"),
+                }],
+                view_root: {
+                    let mut vr = flux_appfw::ViewRoot::build(
+                        image.reinit.views,
+                        (
+                            ctx.home_profile.screen.width,
+                            ctx.home_profile.screen.height,
+                        ),
+                    );
+                    vr.terminate_hardware_resources();
+                    vr.invalidate_all();
+                    vr
+                },
+                gl: flux_appfw::GlState::default(),
+                dalvik: flux_appfw::Dalvik {
+                    heap_vma,
+                    heap_size: image.reinit.heap,
+                    code_cache_vma: None,
+                },
+                handles: BTreeMap::new(),
+                inbox: Vec::new(),
+                data_dir: format!("/data/data/{package}"),
+                min_api: ctx.spec.min_api,
+                in_content_provider_call: false,
+            };
+            dev.apps.insert(package.to_owned(), app);
+        }
+        prog.guest_inserted = true;
+        prog.dropped_connections = restored.dropped_connections.clone();
+
+        let raw = image.raw_bytes();
+        let cost = ctx.guest_cost.decompress_time(image.compressed_bytes())
+            + ctx
+                .guest_cost
+                .restore_time(raw, image.process.object_count());
+        if let Some(fail) = charge_with_stalls(world, plan, cost, MigrationStage::Restore, prog) {
+            // The watchdog killed the half-restored wrapper: tear the
+            // partial guest state down before the retry re-restores it.
+            teardown_guest(world, ctx, prog, false)?;
+            prog.times.restore += world.clock.now() - t3;
+            return Err(fail);
+        }
+        // The staged chunks have been consumed into the restored process.
+        remove_staged_chunks(world, ctx)?;
+        prog.restore_done = true;
+        prog.times.restore += world.clock.now() - t3;
     }
-    let restore_time = world.clock.now() - t3;
 
     // ---- Stage 5: reintegration (guest device) --------------------------
     let t4 = world.clock.now();
     let replay = replay_log(
         world,
-        guest,
+        ctx.guest,
         package,
         &image.log,
         image.process.checkpoint_time,
-        &home_profile,
-    )
-    .map_err(MigrationError::from)?;
+        &ctx.home_profile,
+    )?;
     world
         .clock
-        .charge(guest_cost.replay_time(image.log.len() as u64));
+        .charge(ctx.guest_cost.replay_time(image.log.len() as u64));
 
     // Connectivity interruption: lost, then regained on the guest (§3.1).
-    broadcast_connectivity(world, guest, false)?;
-    broadcast_connectivity(world, guest, true)?;
+    broadcast_connectivity(world, ctx.guest, false)?;
+    broadcast_connectivity(world, ctx.guest, true)?;
 
     // Conditional re-initialisation at the guest's resolution.
     let redrawn = {
         let now = world.clock.now();
-        let dev = world.device_mut(guest)?;
+        let dev = world.device_mut(ctx.guest)?;
         let vendor = dev.profile.gpu.vendor_lib.clone();
         let mut app = dev
             .apps
@@ -480,17 +810,236 @@ pub fn migrate(
         redrawn
     };
     world.clock.charge(SimDuration::from_nanos(
-        guest_cost.view_reinit_ns_per_view * redrawn as u64,
+        ctx.guest_cost.view_reinit_ns_per_view * redrawn as u64,
     ));
-    let reintegration = world.clock.now() - t4;
+    prog.times.reintegration += world.clock.now() - t4;
+    Ok((replay, redrawn))
+}
 
-    // ---- Finalise: the app has left the home device ----------------------
+/// Charges `cost` to the clock, plus any kernel stalls scheduled inside
+/// the charge window. Returns a stage failure if a stall trips the
+/// watchdog.
+fn charge_with_stalls(
+    world: &mut FluxWorld,
+    plan: &FaultPlan,
+    cost: SimDuration,
+    stage: MigrationStage,
+    prog: &mut Progress,
+) -> Option<StageFailure> {
+    let start = world.clock.now();
+    world.clock.charge(cost);
+    let stalls: Vec<_> = plan.stalls_in(start, start + cost).cloned().collect();
+    let mut abort: Option<SimDuration> = None;
+    for stall in &stalls {
+        world.clock.charge(stall.duration);
+        prog.faults += 1;
+        world.trace.emit_kind(
+            world.clock.now(),
+            TraceKind::Fault,
+            "kernel.fault",
+            format!("stall of {} during {stage}", stall.duration),
+        );
+        if stall.duration >= KERNEL_STALL_WATCHDOG && abort.is_none() {
+            abort = Some(stall.duration);
+        }
+    }
+    abort.map(|d| StageFailure::Fault {
+        stage,
+        detail: format!(
+            "kernel stall of {d} tripped the {} watchdog",
+            KERNEL_STALL_WATCHDOG
+        ),
+    })
+}
+
+/// The byte ledger as currently known (image fixed at checkpoint, data
+/// delta accumulated across verification syncs).
+fn ledger_of(prog: &Progress) -> TransferLedger {
+    let image = prog.image.as_ref().expect("ledger needs a checkpoint");
+    TransferLedger {
+        image_raw: image.raw_bytes(),
+        image_compressed: image.compressed_bytes(),
+        log_compressed: image.compressed_log_bytes(),
+        data_delta: prog.data_delta,
+    }
+}
+
+/// Records the acknowledged chunk prefix in the guest's staging area.
+fn stage_chunks(world: &mut FluxWorld, ctx: &MigCtx, prog: &Progress) -> Result<(), WorldError> {
+    let total = ledger_of(prog).total().as_u64();
+    let staged = (prog.delivered_chunks as u64 * DEFAULT_CHUNK.as_u64()).min(total);
+    let dev = world.device_mut(ctx.guest)?;
+    if staged == 0 {
+        return Ok(());
+    }
+    dev.fs.write(
+        &ctx.staged_path,
+        flux_fs::Content::new(
+            ByteSize::from_bytes(staged),
+            fnv(&format!("{}-image-{staged}", ctx.package)),
+        ),
+    );
+    Ok(())
+}
+
+/// Removes the staged chunk file (consumed by restore, or torn down).
+fn remove_staged_chunks(world: &mut FluxWorld, ctx: &MigCtx) -> Result<(), WorldError> {
+    let dev = world.device_mut(ctx.guest)?;
+    let _ = dev.fs.remove(&ctx.staged_path);
+    Ok(())
+}
+
+/// Tears down partial guest state: the restored wrapper process (and with
+/// it the injected Binder references), the service-side state it may have
+/// accumulated, and — unless `keep_chunks` — the staged image chunks.
+fn teardown_guest(
+    world: &mut FluxWorld,
+    ctx: &MigCtx,
+    prog: &mut Progress,
+    keep_chunks: bool,
+) -> Result<(), WorldError> {
+    let now = world.clock.now();
+    let dev = world.device_mut(ctx.guest)?;
+    if prog.guest_inserted {
+        if let Some(app) = dev.apps.remove(&ctx.package) {
+            let uid = app.uid;
+            let _ = dev.kernel.kill(app.main_pid);
+            let kernel = &mut dev.kernel;
+            dev.host.notify_uid_death(kernel, now, uid);
+        }
+        prog.guest_inserted = false;
+    }
+    if !keep_chunks {
+        let _ = dev.fs.remove(&ctx.staged_path);
+        prog.delivered_chunks = 0;
+    }
+    Ok(())
+}
+
+/// Rolls the world back to its pre-migration state: guest partial state is
+/// torn down and the home-side app returns to the foreground. Invariant
+/// checks verify the outcome; their failure is the only error.
+fn rollback(world: &mut FluxWorld, ctx: &MigCtx, prog: &mut Progress) -> Result<(), FluxError> {
+    let package = ctx.package.as_str();
+    world.trace.emit_kind(
+        world.clock.now(),
+        TraceKind::Rollback,
+        "migration.rollback",
+        format!(
+            "{package}: tearing down guest state, resuming on {}",
+            ctx.home_name
+        ),
+    );
+
+    teardown_guest(world, ctx, prog, false).map_err(|e| MigrationError::RollbackFailed {
+        reason: e.to_string(),
+    })?;
+
+    // Resume the home-side app to the foreground (the record log was never
+    // removed, so nothing needs to be reinstated there).
+    if prog.prep_done {
+        let now = world.clock.now();
+        let redrawn = {
+            let dev = world
+                .device_mut(ctx.home)
+                .map_err(|e| MigrationError::RollbackFailed {
+                    reason: e.to_string(),
+                })?;
+            let vendor = dev.profile.gpu.vendor_lib.clone();
+            let mut app =
+                dev.apps
+                    .remove(package)
+                    .ok_or_else(|| MigrationError::RollbackFailed {
+                        reason: format!("home app {package} vanished"),
+                    })?;
+            let redrawn = conditional_reinit(
+                &mut app,
+                &mut dev.kernel,
+                &mut dev.host,
+                now,
+                &vendor,
+                ByteSize::from_mib_f64(ctx.spec.textures_mib),
+                ctx.spec.gl_contexts,
+            )
+            .map_err(|e| MigrationError::RollbackFailed {
+                reason: e.to_string(),
+            });
+            dev.apps.insert(package.to_owned(), app);
+            redrawn?
+        };
+        world.clock.charge(SimDuration::from_nanos(
+            ctx.home_cost.view_reinit_ns_per_view * redrawn as u64,
+        ));
+    }
+
+    // Invariant checks: home app foregrounded and running, no guest residue.
+    let home_dev = world
+        .device(ctx.home)
+        .map_err(|e| MigrationError::RollbackFailed {
+            reason: e.to_string(),
+        })?;
+    let app = home_dev
+        .apps
+        .get(package)
+        .ok_or_else(|| MigrationError::RollbackFailed {
+            reason: "home app missing after rollback".into(),
+        })?;
+    if app.top_state() != Some(flux_appfw::ActivityState::Resumed) {
+        return Err(MigrationError::RollbackFailed {
+            reason: format!("home activity not resumed: {:?}", app.top_state()),
+        }
+        .into());
+    }
+    if home_dev.kernel.process(app.main_pid).is_err() {
+        return Err(MigrationError::RollbackFailed {
+            reason: "home process gone after rollback".into(),
+        }
+        .into());
+    }
+    let guest_dev = world
+        .device(ctx.guest)
+        .map_err(|e| MigrationError::RollbackFailed {
+            reason: e.to_string(),
+        })?;
+    if guest_dev.apps.contains_key(package) {
+        return Err(MigrationError::RollbackFailed {
+            reason: "guest still holds the app after rollback".into(),
+        }
+        .into());
+    }
+    if guest_dev.fs.exists(&ctx.staged_path) {
+        return Err(MigrationError::RollbackFailed {
+            reason: "staged chunks leaked on the guest".into(),
+        }
+        .into());
+    }
+    world.trace.emit_kind(
+        world.clock.now(),
+        TraceKind::Rollback,
+        "migration.rollback",
+        format!("{package}: home-side invariants verified"),
+    );
+    Ok(())
+}
+
+/// Success epilogue: the app has left the home device; build the report.
+fn finalise(
+    world: &mut FluxWorld,
+    ctx: &MigCtx,
+    prog: Progress,
+    replay: ReplayStats,
+    redrawn: usize,
+) -> Result<MigrationReport, FluxError> {
+    let package = ctx.package.as_str();
     {
         let now = world.clock.now();
-        let dev = world.device_mut(home)?;
+        let dev = world.device_mut(ctx.home)?;
         if let Some(app) = dev.apps.remove(package) {
             let uid = app.uid;
             let _ = dev.kernel.kill(app.main_pid);
+            // The record log leaves with the app (it was cloned into the
+            // image at checkpoint and replayed on the guest).
+            let _ = dev.records.take(uid);
             // Binder death notifications: services drop the app's state
             // (wakelocks released, alarms cancelled, notifications gone).
             let kernel = &mut dev.kernel;
@@ -498,31 +1047,31 @@ pub fn migrate(
         }
     }
 
-    let stages = StageTimes {
-        preparation,
-        checkpoint,
-        transfer,
-        restore: restore_time,
-        reintegration,
-    };
+    let ledger = ledger_of(&prog);
+    let stages = prog.times;
     world.trace.emit(
         world.clock.now(),
         "migration.complete",
         format!(
-            "{package}: {home_name} -> {guest_name} in {} ({} over the air)",
+            "{package}: {} -> {} in {} ({} over the air)",
+            ctx.home_name,
+            ctx.guest_name,
             stages.total(),
             ledger.total()
         ),
     );
     Ok(MigrationReport {
         package: package.to_owned(),
-        from: home_name,
-        to: guest_name,
+        from: ctx.home_name.clone(),
+        to: ctx.guest_name.clone(),
         stages,
         ledger,
         replay,
-        dropped_connections: restored.dropped_connections,
+        dropped_connections: prog.dropped_connections,
         redrawn_views: redrawn,
+        attempts: prog.attempts,
+        faults: prog.faults,
+        backoff: prog.backoff,
     })
 }
 
@@ -532,7 +1081,7 @@ pub fn broadcast_connectivity(
     world: &mut FluxWorld,
     device: DeviceId,
     connected: bool,
-) -> Result<(), MigrationError> {
+) -> Result<(), FluxError> {
     let now = world.clock.now();
     let dev = world.device_mut(device)?;
     if let Some(conn) = dev

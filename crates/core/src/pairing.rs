@@ -6,6 +6,7 @@
 //! `--link-dest`), then syncs and pseudo-installs each app's APK and data
 //! directory so a wrapper app exists for migration-in.
 
+use crate::errors::FluxError;
 use crate::world::{DeviceId, FluxWorld, Pairing, WorldError};
 use flux_fs::{sync, SyncOptions, SyncReport};
 use flux_services::svc::package::{PackageManagerService, PackageRecord};
@@ -40,7 +41,7 @@ pub fn pair(
     world: &mut FluxWorld,
     home: DeviceId,
     guest: DeviceId,
-) -> Result<PairingReport, WorldError> {
+) -> Result<PairingReport, FluxError> {
     let started = world.clock.now();
     let (home_name, home_system, home_apps, home_wifi) = {
         let h = world.device(home)?;
@@ -161,7 +162,7 @@ pub fn verify_app(
     home: DeviceId,
     guest: DeviceId,
     package: &str,
-) -> Result<SyncReport, WorldError> {
+) -> Result<SyncReport, FluxError> {
     let (home_fs, apk_path, data_dir) = {
         let h = world.device(home)?;
         let apk = h

@@ -11,6 +11,7 @@
 //! descriptors, and calls to absent hardware are network-forwarded or
 //! dropped per policy.
 
+use crate::errors::FluxError;
 use crate::record::{CallLog, CallRecord};
 use crate::world::{DeviceId, FluxWorld, WorldError};
 use flux_binder::{BinderError, ObjRef, Value};
@@ -49,7 +50,7 @@ pub fn replay_log(
     log: &CallLog,
     checkpoint_time: SimTime,
     home_profile: &DeviceProfile,
-) -> Result<ReplayStats, WorldError> {
+) -> Result<ReplayStats, FluxError> {
     let mut stats = ReplayStats::default();
     let guest_profile = world.device(guest)?.profile.clone();
     for entry in log.entries() {
@@ -101,7 +102,7 @@ fn apply_proxy(
     home: &DeviceProfile,
     guest_profile: &DeviceProfile,
     stats: &mut ReplayStats,
-) -> Result<(), WorldError> {
+) -> Result<(), FluxError> {
     let name = path.rsplit('.').next().unwrap_or(path);
     match name {
         // Figure 10: skip alarms that expired before the checkpoint; the
@@ -162,21 +163,25 @@ fn apply_proxy(
             let new_handle = match reply.object(0).map_err(BinderError::from)? {
                 ObjRef::Handle(h) => h,
                 other => {
-                    return Err(WorldError::Binder(BinderError::TransactionFailed {
-                        interface: entry.descriptor.clone(),
-                        method: entry.method.clone(),
-                        reason: format!("expected handle reply, got {other:?}"),
-                    }))
+                    return Err(FluxError::World(WorldError::Binder(
+                        BinderError::TransactionFailed {
+                            interface: entry.descriptor.clone(),
+                            method: entry.method.clone(),
+                            reason: format!("expected handle reply, got {other:?}"),
+                        },
+                    )))
                 }
             };
             let old_handle = match entry.reply.object(0).map_err(BinderError::from)? {
                 ObjRef::Handle(h) => h,
                 other => {
-                    return Err(WorldError::Binder(BinderError::TransactionFailed {
-                        interface: entry.descriptor.clone(),
-                        method: entry.method.clone(),
-                        reason: format!("recorded reply had no handle: {other:?}"),
-                    }))
+                    return Err(FluxError::World(WorldError::Binder(
+                        BinderError::TransactionFailed {
+                            interface: entry.descriptor.clone(),
+                            method: entry.method.clone(),
+                            reason: format!("recorded reply had no handle: {other:?}"),
+                        },
+                    )))
                 }
             };
             // Map the fresh connection onto the handle id the app held

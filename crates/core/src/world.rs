@@ -7,6 +7,7 @@
 //! position of Figure 5), and workload scripts drive those calls through
 //! [`FluxWorld::perform`].
 
+use crate::errors::FluxError;
 use crate::record::RecordStore;
 use flux_appfw::{launch, App, AppFootprint};
 use flux_binder::{BinderError, Parcel};
@@ -17,7 +18,7 @@ use flux_net::NetworkEnv;
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::package::PackageManagerService;
 use flux_services::{boot_android, Delivery, ServiceHost, ServicesConfig};
-use flux_simcore::{ByteSize, CostModel, SimClock, SimDuration, SimTime, Trace, Uid};
+use flux_simcore::{ByteSize, CostModel, FaultPlan, SimClock, SimDuration, SimTime, Trace, Uid};
 use flux_workloads::{Action, AppSpec};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -146,12 +147,21 @@ pub struct FluxWorld {
     /// models vanilla AOSP for the Figure 16 overhead comparison (apps
     /// then cannot migrate, since no log exists).
     pub recording: bool,
+    /// The fault schedule migrations and transfers consult. Empty by
+    /// default: fault injection is strictly opt-in and an empty plan is
+    /// byte-identical to a world that predates it.
+    pub fault_plan: FaultPlan,
     /// Devices in the world.
     pub devices: Vec<Device>,
 }
 
 impl FluxWorld {
     /// Creates a world on a campus WiFi network with the given RNG seed.
+    ///
+    /// Prefer [`WorldBuilder`](crate::WorldBuilder), which also boots
+    /// devices, deploys apps, pairs devices and installs a fault plan in
+    /// one declarative pass. This constructor remains as a shim.
+    #[deprecated(note = "use flux_core::WorldBuilder")]
     pub fn new(seed: u64) -> Self {
         Self {
             clock: SimClock::new(),
@@ -159,6 +169,7 @@ impl FluxWorld {
             trace: Trace::new(),
             policy: ReplayPolicy::default(),
             recording: true,
+            fault_plan: FaultPlan::none(),
             devices: Vec::new(),
         }
     }
@@ -168,7 +179,7 @@ impl FluxWorld {
         &mut self,
         name: &str,
         profile: DeviceProfile,
-    ) -> Result<DeviceId, WorldError> {
+    ) -> Result<DeviceId, FluxError> {
         let mut kernel = Kernel::new(&profile.kernel_version);
         let host = boot_android(&mut kernel, &Device::services_config(&profile))
             .map_err(WorldError::Boot)?;
@@ -203,7 +214,7 @@ impl FluxWorld {
     }
 
     /// Installs an app (APK on disk, data dir, PackageManager entry).
-    pub fn install_app(&mut self, id: DeviceId, spec: &AppSpec) -> Result<Uid, WorldError> {
+    pub fn install_app(&mut self, id: DeviceId, spec: &AppSpec) -> Result<Uid, FluxError> {
         let dev = self.device_mut(id)?;
         let apk_path = format!("/data/app/{}.apk", spec.package);
         let apk = ByteSize::from_mib_f64(spec.apk_mib);
@@ -233,7 +244,7 @@ impl FluxWorld {
     }
 
     /// Launches an installed app and runs no actions yet.
-    pub fn launch_app(&mut self, id: DeviceId, package: &str) -> Result<(), WorldError> {
+    pub fn launch_app(&mut self, id: DeviceId, package: &str) -> Result<(), FluxError> {
         let now = self.clock.now();
         let dev = self.device_mut(id)?;
         let spec = dev
@@ -281,7 +292,7 @@ impl FluxWorld {
     }
 
     /// Installs and launches in one step.
-    pub fn deploy(&mut self, id: DeviceId, spec: &AppSpec) -> Result<(), WorldError> {
+    pub fn deploy(&mut self, id: DeviceId, spec: &AppSpec) -> Result<(), FluxError> {
         self.install_app(id, spec)?;
         self.launch_app(id, &spec.package)
     }
@@ -297,7 +308,7 @@ impl FluxWorld {
         service: &str,
         method: &str,
         args: Parcel,
-    ) -> Result<Parcel, WorldError> {
+    ) -> Result<Parcel, FluxError> {
         let now = self.clock.now();
         let recording = self.recording;
         let dev = self.device_mut(id)?;
@@ -336,7 +347,7 @@ impl FluxWorld {
         &mut self,
         id: DeviceId,
         deliveries: Vec<Delivery>,
-    ) -> Result<(), WorldError> {
+    ) -> Result<(), FluxError> {
         let dev = self.device_mut(id)?;
         for d in deliveries {
             if let Some(app) = dev.apps.values_mut().find(|a| a.uid == d.to_uid) {
@@ -385,7 +396,7 @@ impl FluxWorld {
         id: DeviceId,
         package: &str,
         action: &Action,
-    ) -> Result<(), WorldError> {
+    ) -> Result<(), FluxError> {
         let pkg = package.to_owned();
         match action {
             Action::PostNotification {
@@ -638,7 +649,7 @@ impl FluxWorld {
         id: DeviceId,
         package: &str,
         actions: &[Action],
-    ) -> Result<(), WorldError> {
+    ) -> Result<(), FluxError> {
         for a in actions {
             self.perform(id, package, a)?;
         }

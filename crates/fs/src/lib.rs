@@ -12,4 +12,4 @@ pub mod fs;
 pub mod rsync;
 
 pub use fs::{Content, FileEntry, FsError, SimFs};
-pub use rsync::{sync, FileAction, SyncOptions, SyncReport};
+pub use rsync::{sync, sync_with_budget, FileAction, SyncOptions, SyncReport};

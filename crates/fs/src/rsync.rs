@@ -94,6 +94,27 @@ pub fn sync(
     opts: &SyncOptions,
     cost: &CostModel,
 ) -> Result<SyncReport, FsError> {
+    sync_with_budget(src, src_root, dst, dst_root, opts, cost, None).map(|(r, _)| r)
+}
+
+/// Like [`sync`], but stops once `budget` shipped bytes are exceeded,
+/// returning whether the run completed.
+///
+/// Files shipped before the cut-off stay written at the destination, so a
+/// later run over the same roots resumes where this one stopped: completed
+/// files classify as [`FileAction::UpToDate`] and are not re-sent. This is
+/// the filesystem half of Flux's resumable transfer — an interrupted sync
+/// never re-ships delivered data.
+#[allow(clippy::too_many_arguments)]
+pub fn sync_with_budget(
+    src: &SimFs,
+    src_root: &str,
+    dst: &mut SimFs,
+    dst_root: &str,
+    opts: &SyncOptions,
+    cost: &CostModel,
+    budget: Option<ByteSize>,
+) -> Result<(SyncReport, bool), FsError> {
     let mut report = SyncReport::default();
     // Collect up front: we mutate `dst` as we walk.
     let entries: Vec<(String, crate::fs::Content)> = src
@@ -102,6 +123,11 @@ pub fn sync(
         .collect();
 
     for (src_path, content) in entries {
+        if let Some(budget) = budget {
+            if report.bytes_shipped >= budget {
+                return Ok((report, false));
+            }
+        }
         let rel = src_path
             .strip_prefix(src_root)
             .expect("list() returned a path under src_root");
@@ -157,7 +183,7 @@ pub fn sync(
             }
         }
     }
-    Ok(report)
+    Ok((report, true))
 }
 
 fn decide(
@@ -303,6 +329,64 @@ mod tests {
         assert_eq!(r.files_full, 3);
         assert_eq!(r.files_delta, 1);
         assert!(r.bytes_shipped > ByteSize::ZERO);
+    }
+
+    #[test]
+    fn budgeted_sync_resumes_without_reshipping() {
+        let (home, mut guest) = fixture();
+        let opts = SyncOptions {
+            link_dest: None,
+            ..SyncOptions::default()
+        };
+        // A tiny budget interrupts the sync after the first shipped file.
+        let (partial, completed) = sync_with_budget(
+            &home,
+            "/system",
+            &mut guest,
+            "/data/flux/home/system",
+            &opts,
+            &CostModel::reference(),
+            Some(ByteSize::from_kib(1)),
+        )
+        .unwrap();
+        assert!(!completed);
+        assert!(partial.files_total < 4);
+        assert!(partial.bytes_shipped > ByteSize::ZERO);
+
+        // The retry only ships what the first run did not deliver.
+        let (rest, completed) = sync_with_budget(
+            &home,
+            "/system",
+            &mut guest,
+            "/data/flux/home/system",
+            &opts,
+            &CostModel::reference(),
+            None,
+        )
+        .unwrap();
+        assert!(completed);
+        assert_eq!(rest.files_total, 4);
+        assert_eq!(
+            rest.files_up_to_date,
+            partial.files_delta + partial.files_full
+        );
+
+        // Together the two runs shipped exactly one uninterrupted sync.
+        let (mut fresh_home, mut fresh_guest) = fixture();
+        let _ = &mut fresh_home;
+        let full = sync(
+            &fresh_home,
+            "/system",
+            &mut fresh_guest,
+            "/data/flux/home/system",
+            &opts,
+            &CostModel::reference(),
+        )
+        .unwrap();
+        assert_eq!(
+            partial.bytes_shipped + rest.bytes_shipped,
+            full.bytes_shipped
+        );
     }
 
     #[test]

@@ -10,4 +10,7 @@
 
 pub mod wifi;
 
-pub use wifi::{Band, NetworkEnv, TransferStats, WifiAdapter, WifiStandard};
+pub use wifi::{
+    Band, ChunkedOutcome, ChunkedTransfer, NetworkEnv, TransferStats, WifiAdapter, WifiStandard,
+    DEFAULT_CHUNK,
+};

@@ -1,7 +1,10 @@
 //! WiFi adapters and the device-to-device transfer model.
 
-use flux_simcore::{ByteSize, SimDuration, SimRng};
+use flux_simcore::{ByteSize, FaultPlan, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Default chunk size for acknowledged, resumable transfers.
+pub const DEFAULT_CHUNK: ByteSize = ByteSize::from_kib(256);
 
 /// 802.11 standard of an adapter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -128,6 +131,134 @@ impl NetworkEnv {
             goodput_mbps,
         }
     }
+
+    /// Transfers `bytes` in per-chunk-acknowledged pieces, consulting
+    /// `plan` for link faults along the way.
+    ///
+    /// Chunks `0..resume_from` are taken as already delivered by an earlier
+    /// attempt and are not re-sent; the attempt pays one connection setup
+    /// and then ships the remaining chunks in order. A
+    /// [`FaultKind::LinkDrop`](flux_simcore::FaultKind) scheduled inside
+    /// the attempt window aborts the chunk in flight; everything
+    /// acknowledged before it stays delivered. Congestion spikes stretch
+    /// the chunks they overlap.
+    ///
+    /// Draws exactly one jitter sample — the same RNG consumption as
+    /// [`NetworkEnv::transfer`] — and, under an empty plan with
+    /// `resume_from == 0`, takes exactly the same virtual time, so enabling
+    /// chunking without faults changes no results.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_chunked(
+        &mut self,
+        now: SimTime,
+        bytes: ByteSize,
+        chunk_size: ByteSize,
+        a: &WifiAdapter,
+        b: &WifiAdapter,
+        resume_from: usize,
+        plan: &FaultPlan,
+    ) -> ChunkedTransfer {
+        let chunk = chunk_size.as_u64().max(1);
+        let total_chunks = bytes.as_u64().div_ceil(chunk) as usize;
+        let resume_from = resume_from.min(total_chunks);
+        let remaining =
+            ByteSize::from_bytes(bytes.as_u64() - (resume_from as u64 * chunk).min(bytes.as_u64()));
+
+        let base = self.endpoint_mbps(a).min(self.endpoint_mbps(b));
+        let jitter = self.rng.range_f64(1.0 - self.jitter, 1.0 + self.jitter);
+        let goodput_mbps = (base * jitter).max(0.1);
+        let secs = remaining.as_u64() as f64 * 8.0 / (goodput_mbps * 1e6);
+        let body = SimDuration::from_secs_f64(secs);
+
+        let mut out = ChunkedTransfer {
+            total_chunks,
+            delivered_chunks: resume_from,
+            bytes_delivered: ByteSize::from_bytes(0),
+            duration: self.setup_latency + body,
+            goodput_mbps,
+            congested_chunks: 0,
+            outcome: ChunkedOutcome::Complete,
+        };
+
+        // Connection setup; a drop during the handshake delivers nothing.
+        let mut cursor = now + self.setup_latency;
+        if let Some(e) = plan.link_drop_in(now, cursor) {
+            out.duration = e.at - now;
+            out.outcome = ChunkedOutcome::LinkDropped { at: e.at };
+            return out;
+        }
+
+        let n = total_chunks - resume_from;
+        if n == 0 {
+            return out;
+        }
+        // Integer split of the body time: every chunk gets `per`, the last
+        // absorbs the remainder, so the fault-free sum is exactly `body`.
+        let per = body.as_nanos() / n as u64;
+        let rem = body.as_nanos() - per * n as u64;
+        for i in 0..n {
+            let base_d = SimDuration::from_nanos(if i == n - 1 { per + rem } else { per });
+            let factor = plan.congestion_factor_at(cursor);
+            let d = if factor > 1.0 {
+                out.congested_chunks += 1;
+                SimDuration::from_nanos((base_d.as_nanos() as f64 * factor) as u64)
+            } else {
+                base_d
+            };
+            if let Some(e) = plan.link_drop_in(cursor, cursor + d) {
+                out.duration = e.at - now;
+                out.outcome = ChunkedOutcome::LinkDropped { at: e.at };
+                return out;
+            }
+            cursor += d;
+            out.delivered_chunks += 1;
+            let sent = chunk.min(bytes.as_u64() - (resume_from as u64 + i as u64) * chunk);
+            out.bytes_delivered += ByteSize::from_bytes(sent);
+        }
+        out.duration = cursor - now;
+        out
+    }
+}
+
+/// How a chunked transfer attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChunkedOutcome {
+    /// Every remaining chunk was delivered and acknowledged.
+    Complete,
+    /// The link dropped mid-attempt; chunks acknowledged before `at` are
+    /// safe, the rest must be re-sent by a later attempt.
+    LinkDropped {
+        /// When the link went down.
+        at: SimTime,
+    },
+}
+
+/// Statistics of one chunked transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkedTransfer {
+    /// Chunks in the whole payload.
+    pub total_chunks: usize,
+    /// Cumulative chunks delivered, including those resumed from earlier
+    /// attempts.
+    pub delivered_chunks: usize,
+    /// Bytes this attempt put on the air.
+    pub bytes_delivered: ByteSize,
+    /// Virtual time this attempt consumed (setup + chunks, or time until
+    /// the link dropped).
+    pub duration: SimDuration,
+    /// Achieved fault-free goodput in Mbit/s.
+    pub goodput_mbps: f64,
+    /// Chunks slowed by congestion spikes.
+    pub congested_chunks: usize,
+    /// How the attempt ended.
+    pub outcome: ChunkedOutcome,
+}
+
+impl ChunkedTransfer {
+    /// Whether every chunk of the payload has now been delivered.
+    pub fn complete(&self) -> bool {
+        matches!(self.outcome, ChunkedOutcome::Complete)
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +322,143 @@ mod tests {
         let ta = a.transfer(ByteSize::from_mib(3), &n_dual(), &n_single());
         let tb = b.transfer(ByteSize::from_mib(3), &n_dual(), &n_single());
         assert_eq!(ta.duration, tb.duration);
+    }
+
+    #[test]
+    fn chunked_without_faults_matches_legacy_transfer_exactly() {
+        let mut legacy = NetworkEnv::campus(42);
+        let mut chunked = NetworkEnv::campus(42);
+        let bytes = ByteSize::from_mib(6);
+        let t = legacy.transfer(bytes, &n_dual(), &n_single());
+        let c = chunked.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_single(),
+            0,
+            &FaultPlan::none(),
+        );
+        assert_eq!(c.duration, t.duration);
+        assert_eq!(c.goodput_mbps, t.goodput_mbps);
+        assert!(c.complete());
+        assert_eq!(c.delivered_chunks, c.total_chunks);
+        assert_eq!(c.bytes_delivered, bytes);
+        // Both consumed exactly one jitter draw: the streams stay in step.
+        let t2 = legacy.transfer(bytes, &n_dual(), &n_single());
+        let c2 = chunked.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_single(),
+            0,
+            &FaultPlan::none(),
+        );
+        assert_eq!(c2.duration, t2.duration);
+    }
+
+    #[test]
+    fn resume_skips_delivered_chunks() {
+        let mut env = NetworkEnv::campus(5);
+        let bytes = ByteSize::from_mib(4);
+        let full = env.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &FaultPlan::none(),
+        );
+        let mut env2 = NetworkEnv::campus(5);
+        let resumed = env2.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            full.total_chunks / 2,
+            &FaultPlan::none(),
+        );
+        assert!(resumed.complete());
+        assert!(resumed.duration < full.duration);
+        assert!(resumed.bytes_delivered.as_u64() < bytes.as_u64());
+        assert_eq!(resumed.delivered_chunks, full.total_chunks);
+    }
+
+    #[test]
+    fn link_drop_aborts_with_partial_delivery() {
+        use flux_simcore::{FaultEvent, FaultKind};
+        let mut env = NetworkEnv::campus(9);
+        let bytes = ByteSize::from_mib(8);
+        // Find out how long the fault-free transfer takes, then schedule a
+        // drop in the middle of it.
+        let probe = NetworkEnv::campus(9).transfer(bytes, &n_dual(), &n_dual());
+        let drop_at = SimTime::ZERO + SimDuration::from_nanos(probe.duration.as_nanos() / 2);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: drop_at,
+            kind: FaultKind::LinkDrop,
+            duration: SimDuration::ZERO,
+            magnitude: 0.0,
+        }]);
+        let c = env.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &plan,
+        );
+        assert!(!c.complete());
+        assert!(c.delivered_chunks > 0 && c.delivered_chunks < c.total_chunks);
+        assert!(c.duration <= probe.duration);
+        // A resumed attempt after the drop finishes the payload.
+        let c2 = env.transfer_chunked(
+            drop_at + SimDuration::from_secs(1),
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            c.delivered_chunks,
+            &plan,
+        );
+        assert!(c2.complete());
+        assert_eq!(c2.delivered_chunks, c.total_chunks);
+    }
+
+    #[test]
+    fn congestion_spike_stretches_the_transfer() {
+        use flux_simcore::{FaultEvent, FaultKind};
+        let bytes = ByteSize::from_mib(6);
+        let clean = NetworkEnv::campus(11).transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &FaultPlan::none(),
+        );
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::CongestionSpike,
+            duration: clean.duration * 4,
+            magnitude: 3.0,
+        }]);
+        let slow = NetworkEnv::campus(11).transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &plan,
+        );
+        assert!(slow.complete());
+        assert!(slow.congested_chunks > 0);
+        assert!(slow.duration.as_secs_f64() > clean.duration.as_secs_f64() * 2.0);
     }
 
     #[test]

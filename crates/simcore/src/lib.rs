@@ -14,8 +14,12 @@
 //!   the checkpoint, restore and replay paths.
 //! * [`trace`] — a lightweight event trace used by tests and the benchmark
 //!   harnesses to explain where time went.
+//! * [`fault`] — seeded [`FaultPlan`] schedules of link drops, congestion
+//!   spikes and kernel stalls that the transfer and migration paths consult
+//!   when fault injection is enabled.
 
 pub mod cost;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod size;
@@ -24,11 +28,12 @@ pub mod trace;
 pub mod wire;
 
 pub use cost::CostModel;
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use ids::{Pid, Uid};
 pub use rng::SimRng;
 pub use size::ByteSize;
 pub use time::{SimClock, SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceKind};
 pub use wire::{WireError, WireReader, WireWriter};
 
 /// A monotonically increasing id allocator.

@@ -8,11 +8,33 @@ use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// One traced event: a timestamp, a category and a human-readable detail.
+/// What class of event a trace entry records.
+///
+/// Figure-13-style accounting wants fault, retry and rollback time kept
+/// apart from ordinary progress events, so harnesses can balance the books
+/// (time charged = stage time + backoff + stall time) without parsing
+/// detail strings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Ordinary progress event.
+    #[default]
+    Generic,
+    /// An injected fault bit a running operation.
+    Fault,
+    /// A failed stage is being retried (backoff charged).
+    Retry,
+    /// A failed migration is being rolled back to the home device.
+    Rollback,
+}
+
+/// One traced event: a timestamp, a kind, a category and a human-readable
+/// detail.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Virtual time at which the event occurred.
     pub at: SimTime,
+    /// Event class, for typed filtering.
+    pub kind: TraceKind,
     /// Dot-separated category, e.g. `"migration.checkpoint"`.
     pub category: String,
     /// Free-form detail for humans and tests.
@@ -59,11 +81,23 @@ impl Trace {
         }
     }
 
-    /// Appends an event if tracing is enabled.
+    /// Appends a [`TraceKind::Generic`] event if tracing is enabled.
     pub fn emit(&mut self, at: SimTime, category: &str, detail: impl Into<String>) {
+        self.emit_kind(at, TraceKind::Generic, category, detail);
+    }
+
+    /// Appends an event of an explicit kind if tracing is enabled.
+    pub fn emit_kind(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        category: &str,
+        detail: impl Into<String>,
+    ) {
         if self.enabled {
             self.events.push(TraceEvent {
                 at,
+                kind,
                 category: category.to_owned(),
                 detail: detail.into(),
             });
@@ -80,6 +114,11 @@ impl Trace {
         self.events
             .iter()
             .filter(move |e| e.category.starts_with(prefix))
+    }
+
+    /// Events of one [`TraceKind`].
+    pub fn events_of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.kind == kind)
     }
 
     /// Number of events recorded so far.
@@ -124,9 +163,38 @@ mod tests {
     fn display_is_readable() {
         let e = TraceEvent {
             at: SimTime::from_millis(1500),
+            kind: TraceKind::Generic,
             category: "a.b".into(),
             detail: "c".into(),
         };
         assert_eq!(e.to_string(), "[1.500s] a.b: c");
+    }
+
+    #[test]
+    fn kinds_filter_typed_events() {
+        let mut t = Trace::new();
+        t.emit(SimTime::ZERO, "migration.prep", "ok");
+        t.emit_kind(
+            SimTime::from_millis(1),
+            TraceKind::Fault,
+            "net.fault",
+            "link-drop",
+        );
+        t.emit_kind(
+            SimTime::from_millis(2),
+            TraceKind::Retry,
+            "migration.retry",
+            "attempt 2",
+        );
+        t.emit_kind(
+            SimTime::from_millis(3),
+            TraceKind::Rollback,
+            "migration.rollback",
+            "home",
+        );
+        assert_eq!(t.events_of_kind(TraceKind::Generic).count(), 1);
+        assert_eq!(t.events_of_kind(TraceKind::Fault).count(), 1);
+        assert_eq!(t.events_of_kind(TraceKind::Retry).count(), 1);
+        assert_eq!(t.events_of_kind(TraceKind::Rollback).count(), 1);
     }
 }

@@ -8,23 +8,22 @@
 //!
 //! Run with: `cargo run --example low_battery`
 
-use flux_core::{migrate, pair, FluxWorld};
+use flux_core::{migrate, pair, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::Event;
 use flux_simcore::SimDuration;
 use flux_workloads::{spec, Action};
 
 fn main() {
-    let mut world = FluxWorld::new(17);
-    let tablet = world
-        .add_device("tablet", DeviceProfile::nexus7_2012())
-        .expect("boots");
-    let phone = world
-        .add_device("phone", DeviceProfile::nexus4())
-        .expect("boots");
-
     let skype = spec("Skype").expect("Skype is in Table 3");
-    world.deploy(tablet, &skype).expect("deploy");
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(17)
+        .device("tablet", DeviceProfile::nexus7_2012())
+        .device("phone", DeviceProfile::nexus4())
+        .app(0, skype.clone())
+        .build()
+        .expect("world builds");
+    let (tablet, phone) = (ids[0], ids[1]);
     world
         .run_script(tablet, &skype.package, &skype.actions.clone())
         .expect("Skype waits for calls");

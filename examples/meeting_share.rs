@@ -9,25 +9,22 @@
 //! Run with: `cargo run --example meeting_share`
 
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, FluxWorld};
+use flux_core::{migrate, pair, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::svc::clipboard::ClipboardService;
 use flux_workloads::spec;
 
 fn main() {
-    let mut world = FluxWorld::new(99);
-    let owner = world
-        .add_device("owner-phone", DeviceProfile::nexus4())
-        .expect("boots");
-    let alice = world
-        .add_device("alice-tablet", DeviceProfile::nexus7_2013())
-        .expect("boots");
-    let bob = world
-        .add_device("bob-tablet", DeviceProfile::nexus7_2012())
-        .expect("boots");
-
     let app = spec("Pinterest").expect("Pinterest is in Table 3");
-    world.deploy(owner, &app).expect("deploy");
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(99)
+        .device("owner-phone", DeviceProfile::nexus4())
+        .device("alice-tablet", DeviceProfile::nexus7_2013())
+        .device("bob-tablet", DeviceProfile::nexus7_2012())
+        .app(0, app.clone())
+        .build()
+        .expect("world builds");
+    let (owner, alice, bob) = (ids[0], ids[1], ids[2]);
     world
         .run_script(owner, &app.package, &app.actions.clone())
         .expect("owner browses");

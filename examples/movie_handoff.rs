@@ -8,23 +8,22 @@
 //!
 //! Run with: `cargo run --example movie_handoff`
 
-use flux_core::{migrate, pair, FluxWorld};
+use flux_core::{migrate, pair, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::svc::audio::{AudioService, STREAM_MUSIC};
 use flux_services::Event;
 use flux_workloads::spec;
 
 fn main() {
-    let mut world = FluxWorld::new(7);
-    let phone = world
-        .add_device("phone", DeviceProfile::nexus4())
-        .expect("phone boots");
-    let tablet = world
-        .add_device("tablet", DeviceProfile::nexus7_2013())
-        .expect("tablet boots");
-
     let netflix = spec("Netflix").expect("Netflix is in Table 3");
-    world.deploy(phone, &netflix).expect("deploy");
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(7)
+        .device("phone", DeviceProfile::nexus4())
+        .device("tablet", DeviceProfile::nexus7_2013())
+        .app(0, netflix.clone())
+        .build()
+        .expect("world builds");
+    let (phone, tablet) = (ids[0], ids[1]);
     world
         .run_script(phone, &netflix.package, &netflix.actions.clone())
         .expect("browse and start playback");

@@ -8,24 +8,23 @@
 //! Run with: `cargo run --example quickstart`
 
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, FluxWorld};
+use flux_core::{migrate, pair, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::svc::notification::NotificationManagerService;
 use flux_workloads::spec;
 
 fn main() {
-    // Two devices on the same campus WiFi.
-    let mut world = FluxWorld::new(42);
-    let phone = world
-        .add_device("phone", DeviceProfile::nexus4())
-        .expect("phone boots");
-    let tablet = world
-        .add_device("tablet", DeviceProfile::nexus7_2013())
-        .expect("tablet boots");
-
-    // Install and use WhatsApp on the phone (its home device).
+    // Two devices on the same campus WiFi, WhatsApp deployed on the phone
+    // (its home device).
     let app = spec("WhatsApp").expect("WhatsApp is in Table 3");
-    world.deploy(phone, &app).expect("install + launch");
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(42)
+        .device("phone", DeviceProfile::nexus4())
+        .device("tablet", DeviceProfile::nexus7_2013())
+        .app(0, app.clone())
+        .build()
+        .expect("world builds");
+    let (phone, tablet) = (ids[0], ids[1]);
     world
         .run_script(phone, &app.package, &app.actions.clone())
         .expect("workload runs");
@@ -86,12 +85,7 @@ fn main() {
 
     // The app is gone from the phone and resumed on the tablet, laid out
     // for the tablet's 1920x1200 display.
-    assert!(world
-        .device(phone)
-        .unwrap()
-        .apps
-        .get(&app.package)
-        .is_none());
+    assert!(!world.device(phone).unwrap().apps.contains_key(&app.package));
     let migrated = tablet_dev
         .apps
         .get(&app.package)

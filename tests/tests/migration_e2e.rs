@@ -1,7 +1,7 @@
 //! End-to-end migration scenarios across the whole stack.
 
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, DeviceId, FluxWorld, MigrationError};
+use flux_core::{migrate, pair, DeviceId, FluxError, FluxWorld, MigrationError, WorldBuilder};
 use flux_device::{DeviceModel, DeviceProfile};
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::notification::NotificationManagerService;
@@ -17,15 +17,15 @@ fn staged(
     home_model: DeviceModel,
     guest_model: DeviceModel,
 ) -> (FluxWorld, DeviceId, DeviceId, String) {
-    let mut world = FluxWorld::new(1234);
-    let home = world
-        .add_device("home", DeviceProfile::of(home_model))
-        .unwrap();
-    let guest = world
-        .add_device("guest", DeviceProfile::of(guest_model))
-        .unwrap();
     let app = spec(app_name).expect("app in Table 3");
-    world.deploy(home, &app).unwrap();
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(1234)
+        .device("home", DeviceProfile::of(home_model))
+        .device("guest", DeviceProfile::of(guest_model))
+        .app(0, app.clone())
+        .build()
+        .unwrap();
+    let (home, guest) = (ids[0], ids[1]);
     world
         .run_script(home, &app.package, &app.actions.clone())
         .unwrap();
@@ -201,7 +201,9 @@ fn migration_refusals_match_section_3_4() {
         staged("Facebook", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(MigrationError::MultiProcess { processes: 2 })
+        Err(FluxError::Migration(MigrationError::MultiProcess {
+            processes: 2
+        }))
     ));
 
     // Preserved EGL context.
@@ -212,7 +214,7 @@ fn migration_refusals_match_section_3_4() {
     );
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(MigrationError::PreservedEglContext)
+        Err(FluxError::Migration(MigrationError::PreservedEglContext))
     ));
 
     // Mid-ContentProvider interaction.
@@ -223,7 +225,7 @@ fn migration_refusals_match_section_3_4() {
         .unwrap();
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(MigrationError::ContentProviderActive)
+        Err(FluxError::Migration(MigrationError::ContentProviderActive))
     ));
     world
         .perform(home, &pkg, &Action::EndProviderQuery)
@@ -244,39 +246,49 @@ fn migration_refusals_match_section_3_4() {
         .unwrap();
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(MigrationError::CommonSdCardFile { .. })
+        Err(FluxError::Migration(
+            MigrationError::CommonSdCardFile { .. }
+        ))
     ));
 
     // Unpaired devices.
-    let mut world = FluxWorld::new(3);
-    let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
-    let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
     let app = spec("Twitter").unwrap();
-    world.deploy(home, &app).unwrap();
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(3)
+        .device("h", DeviceProfile::nexus4())
+        .device("g", DeviceProfile::nexus7_2013())
+        .app(0, app.clone())
+        .build()
+        .unwrap();
+    let (home, guest) = (ids[0], ids[1]);
     assert!(matches!(
         migrate(&mut world, home, guest, &app.package),
-        Err(MigrationError::NotPaired)
+        Err(FluxError::Migration(MigrationError::NotPaired))
     ));
 }
 
 #[test]
 fn api_level_incompatibility_is_refused() {
-    let mut world = FluxWorld::new(8);
-    let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
     // A guest stuck on an older stack.
     let mut old = DeviceProfile::nexus7_2012();
     old.api_level = 17;
-    let guest = world.add_device("g", old).unwrap();
     let mut app = spec("Twitter").unwrap();
     app.min_api = 19;
-    world.deploy(home, &app).unwrap();
-    pair(&mut world, home, guest).unwrap();
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(8)
+        .device("h", DeviceProfile::nexus4())
+        .device("g", old)
+        .app(0, app.clone())
+        .pair(0, 1)
+        .build()
+        .unwrap();
+    let (home, guest) = (ids[0], ids[1]);
     assert!(matches!(
         migrate(&mut world, home, guest, &app.package),
-        Err(MigrationError::ApiLevelIncompatible {
+        Err(FluxError::Migration(MigrationError::ApiLevelIncompatible {
             required: 19,
             guest: 17
-        })
+        }))
     ));
 }
 
@@ -370,17 +382,21 @@ fn migrate_back_home_round_trip() {
         active.iter().any(|n| n.id == 99),
         "guest-side state came home"
     );
-    assert!(world.device(guest).unwrap().apps.get(&pkg).is_none());
+    assert!(!world.device(guest).unwrap().apps.contains_key(&pkg));
 }
 
 #[test]
 fn recording_disabled_blocks_nothing_but_replays_nothing() {
-    let mut world = FluxWorld::new(5);
-    world.recording = false;
-    let home = world.add_device("h", DeviceProfile::nexus4()).unwrap();
-    let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
     let app = spec("WhatsApp").unwrap();
-    world.deploy(home, &app).unwrap();
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(5)
+        .recording(false)
+        .device("h", DeviceProfile::nexus4())
+        .device("g", DeviceProfile::nexus7_2013())
+        .app(0, app.clone())
+        .build()
+        .unwrap();
+    let (home, guest) = (ids[0], ids[1]);
     world
         .run_script(home, &app.package, &app.actions.clone())
         .unwrap();

@@ -1,0 +1,134 @@
+//! Property: fault-injected migrations are transactional.
+//!
+//! For any seeded fault schedule, a migration either **fully succeeds**
+//! (the app runs on the guest, gone from home) or **rolls back** to the
+//! pre-migration home-side state: the app is foregrounded and running on
+//! its home device, its record log is byte-identical to the pre-migration
+//! snapshot, and the guest carries no residue (no app, no wrapper
+//! process, no staged image chunks).
+
+use flux_appfw::ActivityState;
+use flux_core::{migrate_with, pair, FluxError, MigrationError, RetryPolicy, WorldBuilder};
+use flux_device::DeviceProfile;
+use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
+use flux_workloads::spec;
+use proptest::prelude::*;
+
+/// High per-kind fault rates so retries and rollbacks actually happen.
+const RATES: [f64; 4] = [0.05, 0.1, 0.25, 0.5];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn migration_succeeds_or_rolls_back_cleanly(
+        seed in 0..100_000u64,
+        rate_idx in 0..4usize,
+        fail_fast in any::<bool>(),
+    ) {
+        let app = spec("WhatsApp").unwrap();
+        let pkg = app.package.clone();
+        let plan = FaultPlan::generate(
+            seed,
+            &FaultConfig::uniform(RATES[rate_idx], SimDuration::from_secs(600)),
+        );
+        let (mut world, ids) = WorldBuilder::new()
+            .seed(seed)
+            .fault_plan(plan)
+            .device("h", DeviceProfile::nexus4())
+            .device("g", DeviceProfile::nexus7_2013())
+            .app(0, app.clone())
+            .build()
+            .unwrap();
+        let (home, guest) = (ids[0], ids[1]);
+        world.run_script(home, &pkg, &app.actions.clone()).unwrap();
+        pair(&mut world, home, guest).unwrap();
+
+        // Pre-migration snapshot of the home-side state.
+        let home_uid = world.device(home).unwrap().app_uid(&pkg).unwrap();
+        let log_before = world
+            .device(home)
+            .unwrap()
+            .records
+            .log(home_uid)
+            .cloned()
+            .unwrap_or_default();
+        let staged_path = format!("/data/flux/h/.migrate/{pkg}.image");
+
+        let policy = if fail_fast {
+            RetryPolicy::none()
+        } else {
+            RetryPolicy::default()
+        };
+        match migrate_with(&mut world, home, guest, &pkg, &policy) {
+            Ok(report) => {
+                // Full success: the app lives on the guest, gone from home.
+                prop_assert!(world.device(guest).unwrap().apps.contains_key(&pkg));
+                prop_assert!(!world.device(home).unwrap().apps.contains_key(&pkg));
+                prop_assert!(report.attempts >= 1);
+                prop_assert!(report.attempts <= policy.max_attempts);
+                // Retries imply faults were seen, never the reverse.
+                prop_assert!(report.attempts == 1 || report.faults > 0);
+            }
+            Err(e) => {
+                // Only a fault abort is acceptable under injected faults.
+                match e {
+                    FluxError::Migration(MigrationError::FaultAborted {
+                        attempts, ..
+                    }) => prop_assert_eq!(attempts, policy.max_attempts),
+                    other => prop_assert!(false, "unexpected error: {other}"),
+                }
+                // Home side: app present, foregrounded, process alive.
+                let home_dev = world.device(home).unwrap();
+                let happ = home_dev.apps.get(&pkg).expect("app back home");
+                prop_assert_eq!(happ.top_state(), Some(ActivityState::Resumed));
+                prop_assert!(home_dev.kernel.process(happ.main_pid).is_ok());
+                // Record log intact, byte for byte.
+                let log_after = home_dev
+                    .records
+                    .log(home_uid)
+                    .cloned()
+                    .unwrap_or_default();
+                prop_assert_eq!(&log_after, &log_before);
+                // Guest side: no app, no staged chunks.
+                let guest_dev = world.device(guest).unwrap();
+                prop_assert!(!guest_dev.apps.contains_key(&pkg));
+                prop_assert!(!guest_dev.fs.exists(&staged_path));
+            }
+        }
+    }
+
+    /// A rolled-back world is still fully functional: the same migration
+    /// retried under a quiet fault plan must succeed.
+    #[test]
+    fn rolled_back_world_can_migrate_later(seed in 0..50_000u64) {
+        let app = spec("WhatsApp").unwrap();
+        let pkg = app.package.clone();
+        // A brutal schedule guaranteeing early failures.
+        let plan = FaultPlan::generate(
+            seed,
+            &FaultConfig::uniform(0.5, SimDuration::from_secs(600)),
+        );
+        let (mut world, ids) = WorldBuilder::new()
+            .seed(seed)
+            .fault_plan(plan)
+            .device("h", DeviceProfile::nexus4())
+            .device("g", DeviceProfile::nexus7_2013())
+            .app(0, app.clone())
+            .build()
+            .unwrap();
+        let (home, guest) = (ids[0], ids[1]);
+        world.run_script(home, &pkg, &app.actions.clone()).unwrap();
+        pair(&mut world, home, guest).unwrap();
+
+        let first = migrate_with(&mut world, home, guest, &pkg, &RetryPolicy::none());
+        if first.is_err() {
+            // Clear the faults (e.g. the user walked back into range) and
+            // migrate again: the rolled-back world must behave like new.
+            world.fault_plan = FaultPlan::none();
+            let second = migrate_with(&mut world, home, guest, &pkg, &RetryPolicy::none());
+            prop_assert!(second.is_ok(), "post-rollback migration failed: {:?}", second.err());
+            prop_assert!(world.device(guest).unwrap().apps.contains_key(&pkg));
+        }
+    }
+}

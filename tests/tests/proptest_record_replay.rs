@@ -6,7 +6,7 @@
 //! check that claim against the live service implementations.
 
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, DeviceId, FluxWorld};
+use flux_core::{migrate, pair, DeviceId, FluxWorld, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::notification::NotificationManagerService;
@@ -103,13 +103,12 @@ fn apply(world: &mut FluxWorld, dev: DeviceId, pkg: &str, step: &Step) {
     }
 }
 
-/// Observable app-specific service state: notification ids, pending alarm
-/// operations (with trigger times), clipboard contents.
-fn observe(
-    world: &FluxWorld,
-    dev: DeviceId,
-    uid: Uid,
-) -> (Vec<i32>, Vec<(String, u64)>, Option<Vec<u8>>) {
+/// Notification ids, pending alarm operations (with trigger times),
+/// clipboard contents.
+type ServiceSnapshot = (Vec<i32>, Vec<(String, u64)>, Option<Vec<u8>>);
+
+/// Observable app-specific service state.
+fn observe(world: &FluxWorld, dev: DeviceId, uid: Uid) -> ServiceSnapshot {
     let d = world.device(dev).unwrap();
     let mut notifications: Vec<i32> = d
         .host
@@ -145,9 +144,13 @@ proptest! {
     /// the app equals the home's state at checkpoint.
     #[test]
     fn replayed_state_equals_home_state(steps in prop::collection::vec(step_strategy(), 1..24)) {
-        let mut world = FluxWorld::new(777);
-        let home = world.add_device("h", DeviceProfile::nexus7_2013()).unwrap();
-        let guest = world.add_device("g", DeviceProfile::nexus7_2013()).unwrap();
+        let (mut world, ids) = WorldBuilder::new()
+            .seed(777)
+            .device("h", DeviceProfile::nexus7_2013())
+            .device("g", DeviceProfile::nexus7_2013())
+            .build()
+            .unwrap();
+        let (home, guest) = (ids[0], ids[1]);
         let app = spec("Twitter").unwrap();
         // Deploy without the canned workload so only `steps` shape state.
         world.install_app(home, &app).unwrap();
@@ -171,8 +174,12 @@ proptest! {
     /// motivation).
     #[test]
     fn log_is_bounded_by_live_state(steps in prop::collection::vec(step_strategy(), 1..64)) {
-        let mut world = FluxWorld::new(778);
-        let home = world.add_device("h", DeviceProfile::nexus7_2013()).unwrap();
+        let (mut world, ids) = WorldBuilder::new()
+            .seed(778)
+            .device("h", DeviceProfile::nexus7_2013())
+            .build()
+            .unwrap();
+        let home = ids[0];
         let app = spec("Twitter").unwrap();
         world.install_app(home, &app).unwrap();
         world.launch_app(home, &app.package).unwrap();

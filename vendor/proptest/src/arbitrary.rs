@@ -1,0 +1,67 @@
+//! `any::<T>()` for primitives and tuples of primitives.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        char::from(b' ' + (rng.next_u64() % 95) as u8)
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($($s:ident),+) => {
+        impl<$($s: Arbitrary),+> Arbitrary for ($($s,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($s::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_arbitrary!(A);
+tuple_arbitrary!(A, B);
+tuple_arbitrary!(A, B, C);
+tuple_arbitrary!(A, B, C, D);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,26 @@
+//! Numeric strategies (`prop::num`).
+
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for normal (finite, non-subnormal, non-zero) `f64`s.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalStrategy;
+
+    /// Mirror of `proptest::num::f64::NORMAL`.
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    impl Strategy for NormalStrategy {
+        type Value = core::primitive::f64;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            loop {
+                let v = core::primitive::f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+}

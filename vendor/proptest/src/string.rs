@@ -1,0 +1,48 @@
+//! Pattern-based string strategies.
+//!
+//! The real proptest interprets a `&str` strategy as a full regex. This
+//! stub supports the shape this workspace actually uses — `".{lo,hi}"`
+//! (any characters, bounded repetition) — and falls back to a short random
+//! printable string for anything else.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 8));
+        let len = rng.usize_in(lo, hi + 1);
+        (0..len)
+            .map(|_| char::from(b' ' + (rng.next_u64() % 95) as u8))
+            .collect()
+    }
+}
+
+/// Extracts `(lo, hi)` from a trailing `{lo,hi}` repetition, if present.
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    if close != pattern.len() - 1 || open >= close {
+        return None;
+    }
+    let body = &pattern[open + 1..close];
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn repetition_bounds_are_respected() {
+        let mut rng = TestRng::deterministic("string-test");
+        for _ in 0..200 {
+            let s = Strategy::generate(&".{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+        }
+    }
+}

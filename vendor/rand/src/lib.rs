@@ -1,0 +1,297 @@
+//! Offline stub of `rand` 0.8, stream-compatible with the real thing.
+//!
+//! Implements exactly the surface `flux-simcore` uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] for `u64`/`f64`, and
+//! [`Rng::gen_range`] over half-open `u64`/`f64` ranges — and reproduces
+//! the published `rand` 0.8 streams bit for bit:
+//!
+//! * `seed_from_u64` expands the seed with `rand_core` 0.6's PCG32
+//!   (XSH-RR) filler, four little-endian bytes per step;
+//! * `StdRng` is ChaCha12 with a 64-bit block counter and stream id 0,
+//!   buffered four blocks at a time exactly like `rand_chacha`;
+//! * `f64` sampling uses the 53-bit multiply method, uniform float ranges
+//!   the `[1, 2)` mantissa trick, and uniform integer ranges widening
+//!   multiplication with `rand`'s single-sample rejection zone.
+//!
+//! Keeping the streams identical matters: every number recorded in
+//! EXPERIMENTS.md was produced through `StdRng`, so a different generator
+//! would silently shift every simulated duration in the repository.
+
+use std::ops::Range;
+
+/// Core generator interface.
+pub trait RngCore {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanded with the PCG32
+    /// filler `rand_core` 0.6 uses.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from `RngCore` output.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8's multiply method: 53 random mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as the bound of `gen_range`.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for u64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        // UniformInt::sample_single: widening multiply with the
+        // conservative single-sample rejection zone.
+        let span = range.end - range.start;
+        debug_assert!(span > 0, "gen_range called with an empty range");
+        let zone = (span << span.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let m = (v as u128) * (span as u128);
+            let hi = (m >> 64) as u64;
+            let lo = m as u64;
+            if lo <= zone {
+                return range.start + hi;
+            }
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        // UniformFloat::sample_single: 52 mantissa bits into [1, 2),
+        // shifted and scaled; redraw in the (vanishingly rare) case
+        // rounding lands exactly on the open upper bound.
+        let scale = range.end - range.start;
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + range.start;
+            if res < range.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample in `[range.start, range.end)`. The caller must pass
+    /// a non-empty range, as with the real `rand`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const BUF_WORDS: usize = 64; // four ChaCha blocks, as rand_chacha buffers
+
+    /// `rand::rngs::StdRng`: ChaCha12 with rand_chacha's buffering.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// ChaCha input block: constants, key, 64-bit counter, stream id.
+        state: [u32; 16],
+        buf: [u32; BUF_WORDS],
+        /// Next unread word in `buf`; `BUF_WORDS` means exhausted.
+        index: usize,
+    }
+
+    #[inline(always)]
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn block(input: &[u32; 16], out: &mut [u32]) {
+            let mut x = *input;
+            for _ in 0..6 {
+                // Double round: columns, then diagonals (12 rounds total).
+                quarter_round(&mut x, 0, 4, 8, 12);
+                quarter_round(&mut x, 1, 5, 9, 13);
+                quarter_round(&mut x, 2, 6, 10, 14);
+                quarter_round(&mut x, 3, 7, 11, 15);
+                quarter_round(&mut x, 0, 5, 10, 15);
+                quarter_round(&mut x, 1, 6, 11, 12);
+                quarter_round(&mut x, 2, 7, 8, 13);
+                quarter_round(&mut x, 3, 4, 9, 14);
+            }
+            for (o, (w, s)) in out.iter_mut().zip(x.iter().zip(input.iter())) {
+                *o = w.wrapping_add(*s);
+            }
+        }
+
+        fn refill(&mut self) {
+            let counter = u64::from(self.state[12]) | (u64::from(self.state[13]) << 32);
+            for k in 0..4u64 {
+                let mut input = self.state;
+                let c = counter.wrapping_add(k);
+                input[12] = c as u32;
+                input[13] = (c >> 32) as u32;
+                Self::block(
+                    &input,
+                    &mut self.buf[k as usize * 16..(k as usize + 1) * 16],
+                );
+            }
+            let c = counter.wrapping_add(4);
+            self.state[12] = c as u32;
+            self.state[13] = (c >> 32) as u32;
+            self.index = 0;
+        }
+
+        fn from_seed(key: [u8; 32]) -> Self {
+            let mut state = [0u32; 16];
+            // "expand 32-byte k"
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for (i, chunk) in key.chunks_exact(4).enumerate() {
+                state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // Counter (words 12-13) and stream id (14-15) start at zero.
+            Self {
+                state,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_core 0.6's seed expander: PCG32 (XSH-RR output), four
+            // little-endian bytes of key per advance.
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            Self::from_seed(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let v = self.buf[self.index];
+            self.index += 1;
+            v
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core BlockRng semantics: two consecutive words, low
+            // first, straddling a refill if only one word remains.
+            if self.index < BUF_WORDS - 1 {
+                let lo = self.buf[self.index];
+                let hi = self.buf[self.index + 1];
+                self.index += 2;
+                u64::from(lo) | (u64::from(hi) << 32)
+            } else if self.index == BUF_WORDS - 1 {
+                let lo = self.buf[BUF_WORDS - 1];
+                self.refill();
+                self.index = 1;
+                u64::from(lo) | (u64::from(self.buf[0]) << 32)
+            } else {
+                self.refill();
+                self.index = 2;
+                u64::from(self.buf[0]) | (u64::from(self.buf[1]) << 32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_both_endpoints() {
+        let mut r = StdRng::seed_from_u64(5);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            match r.gen_range(0u64..4) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros so `#[derive(Serialize, Deserialize)]` and
+//! `#[derive(serde::Serialize, serde::Deserialize)]` compile unchanged.
+//! Nothing in the flux workspace actually serialises through serde (no
+//! serde_json / bincode in the tree), so empty expansions are sufficient.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

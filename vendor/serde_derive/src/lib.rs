@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The flux workspace derives `Serialize`/`Deserialize` as forward-looking
+//! markers but never serialises through serde at runtime (there is no
+//! `serde_json` in the dependency tree). This stub accepts the derive
+//! attribute syntax and expands to nothing, which keeps the workspace
+//! building in environments with no crates.io access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
