@@ -11,8 +11,8 @@
 //! | `@replayproxy path` | Call a proxy instead when replaying. |
 //! | `this` | The method being decorated. |
 //!
-//! This crate parses that dialect ([`parse`]), compiles decorations into
-//! per-method rule tables ([`compile`]) consumed by the record runtime in
+//! This crate parses that dialect ([`parse()`]), compiles decorations into
+//! per-method rule tables ([`compile()`]) consumed by the record runtime in
 //! `flux-core`, and measures decoration LOC ([`decoration_loc`]) so the
 //! Table 2 harness can regenerate the paper's per-service LOC column from
 //! the same sources.

@@ -14,6 +14,7 @@
 //! | `fig17` | Figure 17 — Play-store installation-size CDF + EGL census |
 //! | `pairing` | §4 pairing-cost paragraph |
 //! | `ablations` | DESIGN.md's design-choice ablations |
+//! | `flux-prof` | one profiled migration: Chrome trace + stage profile |
 //!
 //! The Criterion benches under `benches/` measure the *real* cost of this
 //! implementation's hot paths (record interposition, checkpoint codec,

@@ -31,7 +31,8 @@ use crate::pairing::pair;
 use crate::world::{DeviceId, FluxWorld, ReplayPolicy};
 use flux_device::DeviceProfile;
 use flux_net::NetworkEnv;
-use flux_simcore::{FaultPlan, SimClock, Trace};
+use flux_simcore::{FaultPlan, SimClock};
+use flux_telemetry::Telemetry;
 use flux_workloads::AppSpec;
 
 /// The wireless environment a world is born into.
@@ -52,16 +53,20 @@ pub struct WorldBuilder {
     recording: bool,
     policy: ReplayPolicy,
     fault_plan: FaultPlan,
+    telemetry: bool,
+    event_capacity: Option<usize>,
     devices: Vec<(String, DeviceProfile)>,
     apps: Vec<(usize, AppSpec)>,
     pairs: Vec<(usize, usize)>,
 }
 
 impl WorldBuilder {
-    /// Starts a builder: seed 0, campus network, recording on, no faults.
+    /// Starts a builder: seed 0, campus network, recording on, telemetry
+    /// on, no faults.
     pub fn new() -> Self {
         Self {
             recording: true,
+            telemetry: true,
             ..Self::default()
         }
     }
@@ -98,6 +103,22 @@ impl WorldBuilder {
         self
     }
 
+    /// Enables or disables telemetry (default: on). A disabled hub drops
+    /// every span, event and metric at the first branch; virtual time is
+    /// unaffected either way.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Caps the telemetry event log at `limit` events; overflow is counted
+    /// in `flux.telemetry.events_dropped` instead of growing memory without
+    /// bound (long fault sweeps emit millions of chunk/fault events).
+    pub fn event_capacity(mut self, limit: usize) -> Self {
+        self.event_capacity = Some(limit);
+        self
+    }
+
     /// Declares a device; later `device_ref` arguments refer to devices by
     /// declaration order (0-based).
     pub fn device(mut self, name: &str, profile: DeviceProfile) -> Self {
@@ -121,13 +142,21 @@ impl WorldBuilder {
     /// Builds the world: boots devices, deploys apps, performs pairings.
     /// Returns the world and the [`DeviceId`]s in declaration order.
     pub fn build(self) -> Result<(FluxWorld, Vec<DeviceId>), FluxError> {
+        let mut telemetry = if self.telemetry {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        };
+        if let Some(limit) = self.event_capacity {
+            telemetry.set_event_capacity(limit);
+        }
         let mut world = FluxWorld {
             clock: SimClock::new(),
             net: match self.network {
                 NetworkKind::Campus => NetworkEnv::campus(self.seed),
                 NetworkKind::Quiet => NetworkEnv::quiet(self.seed),
             },
-            trace: Trace::new(),
+            telemetry,
             policy: self.policy,
             recording: self.recording,
             fault_plan: self.fault_plan,
@@ -201,8 +230,16 @@ mod tests {
             .build()
             .expect("build");
 
-        #[allow(deprecated)]
-        let mut legacy = FluxWorld::new(42);
+        // Hand-rolled positional construction of the same world.
+        let mut legacy = FluxWorld {
+            clock: SimClock::new(),
+            net: NetworkEnv::campus(42),
+            telemetry: Telemetry::new(),
+            policy: ReplayPolicy::default(),
+            recording: true,
+            fault_plan: FaultPlan::none(),
+            devices: Vec::new(),
+        };
         let phone = legacy.add_device("phone", DeviceProfile::nexus4()).unwrap();
         legacy.deploy(phone, &spec("Twitter").unwrap()).unwrap();
 
@@ -212,6 +249,40 @@ mod tests {
             built.device(ids[0]).unwrap().apps.len(),
             legacy.device(phone).unwrap().apps.len()
         );
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing_and_changes_no_time() {
+        let build = |telemetry: bool| {
+            WorldBuilder::new()
+                .seed(9)
+                .telemetry(telemetry)
+                .device("phone", DeviceProfile::nexus4())
+                .device("tablet", DeviceProfile::nexus7_2013())
+                .app(0, spec("WhatsApp").expect("spec"))
+                .pair(0, 1)
+                .build()
+                .expect("build")
+        };
+        let (on, _) = build(true);
+        let (off, _) = build(false);
+        assert_eq!(on.clock.now(), off.clock.now());
+        assert!(!off.telemetry.is_enabled());
+        assert!(off.telemetry.events().is_empty());
+        assert!(!on.trace().is_empty());
+    }
+
+    #[test]
+    fn devices_get_distinct_lanes() {
+        let (world, ids) = WorldBuilder::new()
+            .device("phone", DeviceProfile::nexus4())
+            .device("tablet", DeviceProfile::nexus7_2013())
+            .build()
+            .expect("build");
+        let a = world.device(ids[0]).unwrap().lane;
+        let b = world.device(ids[1]).unwrap().lane;
+        assert_ne!(a, b);
+        assert_eq!(world.telemetry.lanes().len(), 3); // world + 2 devices
     }
 
     #[test]

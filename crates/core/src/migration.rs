@@ -13,7 +13,7 @@
 //! files, incompatible API levels and non-system Binder connections.
 //!
 //! When the world carries a non-empty
-//! [`FaultPlan`](flux_simcore::FaultPlan), stages can *fail* rather than
+//! [`flux_simcore::FaultPlan`], stages can *fail* rather than
 //! merely cost time: link drops abort the chunked image transfer mid-way,
 //! and kernel stalls past [`KERNEL_STALL_WATCHDOG`] abort a checkpoint or
 //! restore. Failed stages are retried under a [`RetryPolicy`] with
@@ -41,7 +41,8 @@ use flux_services::svc::activity::ActivityManagerService;
 use flux_services::svc::connectivity::ConnectivityManagerService;
 use flux_services::svc::package::PackageManagerService;
 use flux_services::{Intent, ACTION_CONNECTIVITY_CHANGE};
-use flux_simcore::{ByteSize, CostModel, FaultPlan, SimDuration, TraceKind};
+use flux_simcore::{ByteSize, CostModel, FaultPlan, SimDuration, SimTime, TraceKind};
+use flux_telemetry::LaneId;
 use flux_workloads::AppSpec;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -385,6 +386,10 @@ struct MigCtx {
     spec: AppSpec,
     /// Where partially transferred image chunks are staged on the guest.
     staged_path: String,
+    /// Telemetry lane of the home device.
+    home_lane: LaneId,
+    /// Telemetry lane of the guest device.
+    guest_lane: LaneId,
 }
 
 /// Mutable progress carried across attempts: completed stages are not
@@ -485,22 +490,49 @@ pub fn migrate_with(
             .cloned()
             .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?,
         staged_path: format!("{pairing_root}/.migrate/{package}.image"),
+        home_lane: world.device(home)?.lane,
+        guest_lane: world.device(guest)?.lane,
     };
     let plan = world.fault_plan.clone();
     let mut prog = Progress::default();
 
+    let mig_span = world
+        .telemetry
+        .enter(LaneId::WORLD, "migration", world.clock.now());
+    // Settles abandoned device-lane stage spans (from `?` early returns)
+    // and accounts the migration-level counters on a terminal path.
+    let settle = |world: &mut FluxWorld, prog: &Progress| {
+        let now = world.clock.now();
+        world.telemetry.finish_lane(ctx.home_lane, now);
+        world.telemetry.finish_lane(ctx.guest_lane, now);
+        world
+            .telemetry
+            .counter_add("flux.migration.attempts", u64::from(prog.attempts));
+        world
+            .telemetry
+            .counter_add("flux.migration.faults", u64::from(prog.faults));
+        world.telemetry.exit(mig_span, now);
+    };
+
     loop {
         prog.attempts += 1;
         match run_attempt(world, &ctx, &plan, &mut prog) {
-            Ok((replay, redrawn)) => return finalise(world, &ctx, prog, replay, redrawn),
+            Ok((replay, redrawn)) => {
+                settle(world, &prog);
+                return finalise(world, &ctx, prog, replay, redrawn);
+            }
             Err(StageFailure::Fatal(e)) => {
-                rollback(world, &ctx, &mut prog)?;
+                if let Err(re) = rollback(world, &ctx, &mut prog) {
+                    settle(world, &prog);
+                    return Err(re);
+                }
+                settle(world, &prog);
                 return Err(e);
             }
             Err(StageFailure::Fault { stage, detail }) => {
                 prog.faults += 1;
                 let now = world.clock.now();
-                world.trace.emit_kind(
+                world.telemetry.emit_kind(
                     now,
                     TraceKind::Fault,
                     "migration.fault",
@@ -508,7 +540,11 @@ pub fn migrate_with(
                 );
                 if prog.attempts >= policy.max_attempts {
                     let attempts = prog.attempts;
-                    rollback(world, &ctx, &mut prog)?;
+                    if let Err(re) = rollback(world, &ctx, &mut prog) {
+                        settle(world, &prog);
+                        return Err(re);
+                    }
+                    settle(world, &prog);
                     return Err(MigrationError::FaultAborted {
                         stage,
                         attempts,
@@ -517,9 +553,15 @@ pub fn migrate_with(
                     .into());
                 }
                 let backoff = policy.backoff_after(prog.attempts);
+                let backoff_span =
+                    world
+                        .telemetry
+                        .enter(LaneId::WORLD, "migration.backoff", world.clock.now());
                 world.clock.charge(backoff);
+                world.telemetry.exit(backoff_span, world.clock.now());
                 prog.backoff += backoff;
-                world.trace.emit_kind(
+                world.telemetry.counter_add("flux.migration.retries", 1);
+                world.telemetry.emit_kind(
                     world.clock.now(),
                     TraceKind::Retry,
                     "migration.retry",
@@ -547,6 +589,9 @@ fn run_attempt(
     // ---- Stage 1: preparation (home device) -----------------------------
     if !prog.prep_done {
         let t0 = world.clock.now();
+        let span = world
+            .telemetry
+            .enter(ctx.home_lane, "migration.stage.preparation", t0);
         {
             let now = world.clock.now();
             let dev = world.device_mut(ctx.home)?;
@@ -574,13 +619,18 @@ fn run_attempt(
             let binder = dev.cost.binder_transaction * 4;
             world.clock.charge(idle + teardown + binder);
         }
-        prog.times.preparation += world.clock.now() - t0;
+        let now = world.clock.now();
+        prog.times.preparation += now - t0;
+        world.telemetry.exit(span, now);
         prog.prep_done = true;
     }
 
     // ---- Stage 2: checkpoint (home device) ------------------------------
     if prog.image.is_none() {
         let t1 = world.clock.now();
+        let span = world
+            .telemetry
+            .enter(ctx.home_lane, "migration.stage.checkpoint", t1);
         let image = {
             let now = world.clock.now();
             let dev = world.device_mut(ctx.home)?;
@@ -611,19 +661,49 @@ fn run_attempt(
         };
         let raw = image.raw_bytes();
         let objects = image.process.object_count();
-        let cost = ctx.home_cost.checkpoint_time(raw, objects) + ctx.home_cost.compress_time(raw);
-        if let Some(fail) = charge_with_stalls(world, plan, cost, MigrationStage::Checkpoint, prog)
-        {
-            prog.times.checkpoint += world.clock.now() - t1;
+        let dump_cost = ctx.home_cost.checkpoint_time(raw, objects);
+        let compress_cost = ctx.home_cost.compress_time(raw);
+        let cost = dump_cost + compress_cost;
+        let charge_start = world.clock.now();
+        let fail = charge_with_stalls(
+            world,
+            plan,
+            cost,
+            MigrationStage::Checkpoint,
+            ctx.home_lane,
+            prog,
+        );
+        // Attribute the lump charge window to per-driver sub-spans,
+        // whether or not a stall aborted the stage afterwards.
+        record_criu_parts(
+            world,
+            ctx.home_lane,
+            "criu.dump",
+            charge_start,
+            dump_cost,
+            &image.process.component_weights(),
+        );
+        world.telemetry.record_complete(
+            ctx.home_lane,
+            "criu.compress",
+            charge_start + dump_cost,
+            charge_start + cost,
+        );
+        let now = world.clock.now();
+        prog.times.checkpoint += now - t1;
+        world.telemetry.exit(span, now);
+        if let Some(fail) = fail {
             return Err(fail);
         }
         prog.image = Some(image);
-        prog.times.checkpoint += world.clock.now() - t1;
     }
 
     // ---- Stage 3: transfer ----------------------------------------------
     if !prog.transfer_done {
         let t2 = world.clock.now();
+        let span = world
+            .telemetry
+            .enter(LaneId::WORLD, "migration.stage.transfer", t2);
         // The verification sync is naturally resumable: files delivered by
         // an earlier attempt classify as up-to-date and ship zero bytes.
         let verify = verify_app(world, ctx.home, ctx.guest, package)?;
@@ -641,9 +721,35 @@ fn run_attempt(
         );
         world.clock.charge(radio.duration);
         prog.delivered_chunks = radio.delivered_chunks;
+        for chunk in &radio.chunks {
+            world.telemetry.instant(
+                LaneId::WORLD,
+                TraceKind::Generic,
+                "net.chunk",
+                chunk.at,
+                format!(
+                    "{} in {}{}",
+                    chunk.bytes,
+                    chunk.duration,
+                    if chunk.congested { " (congested)" } else { "" }
+                ),
+            );
+        }
+        world
+            .telemetry
+            .counter_add("flux.net.bytes_transferred", radio.bytes_delivered.as_u64());
+        world
+            .telemetry
+            .counter_add("flux.net.chunks_delivered", radio.chunks.len() as u64);
+        world
+            .telemetry
+            .counter_add("flux.net.chunks_congested", radio.congested_chunks as u64);
+        world
+            .telemetry
+            .gauge_set("flux.net.goodput_mbps", radio.goodput_mbps);
         if radio.congested_chunks > 0 {
             prog.faults += 1;
-            world.trace.emit_kind(
+            world.telemetry.emit_kind(
                 world.clock.now(),
                 TraceKind::Fault,
                 "net.fault",
@@ -656,7 +762,9 @@ fn run_attempt(
         // Stage what the guest acknowledged so a retry resumes instead of
         // starting over.
         stage_chunks(world, ctx, prog)?;
-        prog.times.transfer += world.clock.now() - t2;
+        let now = world.clock.now();
+        prog.times.transfer += now - t2;
+        world.telemetry.exit(span, now);
         match radio.outcome {
             ChunkedOutcome::Complete => prog.transfer_done = true,
             ChunkedOutcome::LinkDropped { at } => {
@@ -675,6 +783,9 @@ fn run_attempt(
     let image = prog.image.as_ref().expect("checkpoint completed").clone();
     if !prog.restore_done {
         let t3 = world.clock.now();
+        let span = world
+            .telemetry
+            .enter(ctx.guest_lane, "migration.stage.restore", t3);
         let (restored, guest_uid) = {
             let dev = world.device_mut(ctx.guest)?;
             let pairing_root = dev
@@ -752,25 +863,56 @@ fn run_attempt(
         prog.dropped_connections = restored.dropped_connections.clone();
 
         let raw = image.raw_bytes();
-        let cost = ctx.guest_cost.decompress_time(image.compressed_bytes())
-            + ctx
-                .guest_cost
-                .restore_time(raw, image.process.object_count());
-        if let Some(fail) = charge_with_stalls(world, plan, cost, MigrationStage::Restore, prog) {
+        let decompress_cost = ctx.guest_cost.decompress_time(image.compressed_bytes());
+        let undump_cost = ctx
+            .guest_cost
+            .restore_time(raw, image.process.object_count());
+        let cost = decompress_cost + undump_cost;
+        let charge_start = world.clock.now();
+        let fail = charge_with_stalls(
+            world,
+            plan,
+            cost,
+            MigrationStage::Restore,
+            ctx.guest_lane,
+            prog,
+        );
+        world.telemetry.record_complete(
+            ctx.guest_lane,
+            "criu.decompress",
+            charge_start,
+            charge_start + decompress_cost,
+        );
+        record_criu_parts(
+            world,
+            ctx.guest_lane,
+            "criu.undump",
+            charge_start + decompress_cost,
+            undump_cost,
+            &image.process.component_weights(),
+        );
+        if let Some(fail) = fail {
             // The watchdog killed the half-restored wrapper: tear the
             // partial guest state down before the retry re-restores it.
             teardown_guest(world, ctx, prog, false)?;
-            prog.times.restore += world.clock.now() - t3;
+            let now = world.clock.now();
+            prog.times.restore += now - t3;
+            world.telemetry.exit(span, now);
             return Err(fail);
         }
         // The staged chunks have been consumed into the restored process.
         remove_staged_chunks(world, ctx)?;
         prog.restore_done = true;
-        prog.times.restore += world.clock.now() - t3;
+        let now = world.clock.now();
+        prog.times.restore += now - t3;
+        world.telemetry.exit(span, now);
     }
 
     // ---- Stage 5: reintegration (guest device) --------------------------
     let t4 = world.clock.now();
+    let reint_span = world
+        .telemetry
+        .enter(ctx.guest_lane, "migration.stage.reintegration", t4);
     let replay = replay_log(
         world,
         ctx.guest,
@@ -812,8 +954,44 @@ fn run_attempt(
     world.clock.charge(SimDuration::from_nanos(
         ctx.guest_cost.view_reinit_ns_per_view * redrawn as u64,
     ));
-    prog.times.reintegration += world.clock.now() - t4;
+    let now = world.clock.now();
+    prog.times.reintegration += now - t4;
+    world.telemetry.exit(reint_span, now);
     Ok((replay, redrawn))
+}
+
+/// Splits a lump-charged CRIU window `[start, start + total]` into
+/// per-driver sub-spans (`<prefix>.mem`, `<prefix>.fds`, ...) proportional
+/// to `weights`. Integer arithmetic; the last part absorbs the rounding
+/// remainder so the parts sum exactly to `total`.
+fn record_criu_parts(
+    world: &mut FluxWorld,
+    lane: LaneId,
+    prefix: &str,
+    start: SimTime,
+    total: SimDuration,
+    weights: &[(&'static str, u64)],
+) {
+    if !world.telemetry.is_enabled() || weights.is_empty() {
+        return;
+    }
+    let weight_sum: u64 = weights.iter().map(|(_, w)| *w).sum::<u64>().max(1);
+    let total_ns = total.as_nanos();
+    let mut cursor = start;
+    let mut spent = 0u64;
+    for (i, (name, w)) in weights.iter().enumerate() {
+        let part_ns = if i == weights.len() - 1 {
+            total_ns - spent
+        } else {
+            total_ns * w / weight_sum
+        };
+        spent += part_ns;
+        let end = cursor + SimDuration::from_nanos(part_ns);
+        world
+            .telemetry
+            .record_complete(lane, &format!("{prefix}.{name}"), cursor, end);
+        cursor = end;
+    }
 }
 
 /// Charges `cost` to the clock, plus any kernel stalls scheduled inside
@@ -824,6 +1002,7 @@ fn charge_with_stalls(
     plan: &FaultPlan,
     cost: SimDuration,
     stage: MigrationStage,
+    lane: LaneId,
     prog: &mut Progress,
 ) -> Option<StageFailure> {
     let start = world.clock.now();
@@ -833,10 +1012,11 @@ fn charge_with_stalls(
     for stall in &stalls {
         world.clock.charge(stall.duration);
         prog.faults += 1;
-        world.trace.emit_kind(
-            world.clock.now(),
+        world.telemetry.instant(
+            lane,
             TraceKind::Fault,
             "kernel.fault",
+            world.clock.now(),
             format!("stall of {} during {stage}", stall.duration),
         );
         if stall.duration >= KERNEL_STALL_WATCHDOG && abort.is_none() {
@@ -921,8 +1101,17 @@ fn teardown_guest(
 /// checks verify the outcome; their failure is the only error.
 fn rollback(world: &mut FluxWorld, ctx: &MigCtx, prog: &mut Progress) -> Result<(), FluxError> {
     let package = ctx.package.as_str();
-    world.trace.emit_kind(
-        world.clock.now(),
+    let now = world.clock.now();
+    // Stage spans abandoned by the failing attempt must not swallow the
+    // rollback work into their duration.
+    world.telemetry.finish_lane(ctx.home_lane, now);
+    world.telemetry.finish_lane(ctx.guest_lane, now);
+    let span = world
+        .telemetry
+        .enter(LaneId::WORLD, "migration.rollback", now);
+    world.telemetry.counter_add("flux.migration.rollbacks", 1);
+    world.telemetry.emit_kind(
+        now,
         TraceKind::Rollback,
         "migration.rollback",
         format!(
@@ -1013,12 +1202,14 @@ fn rollback(world: &mut FluxWorld, ctx: &MigCtx, prog: &mut Progress) -> Result<
         }
         .into());
     }
-    world.trace.emit_kind(
+    world.telemetry.emit_kind(
         world.clock.now(),
         TraceKind::Rollback,
         "migration.rollback",
         format!("{package}: home-side invariants verified"),
     );
+    let now = world.clock.now();
+    world.telemetry.exit(span, now);
     Ok(())
 }
 
@@ -1049,7 +1240,19 @@ fn finalise(
 
     let ledger = ledger_of(&prog);
     let stages = prog.times;
-    world.trace.emit(
+    world.telemetry.counter_add("flux.migration.completed", 1);
+    for (stage, d) in [
+        ("preparation", stages.preparation),
+        ("checkpoint", stages.checkpoint),
+        ("transfer", stages.transfer),
+        ("restore", stages.restore),
+        ("reintegration", stages.reintegration),
+    ] {
+        world
+            .telemetry
+            .observe(&format!("flux.migration.stage_ms.{stage}"), d.as_millis());
+    }
+    world.telemetry.emit(
         world.clock.now(),
         "migration.complete",
         format!(

@@ -107,8 +107,8 @@ pub fn pair(
             &guest_cost,
         )
         .map_err(|e| WorldError::Boot(e.to_string()))?;
-        merge(&mut app_sync, &apk);
-        merge(&mut app_sync, &data);
+        app_sync.absorb(&apk);
+        app_sync.absorb(&data);
         g.host
             .service_mut::<PackageManagerService>("package")
             .expect("package service registered")
@@ -139,7 +139,9 @@ pub fn pair(
     }
 
     let elapsed = world.clock.now() - started;
-    world.trace.emit(
+    record_fs_metrics(world, &system_sync);
+    record_fs_metrics(world, &app_sync);
+    world.telemetry.emit(
         world.clock.now(),
         "pairing.complete",
         format!("{home_name} -> guest, {shipped} shipped"),
@@ -206,21 +208,23 @@ pub fn verify_app(
             &guest_cost,
         )
         .map_err(|e| WorldError::Boot(e.to_string()))?;
-        merge(&mut report, &apk);
-        merge(&mut report, &data);
+        report.absorb(&apk);
+        report.absorb(&data);
     }
     world.clock.charge(report.cpu_time);
+    record_fs_metrics(world, &report);
     Ok(report)
 }
 
-fn merge(into: &mut SyncReport, from: &SyncReport) {
-    into.files_total += from.files_total;
-    into.files_up_to_date += from.files_up_to_date;
-    into.files_hard_linked += from.files_hard_linked;
-    into.files_delta += from.files_delta;
-    into.files_full += from.files_full;
-    into.bytes_considered += from.bytes_considered;
-    into.bytes_differing += from.bytes_differing;
-    into.bytes_shipped += from.bytes_shipped;
-    into.cpu_time += from.cpu_time;
+/// Accounts one sync run's outcome under the `flux.fs.*` metrics.
+fn record_fs_metrics(world: &mut FluxWorld, report: &SyncReport) {
+    world
+        .telemetry
+        .counter_add("flux.fs.files_shipped", report.files_shipped() as u64);
+    world
+        .telemetry
+        .counter_add("flux.fs.files_linked", report.files_linked() as u64);
+    world
+        .telemetry
+        .counter_add("flux.fs.bytes_shipped", report.bytes_shipped.as_u64());
 }

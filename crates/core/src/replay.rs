@@ -53,39 +53,55 @@ pub fn replay_log(
 ) -> Result<ReplayStats, FluxError> {
     let mut stats = ReplayStats::default();
     let guest_profile = world.device(guest)?.profile.clone();
+    let guest_lane = world.device(guest)?.lane;
     for entry in log.entries() {
+        let span = world.telemetry.enter(
+            guest_lane,
+            &format!("replay.svc.{}", entry.service),
+            world.clock.now(),
+        );
         let proxy = world
             .device(guest)?
             .host
             .interface(&entry.descriptor)
             .and_then(|i| i.rule(&entry.method))
             .and_then(|r| r.replay_proxy.clone());
-        match proxy {
-            None => {
-                world.app_call(
+        let outcome = match proxy {
+            None => world
+                .app_call(
                     guest,
                     package,
                     &entry.service,
                     &entry.method,
                     entry.args.clone(),
-                )?;
-                stats.replayed += 1;
-            }
-            Some(path) => {
-                apply_proxy(
-                    world,
-                    guest,
-                    package,
-                    &path,
-                    entry,
-                    checkpoint_time,
-                    home_profile,
-                    &guest_profile,
-                    &mut stats,
-                )?;
-            }
-        }
+                )
+                .map(|_| {
+                    stats.replayed += 1;
+                }),
+            Some(path) => apply_proxy(
+                world,
+                guest,
+                package,
+                &path,
+                entry,
+                checkpoint_time,
+                home_profile,
+                &guest_profile,
+                &mut stats,
+            ),
+        };
+        world.telemetry.exit(span, world.clock.now());
+        outcome?;
     }
+    world
+        .telemetry
+        .counter_add("flux.replay.calls_replayed", stats.replayed);
+    world
+        .telemetry
+        .counter_add("flux.replay.calls_proxied", stats.proxied);
+    world
+        .telemetry
+        .counter_add("flux.replay.calls_skipped", stats.skipped);
     Ok(stats)
 }
 

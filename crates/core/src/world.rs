@@ -19,6 +19,7 @@ use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::package::PackageManagerService;
 use flux_services::{boot_android, Delivery, ServiceHost, ServicesConfig};
 use flux_simcore::{ByteSize, CostModel, FaultPlan, SimClock, SimDuration, SimTime, Trace, Uid};
+use flux_telemetry::{LaneId, Telemetry};
 use flux_workloads::{Action, AppSpec};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -60,6 +61,8 @@ pub struct Device {
     pub cost: CostModel,
     /// Pairings with other devices, keyed by the *home* device id.
     pub pairings: BTreeMap<usize, Pairing>,
+    /// The device's telemetry lane (its row in the Chrome trace).
+    pub lane: LaneId,
 }
 
 impl Device {
@@ -139,8 +142,9 @@ pub struct FluxWorld {
     pub clock: SimClock,
     /// Shared wireless environment.
     pub net: NetworkEnv,
-    /// Event trace.
-    pub trace: Trace,
+    /// The observability hub: spans, instant events (the former flat
+    /// trace) and metrics. See `flux_telemetry`.
+    pub telemetry: Telemetry,
     /// Adaptive Replay policy.
     pub policy: ReplayPolicy,
     /// Whether Selective Record interposition is active. Disabling it
@@ -156,22 +160,10 @@ pub struct FluxWorld {
 }
 
 impl FluxWorld {
-    /// Creates a world on a campus WiFi network with the given RNG seed.
-    ///
-    /// Prefer [`WorldBuilder`](crate::WorldBuilder), which also boots
-    /// devices, deploys apps, pairs devices and installs a fault plan in
-    /// one declarative pass. This constructor remains as a shim.
-    #[deprecated(note = "use flux_core::WorldBuilder")]
-    pub fn new(seed: u64) -> Self {
-        Self {
-            clock: SimClock::new(),
-            net: NetworkEnv::campus(seed),
-            trace: Trace::new(),
-            policy: ReplayPolicy::default(),
-            recording: true,
-            fault_plan: FaultPlan::none(),
-            devices: Vec::new(),
-        }
+    /// The flat event log (compatibility accessor for code written against
+    /// the pre-telemetry `world.trace` field).
+    pub fn trace(&self) -> &Trace {
+        self.telemetry.events()
     }
 
     /// Boots a device: kernel, system services, system partition.
@@ -186,6 +178,7 @@ impl FluxWorld {
         let mut fs = SimFs::new();
         flux_device::populate_system(&mut fs, &profile);
         let cost = CostModel::reference().scaled(profile.cpu_scale);
+        let lane = self.telemetry.lane(name);
         self.devices.push(Device {
             name: name.to_owned(),
             profile,
@@ -197,6 +190,7 @@ impl FluxWorld {
             records: RecordStore::default(),
             cost,
             pairings: BTreeMap::new(),
+            lane,
         });
         Ok(DeviceId(self.devices.len() - 1))
     }
@@ -330,10 +324,23 @@ impl FluxWorld {
 
         // Selective Record: asynchronous append + stale-call removal.
         if recording {
-            if let Some(iface) = dev.host.interface_of_service(service) {
+            let outcome = dev.host.interface_of_service(service).map(|iface| {
                 dev.records
                     .log_mut(uid)
-                    .offer(iface, service, method, &args, &reply, now);
+                    .offer(iface, service, method, &args, &reply, now)
+            });
+            if let Some(o) = outcome {
+                if o.recorded {
+                    self.telemetry.counter_add("flux.record.calls_logged", 1);
+                }
+                if o.suppressed {
+                    self.telemetry
+                        .counter_add("flux.record.calls_suppressed", 1);
+                }
+                if o.dropped > 0 {
+                    self.telemetry
+                        .counter_add("flux.record.calls_dropped", o.dropped as u64);
+                }
             }
             self.clock.charge(record_cost);
         }
@@ -654,6 +661,23 @@ impl FluxWorld {
             self.perform(id, package, a)?;
         }
         Ok(())
+    }
+
+    /// Scrapes component-held counters into the metrics registry:
+    /// `flux.binder.transactions` (summed over every device's driver) and
+    /// `flux.telemetry.events_dropped`. Idempotent — counters are *set*,
+    /// not added — so harvesting before every export is safe.
+    pub fn harvest_metrics(&mut self) {
+        let binder_txns: u64 = self
+            .devices
+            .iter()
+            .map(|d| d.kernel.binder.transactions)
+            .sum();
+        let dropped = self.telemetry.dropped_events();
+        self.telemetry
+            .counter_set("flux.binder.transactions", binder_txns);
+        self.telemetry
+            .counter_set("flux.telemetry.events_dropped", dropped);
     }
 }
 

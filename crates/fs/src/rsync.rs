@@ -78,6 +78,35 @@ pub struct SyncReport {
     pub cpu_time: SimDuration,
 }
 
+impl SyncReport {
+    /// Files that put bytes on the wire (deltas plus full copies). This is
+    /// the `flux.fs.files_shipped` telemetry counter.
+    pub fn files_shipped(&self) -> usize {
+        self.files_delta + self.files_full
+    }
+
+    /// Files satisfied locally by `--link-dest` hard links. This is the
+    /// `flux.fs.files_linked` telemetry counter.
+    pub fn files_linked(&self) -> usize {
+        self.files_hard_linked
+    }
+
+    /// Folds `other` into this report: counts and byte totals add, CPU
+    /// time accumulates. Used to aggregate the per-area syncs of a pairing
+    /// run into one report.
+    pub fn absorb(&mut self, other: &SyncReport) {
+        self.files_total += other.files_total;
+        self.files_up_to_date += other.files_up_to_date;
+        self.files_hard_linked += other.files_hard_linked;
+        self.files_delta += other.files_delta;
+        self.files_full += other.files_full;
+        self.bytes_considered += other.bytes_considered;
+        self.bytes_differing += other.bytes_differing;
+        self.bytes_shipped += other.bytes_shipped;
+        self.cpu_time += other.cpu_time;
+    }
+}
+
 /// Synchronises everything under `src_root` in `src` to the corresponding
 /// paths under `dst_root` in `dst`.
 ///

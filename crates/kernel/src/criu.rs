@@ -172,6 +172,25 @@ impl ProcessImage {
         (self.threads.len() + self.vmas.len() + self.fds.len()) as u64
     }
 
+    /// Relative dump/restore weights of the image's components, for
+    /// attributing a lump-charged checkpoint or restore window to
+    /// per-driver telemetry sub-spans (`criu.dump.mem`, `criu.dump.fds`,
+    /// ...). Weights are byte-based where bytes dominate (memory) and
+    /// object-count-based elsewhere, mirroring the per-object term of the
+    /// checkpoint cost model; every weight is at least 1 so no component
+    /// ever collapses to a zero-length span.
+    pub fn component_weights(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("mem", self.payload_bytes().as_u64().max(1)),
+            ("fds", (self.fds.len() as u64).max(1) * 4096),
+            (
+                "binder",
+                ((self.binder.handles.len() + self.binder.owned_nodes.len()) as u64).max(1) * 4096,
+            ),
+            ("threads", (self.threads.len() as u64).max(1) * 4096),
+        ]
+    }
+
     /// Deterministically materialises `len` bytes of synthetic page data
     /// for benchmarking real serialisation throughput.
     pub fn materialize_pages(&self, cap: usize) -> Vec<u8> {

@@ -11,6 +11,6 @@
 pub mod wifi;
 
 pub use wifi::{
-    Band, ChunkedOutcome, ChunkedTransfer, NetworkEnv, TransferStats, WifiAdapter, WifiStandard,
-    DEFAULT_CHUNK,
+    Band, ChunkEvent, ChunkedOutcome, ChunkedTransfer, NetworkEnv, TransferStats, WifiAdapter,
+    WifiStandard, DEFAULT_CHUNK,
 };

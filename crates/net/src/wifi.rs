@@ -178,6 +178,7 @@ impl NetworkEnv {
             goodput_mbps,
             congested_chunks: 0,
             outcome: ChunkedOutcome::Complete,
+            chunks: Vec::new(),
         };
 
         // Connection setup; a drop during the handshake delivers nothing.
@@ -210,9 +211,15 @@ impl NetworkEnv {
                 out.outcome = ChunkedOutcome::LinkDropped { at: e.at };
                 return out;
             }
+            let sent = chunk.min(bytes.as_u64() - (resume_from as u64 + i as u64) * chunk);
+            out.chunks.push(ChunkEvent {
+                at: cursor,
+                duration: d,
+                bytes: ByteSize::from_bytes(sent),
+                congested: factor > 1.0,
+            });
             cursor += d;
             out.delivered_chunks += 1;
-            let sent = chunk.min(bytes.as_u64() - (resume_from as u64 + i as u64) * chunk);
             out.bytes_delivered += ByteSize::from_bytes(sent);
         }
         out.duration = cursor - now;
@@ -233,8 +240,21 @@ pub enum ChunkedOutcome {
     },
 }
 
-/// Statistics of one chunked transfer attempt.
+/// One delivered chunk of a chunked transfer, for telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkEvent {
+    /// Virtual time the chunk started transmitting.
+    pub at: SimTime,
+    /// Air time of the chunk (including congestion stretch).
+    pub duration: SimDuration,
+    /// Payload bytes the chunk carried.
+    pub bytes: ByteSize,
+    /// Whether a congestion spike stretched this chunk.
+    pub congested: bool,
+}
+
+/// Statistics of one chunked transfer attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChunkedTransfer {
     /// Chunks in the whole payload.
     pub total_chunks: usize,
@@ -252,6 +272,10 @@ pub struct ChunkedTransfer {
     pub congested_chunks: usize,
     /// How the attempt ended.
     pub outcome: ChunkedOutcome,
+    /// Per-chunk delivery log, in transmission order, for telemetry
+    /// (`net.chunk` instant events). Chunks resumed from earlier attempts
+    /// and the chunk aborted by a link drop are not included.
+    pub chunks: Vec<ChunkEvent>,
 }
 
 impl ChunkedTransfer {
@@ -344,6 +368,16 @@ mod tests {
         assert!(c.complete());
         assert_eq!(c.delivered_chunks, c.total_chunks);
         assert_eq!(c.bytes_delivered, bytes);
+        // The chunk log accounts for every byte and the whole body time.
+        assert_eq!(c.chunks.len(), c.total_chunks);
+        let logged: u64 = c.chunks.iter().map(|e| e.bytes.as_u64()).sum();
+        assert_eq!(logged, bytes.as_u64());
+        let air: SimDuration = c
+            .chunks
+            .iter()
+            .map(|e| e.duration)
+            .fold(SimDuration::ZERO, |acc, d| acc + d);
+        assert_eq!(chunked.setup_latency + air, c.duration);
         // Both consumed exactly one jitter draw: the streams stay in step.
         let t2 = legacy.transfer(bytes, &n_dual(), &n_single());
         let c2 = chunked.transfer_chunked(

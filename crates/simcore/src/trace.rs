@@ -3,6 +3,14 @@
 //! Migration experiments want to explain *where* virtual time went (Figure
 //! 13's stage breakdown). Components append [`TraceEvent`]s as they work and
 //! the harnesses aggregate them afterwards.
+//!
+//! Since the `flux-telemetry` crate landed, [`Trace`] is the flat *event
+//! log* layer of the observability stack: `flux_telemetry::Telemetry`
+//! embeds one and mirrors every instant event into it, so code written
+//! against `events()` / `events_in()` / `events_of_kind()` keeps working
+//! unchanged. New instrumentation should prefer the span and metrics APIs
+//! in `flux-telemetry`; this type stays dependency-free so `simcore` does
+//! not grow an upward edge in the crate graph.
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -62,14 +70,20 @@ impl fmt::Display for TraceEvent {
 pub struct Trace {
     events: Vec<TraceEvent>,
     enabled: bool,
+    /// Optional cap on `events.len()`; `None` means unbounded.
+    capacity: Option<usize>,
+    /// Events discarded because the cap was reached.
+    dropped: u64,
 }
 
 impl Trace {
-    /// Creates an enabled, empty trace.
+    /// Creates an enabled, empty, unbounded trace.
     pub fn new() -> Self {
         Self {
             events: Vec::new(),
             enabled: true,
+            capacity: None,
+            dropped: 0,
         }
     }
 
@@ -78,30 +92,63 @@ impl Trace {
         Self {
             events: Vec::new(),
             enabled: false,
+            capacity: None,
+            dropped: 0,
         }
     }
 
-    /// Appends a [`TraceKind::Generic`] event if tracing is enabled.
-    pub fn emit(&mut self, at: SimTime, category: &str, detail: impl Into<String>) {
-        self.emit_kind(at, TraceKind::Generic, category, detail);
+    /// Caps the trace at `limit` events (`None` restores unbounded growth).
+    ///
+    /// Long fault-sweep runs emit millions of chunk/fault events; a cap
+    /// keeps memory flat while [`Trace::dropped`] keeps the books honest.
+    /// Events already recorded beyond a newly lowered cap are kept.
+    pub fn set_capacity(&mut self, limit: Option<usize>) {
+        self.capacity = limit;
     }
 
-    /// Appends an event of an explicit kind if tracing is enabled.
+    /// The configured capacity, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of events discarded because the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends a [`TraceKind::Generic`] event if tracing is enabled.
+    /// Returns whether the event was recorded.
+    pub fn emit(&mut self, at: SimTime, category: &str, detail: impl Into<String>) -> bool {
+        self.emit_kind(at, TraceKind::Generic, category, detail)
+    }
+
+    /// Appends an event of an explicit kind if tracing is enabled and the
+    /// capacity (if set) has not been reached. Returns whether the event
+    /// was recorded; a `false` from an enabled trace means it was dropped
+    /// and counted in [`Trace::dropped`].
     pub fn emit_kind(
         &mut self,
         at: SimTime,
         kind: TraceKind,
         category: &str,
         detail: impl Into<String>,
-    ) {
-        if self.enabled {
-            self.events.push(TraceEvent {
-                at,
-                kind,
-                category: category.to_owned(),
-                detail: detail.into(),
-            });
+    ) -> bool {
+        if !self.enabled {
+            return false;
         }
+        if let Some(cap) = self.capacity {
+            if self.events.len() >= cap {
+                self.dropped += 1;
+                return false;
+            }
+        }
+        self.events.push(TraceEvent {
+            at,
+            kind,
+            category: category.to_owned(),
+            detail: detail.into(),
+        });
+        true
     }
 
     /// All events, in emission order.
@@ -131,9 +178,10 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Discards all recorded events.
+    /// Discards all recorded events and resets the dropped counter.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.dropped = 0;
     }
 }
 
@@ -196,5 +244,32 @@ mod tests {
         assert_eq!(t.events_of_kind(TraceKind::Fault).count(), 1);
         assert_eq!(t.events_of_kind(TraceKind::Retry).count(), 1);
         assert_eq!(t.events_of_kind(TraceKind::Rollback).count(), 1);
+    }
+
+    #[test]
+    fn capacity_drops_and_counts_overflow() {
+        let mut t = Trace::new();
+        t.set_capacity(Some(2));
+        assert!(t.emit(SimTime::ZERO, "a", "1"));
+        assert!(t.emit(SimTime::from_millis(1), "b", "2"));
+        assert!(!t.emit(SimTime::from_millis(2), "c", "3"));
+        assert!(!t.emit(SimTime::from_millis(3), "d", "4"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.capacity(), Some(2));
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert!(t.emit(SimTime::from_millis(4), "e", "5"));
+    }
+
+    #[test]
+    fn unbounded_trace_never_drops() {
+        let mut t = Trace::new();
+        for i in 0..1_000 {
+            assert!(t.emit(SimTime::from_millis(i), "spam", "x"));
+        }
+        assert_eq!(t.len(), 1_000);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), None);
     }
 }

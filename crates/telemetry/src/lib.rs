@@ -1,0 +1,560 @@
+//! `flux-telemetry`: the observability subsystem of the Flux reproduction.
+//!
+//! The paper's whole evaluation (§6, Figures 12–17) is an exercise in
+//! explaining *where virtual time and bytes go* during a migration. This
+//! crate provides the machinery to answer that from one instrumented run:
+//!
+//! * [`Telemetry`] — the per-world hub: hierarchical **spans** over virtual
+//!   time (enter/exit with parent links, one lane per simulated device),
+//!   lane-attributed **instant events**, and a flat event log that stays
+//!   API-compatible with the original `flux_simcore::Trace`.
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket histograms
+//!   under the `flux.<crate>.<name>` naming scheme, held in a `BTreeMap`
+//!   so snapshot iteration order — and therefore exporter output — is
+//!   byte-stable across runs.
+//! * [`export`] — three exporters: Chrome `about://tracing` JSON
+//!   ([`export::chrome_trace`]), a per-stage migration profile table
+//!   ([`export::MigrationProfile`]) and a plain JSON snapshot
+//!   ([`export::json_snapshot`]) for benches and golden tests.
+//! * [`json`] — a minimal JSON reader/printer used to validate and
+//!   round-trip exporter output without external dependencies.
+//!
+//! Everything is deterministic: telemetry consumes no randomness and never
+//! charges the virtual clock, so enabling it cannot perturb an experiment.
+//! A [`Telemetry::disabled`] hub drops every span, event and metric at the
+//! first branch, which is what the Figure 16 overhead worlds use.
+//!
+//! # Examples
+//!
+//! ```
+//! use flux_simcore::{SimClock, SimDuration};
+//! use flux_telemetry::{span, Telemetry};
+//!
+//! let mut tele = Telemetry::new();
+//! let mut clock = SimClock::new();
+//! let lane = tele.lane("phone");
+//! let total = span!(tele, clock, lane, "migration", {
+//!     span!(tele, clock, lane, "checkpoint", {
+//!         clock.charge(SimDuration::from_millis(250));
+//!     });
+//!     tele.counter_add("flux.migration.completed", 1);
+//!     clock.now()
+//! });
+//! assert_eq!(total.as_millis(), 250);
+//! assert_eq!(tele.spans().len(), 2);
+//! assert_eq!(tele.metrics().counter("flux.migration.completed"), 1);
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+
+pub use export::{chrome_trace, json_snapshot, MigrationProfile};
+pub use metrics::{Histogram, Metric, MetricsRegistry};
+
+use flux_simcore::{SimDuration, SimTime, Trace, TraceKind};
+
+/// Identifies one lane (a simulated device or process) in the span tree
+/// and the Chrome trace. Lane 0 is always the world lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LaneId(pub u16);
+
+impl LaneId {
+    /// The implicit world lane every hub starts with.
+    pub const WORLD: LaneId = LaneId(0);
+}
+
+/// Identifies one span within a [`Telemetry`] hub.
+///
+/// Ids from a disabled hub are inert sentinels; exiting them is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    const NONE: SpanId = SpanId(u32::MAX);
+
+    /// Whether this id came from a disabled hub (and refers to nothing).
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// The position of this span in [`Telemetry::spans`], or `None` for
+    /// the disabled-hub sentinel. Lets consumers of an exported span list
+    /// resolve [`Span::parent`] links.
+    pub fn index(self) -> Option<usize> {
+        if self.is_none() {
+            None
+        } else {
+            Some(self.0 as usize)
+        }
+    }
+}
+
+/// One hierarchical span: a named interval of virtual time on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Span name, e.g. `"migration.stage.transfer"`.
+    pub name: String,
+    /// Lane (device/process) the span ran on.
+    pub lane: LaneId,
+    /// Enclosing span on the same lane, if any.
+    pub parent: Option<SpanId>,
+    /// Virtual time the span was entered.
+    pub start: SimTime,
+    /// Virtual time the span was exited; `None` while still open.
+    pub end: Option<SimTime>,
+}
+
+impl Span {
+    /// The span's duration (zero while still open).
+    pub fn duration(&self) -> SimDuration {
+        self.end
+            .map(|e| e - self.start)
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// A lane-attributed instant event (a Chrome "i" event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Lane it is attributed to.
+    pub lane: LaneId,
+    /// Event class (generic/fault/retry/rollback).
+    pub kind: TraceKind,
+    /// Dot-separated event name, e.g. `"net.chunk"`.
+    pub name: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// The per-world telemetry hub. See the [crate docs](self).
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    enabled: bool,
+    lanes: Vec<String>,
+    spans: Vec<Span>,
+    /// Per-lane stack of open spans (indices into `spans`).
+    open: Vec<Vec<u32>>,
+    instants: Vec<InstantEvent>,
+    events: Trace,
+    metrics: MetricsRegistry,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Creates an enabled hub with the world lane registered.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            lanes: vec!["world".to_owned()],
+            spans: Vec::new(),
+            open: vec![Vec::new()],
+            instants: Vec::new(),
+            events: Trace::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Creates a disabled hub: every span, event and metric is dropped at
+    /// the first branch. Used by overhead-comparison worlds and benches.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            lanes: vec!["world".to_owned()],
+            spans: Vec::new(),
+            open: vec![Vec::new()],
+            instants: Vec::new(),
+            events: Trace::disabled(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Whether the hub records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Caps the flat event log and the instant-event list at `limit`
+    /// entries each; events beyond the cap are counted as dropped (see
+    /// [`Telemetry::dropped_events`]) instead of growing memory without
+    /// bound during long fault sweeps.
+    pub fn set_event_capacity(&mut self, limit: usize) {
+        self.events.set_capacity(Some(limit));
+    }
+
+    /// Events dropped by the capacity limit so far. Exported as the
+    /// `flux.telemetry.events_dropped` metric in snapshots.
+    pub fn dropped_events(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    // ---- lanes ----------------------------------------------------------
+
+    /// Interns a lane by name, returning its id. Registering the same name
+    /// twice returns the same lane.
+    pub fn lane(&mut self, name: &str) -> LaneId {
+        if let Some(i) = self.lanes.iter().position(|l| l == name) {
+            return LaneId(i as u16);
+        }
+        self.lanes.push(name.to_owned());
+        self.open.push(Vec::new());
+        LaneId((self.lanes.len() - 1) as u16)
+    }
+
+    /// Registered lane names, in registration order.
+    pub fn lanes(&self) -> &[String] {
+        &self.lanes
+    }
+
+    // ---- spans ----------------------------------------------------------
+
+    /// Opens a span on `lane` at virtual time `at`. The parent is the
+    /// innermost span still open on the same lane.
+    pub fn enter(&mut self, lane: LaneId, name: &str, at: SimTime) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let lane_ix = (lane.0 as usize).min(self.open.len() - 1);
+        let parent = self.open[lane_ix].last().map(|&i| SpanId(i));
+        let id = self.spans.len() as u32;
+        self.spans.push(Span {
+            name: name.to_owned(),
+            lane: LaneId(lane_ix as u16),
+            parent,
+            start: at,
+            end: None,
+        });
+        self.open[lane_ix].push(id);
+        SpanId(id)
+    }
+
+    /// Closes span `id` at virtual time `at`. Any children still open on
+    /// the same lane are closed at the same instant, so spans always nest
+    /// strictly. Exiting an already-closed span (or a disabled-hub
+    /// sentinel) is a no-op.
+    pub fn exit(&mut self, id: SpanId, at: SimTime) {
+        if !self.enabled || id.is_none() {
+            return;
+        }
+        let Some(span) = self.spans.get(id.0 as usize) else {
+            return;
+        };
+        let lane_ix = span.lane.0 as usize;
+        if !self.open[lane_ix].contains(&id.0) {
+            return;
+        }
+        while let Some(top) = self.open[lane_ix].pop() {
+            if self.spans[top as usize].end.is_none() {
+                self.spans[top as usize].end = Some(at);
+            }
+            if top == id.0 {
+                break;
+            }
+        }
+    }
+
+    /// Records an already-completed span `[start, end]` on `lane`, parented
+    /// under the lane's innermost open span without touching the stack.
+    /// Used to attribute a lump-charged cost window after the fact (e.g.
+    /// splitting a CRIU checkpoint charge into per-driver sub-spans).
+    pub fn record_complete(&mut self, lane: LaneId, name: &str, start: SimTime, end: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let lane_ix = (lane.0 as usize).min(self.open.len() - 1);
+        let parent = self.open[lane_ix].last().map(|&i| SpanId(i));
+        self.spans.push(Span {
+            name: name.to_owned(),
+            lane: LaneId(lane_ix as u16),
+            parent,
+            start,
+            end: Some(end),
+        });
+    }
+
+    /// Closes every span still open on `lane`, at virtual time `at`.
+    /// Error paths use this to settle a device lane whose stage spans were
+    /// abandoned by an early return before continuing on another lane.
+    pub fn finish_lane(&mut self, lane: LaneId, at: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let lane_ix = (lane.0 as usize).min(self.open.len() - 1);
+        while let Some(top) = self.open[lane_ix].pop() {
+            if self.spans[top as usize].end.is_none() {
+                self.spans[top as usize].end = Some(at);
+            }
+        }
+    }
+
+    /// Closes every span still open, at virtual time `at`. Call before
+    /// exporting so the trace contains no dangling intervals.
+    pub fn finish(&mut self, at: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        for stack in &mut self.open {
+            while let Some(top) = stack.pop() {
+                if self.spans[top as usize].end.is_none() {
+                    self.spans[top as usize].end = Some(at);
+                }
+            }
+        }
+    }
+
+    /// All spans recorded so far, in creation order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total duration of all *closed* spans whose name is exactly `name`.
+    pub fn span_total(&self, name: &str) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(Span::duration)
+            .fold(SimDuration::ZERO, |a, d| a + d)
+    }
+
+    // ---- events ---------------------------------------------------------
+
+    /// Records a lane-attributed instant event and mirrors it into the
+    /// flat compatibility log. Subject to the event capacity.
+    pub fn instant(
+        &mut self,
+        lane: LaneId,
+        kind: TraceKind,
+        name: &str,
+        at: SimTime,
+        detail: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let detail = detail.into();
+        if self.events.emit_kind(at, kind, name, detail.clone()) {
+            self.instants.push(InstantEvent {
+                at,
+                lane: LaneId((lane.0 as usize).min(self.lanes.len() - 1) as u16),
+                kind,
+                name: name.to_owned(),
+                detail,
+            });
+        }
+    }
+
+    /// Compatibility shim for `Trace::emit`: a generic event on the world
+    /// lane.
+    pub fn emit(&mut self, at: SimTime, category: &str, detail: impl Into<String>) {
+        self.instant(LaneId::WORLD, TraceKind::Generic, category, at, detail);
+    }
+
+    /// Compatibility shim for `Trace::emit_kind`: a typed event on the
+    /// world lane.
+    pub fn emit_kind(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        category: &str,
+        detail: impl Into<String>,
+    ) {
+        self.instant(LaneId::WORLD, kind, category, at, detail);
+    }
+
+    /// The flat event log (the original `flux_simcore::Trace` API:
+    /// `events()`, `events_in()`, `events_of_kind()`, `len()`).
+    pub fn events(&self) -> &Trace {
+        &self.events
+    }
+
+    /// Lane-attributed instant events, in emission order.
+    pub fn instants(&self) -> &[InstantEvent] {
+        &self.instants
+    }
+
+    // ---- metrics --------------------------------------------------------
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry (for registration).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero on first
+    /// use. No-op when disabled.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if self.enabled {
+            self.metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Sets the counter `name` to an absolute value (idempotent harvest;
+    /// see [`MetricsRegistry::counter_set`]). No-op when disabled.
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        if self.enabled {
+            self.metrics.counter_set(name, value);
+        }
+    }
+
+    /// Sets the gauge `name` to `value`. No-op when disabled.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if self.enabled {
+            self.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Observes `value` in the histogram `name` (auto-registered with the
+    /// default millisecond buckets on first use). No-op when disabled.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if self.enabled {
+            self.metrics.observe(name, value);
+        }
+    }
+}
+
+/// Brackets `$body` in a span: enters on `$lane` at `$clock.now()`,
+/// evaluates the body, exits at the (possibly advanced) `$clock.now()`.
+///
+/// The telemetry and clock expressions are re-evaluated around the body, so
+/// `span!(world.telemetry, world.clock, lane, "x", { use_world(world) })`
+/// borrows cleanly. Early returns inside the body skip the exit; the span
+/// is then closed when its parent exits (or at [`Telemetry::finish`]).
+#[macro_export]
+macro_rules! span {
+    ($tele:expr, $clock:expr, $lane:expr, $name:expr, $body:expr) => {{
+        let __flux_span = {
+            let __flux_now = $clock.now();
+            $tele.enter($lane, $name, __flux_now)
+        };
+        let __flux_out = $body;
+        {
+            let __flux_now = $clock.now();
+            $tele.exit(__flux_span, __flux_now);
+        }
+        __flux_out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn spans_link_parents_per_lane() {
+        let mut tele = Telemetry::new();
+        let a = tele.lane("a");
+        let b = tele.lane("b");
+        let outer = tele.enter(a, "outer", t(0));
+        let inner = tele.enter(a, "inner", t(1));
+        let other = tele.enter(b, "other", t(1));
+        assert_eq!(tele.spans()[1].parent, Some(outer));
+        assert_eq!(tele.spans()[2].parent, None);
+        tele.exit(inner, t(2));
+        tele.exit(outer, t(3));
+        tele.exit(other, t(4));
+        assert_eq!(tele.spans()[0].duration(), SimDuration::from_millis(3));
+        assert_eq!(tele.spans()[1].duration(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn exiting_parent_closes_open_children() {
+        let mut tele = Telemetry::new();
+        let lane = tele.lane("dev");
+        let outer = tele.enter(lane, "outer", t(0));
+        let _inner = tele.enter(lane, "inner", t(1));
+        tele.exit(outer, t(5));
+        assert!(tele
+            .spans()
+            .iter()
+            .all(|s| s.end == Some(t(5)) || s.end == Some(t(5))));
+        assert_eq!(tele.spans()[1].end, Some(t(5)));
+        // Double exit is a no-op.
+        tele.exit(outer, t(9));
+        assert_eq!(tele.spans()[0].end, Some(t(5)));
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let mut tele = Telemetry::disabled();
+        let lane = tele.lane("dev");
+        let id = tele.enter(lane, "x", t(0));
+        assert!(id.is_none());
+        tele.exit(id, t(1));
+        tele.instant(lane, TraceKind::Fault, "f", t(1), "boom");
+        tele.counter_add("flux.x", 1);
+        assert!(tele.spans().is_empty());
+        assert!(tele.instants().is_empty());
+        assert_eq!(tele.metrics().iter().count(), 0);
+    }
+
+    #[test]
+    fn lane_interning_is_idempotent() {
+        let mut tele = Telemetry::new();
+        let a = tele.lane("phone");
+        let b = tele.lane("phone");
+        assert_eq!(a, b);
+        assert_eq!(tele.lanes(), &["world".to_owned(), "phone".to_owned()]);
+    }
+
+    #[test]
+    fn span_total_sums_across_attempts() {
+        let mut tele = Telemetry::new();
+        let lane = tele.lane("dev");
+        for i in 0..3u64 {
+            let s = tele.enter(lane, "stage.transfer", t(10 * i));
+            tele.exit(s, t(10 * i + 4));
+        }
+        assert_eq!(
+            tele.span_total("stage.transfer"),
+            SimDuration::from_millis(12)
+        );
+    }
+
+    #[test]
+    fn capacity_caps_instants_and_counts_drops() {
+        let mut tele = Telemetry::new();
+        tele.set_event_capacity(2);
+        for i in 0..5 {
+            tele.emit(t(i), "spam", "x");
+        }
+        assert_eq!(tele.events().len(), 2);
+        assert_eq!(tele.instants().len(), 2);
+        assert_eq!(tele.dropped_events(), 3);
+    }
+
+    #[test]
+    fn record_complete_parents_under_open_span() {
+        let mut tele = Telemetry::new();
+        let lane = tele.lane("dev");
+        let stage = tele.enter(lane, "stage.checkpoint", t(0));
+        tele.record_complete(lane, "criu.dump", t(0), t(3));
+        tele.exit(stage, t(5));
+        assert_eq!(tele.spans()[1].parent, Some(stage));
+        assert_eq!(tele.spans()[1].duration(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn finish_closes_everything() {
+        let mut tele = Telemetry::new();
+        let lane = tele.lane("dev");
+        tele.enter(lane, "a", t(0));
+        tele.enter(lane, "b", t(1));
+        tele.finish(t(7));
+        assert!(tele.spans().iter().all(|s| s.end == Some(t(7))));
+    }
+}

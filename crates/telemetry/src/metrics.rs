@@ -1,0 +1,264 @@
+//! Counters, gauges and fixed-bucket histograms.
+//!
+//! All metrics live in one [`MetricsRegistry`] keyed by name under the
+//! `flux.<crate>.<name>` scheme (e.g. `flux.net.bytes_transferred`). The
+//! registry stores metrics in a `BTreeMap`, so iteration — and therefore
+//! every exporter's output — is in deterministic name order regardless of
+//! registration order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are cumulative-style: `counts[i]` counts observations `v`
+/// with `v <= bounds[i]` that fell in no earlier bucket; the final slot
+/// (`counts[bounds.len()]`) is the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Default buckets for millisecond-scale latencies: 1ms .. ~2min.
+    pub fn default_latency_ms() -> Self {
+        Self::new(&[
+            1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000, 60_000,
+            120_000,
+        ])
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic `u64` counter.
+    Counter(u64),
+    /// Last-write-wins `f64` gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Counter(v) => write!(f, "{v}"),
+            Metric::Gauge(v) => write!(f, "{v}"),
+            Metric::Histogram(h) => write!(f, "count={} sum={}", h.count(), h.sum()),
+        }
+    }
+}
+
+/// A name-ordered registry of metrics. See the [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    /// Writing a counter over an existing gauge/histogram replaces it —
+    /// names are expected to be used consistently.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.metrics.get_mut(name) {
+            Some(Metric::Counter(v)) => *v += delta,
+            _ => {
+                self.metrics.insert(name.to_owned(), Metric::Counter(delta));
+            }
+        }
+    }
+
+    /// Sets the counter `name` to an absolute value. Used by idempotent
+    /// harvest passes that scrape an already-accumulated counter out of a
+    /// component (e.g. the binder driver's transaction count) without
+    /// double-counting on repeated harvests.
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        self.metrics.insert(name.to_owned(), Metric::Counter(value));
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_owned(), Metric::Gauge(value));
+    }
+
+    /// Registers a histogram with explicit bucket bounds if `name` is not
+    /// already a histogram.
+    pub fn register_histogram(&mut self, name: &str, bounds: &[u64]) {
+        if !matches!(self.metrics.get(name), Some(Metric::Histogram(_))) {
+            self.metrics
+                .insert(name.to_owned(), Metric::Histogram(Histogram::new(bounds)));
+        }
+    }
+
+    /// Observes `value` in the histogram `name`, auto-registering it with
+    /// [`Histogram::default_latency_ms`] buckets on first use.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if !matches!(self.metrics.get(name), Some(Metric::Histogram(_))) {
+            self.metrics.insert(
+                name.to_owned(),
+                Metric::Histogram(Histogram::default_latency_ms()),
+            );
+        }
+        if let Some(Metric::Histogram(h)) = self.metrics.get_mut(name) {
+            h.observe(value);
+        }
+    }
+
+    /// The value of counter `name`, or 0 if absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Looks up any metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Iterates metrics in deterministic (name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("flux.fs.files_shipped", 3);
+        m.counter_add("flux.fs.files_shipped", 4);
+        assert_eq!(m.counter("flux.fs.files_shipped"), 7);
+        assert_eq!(m.counter("flux.fs.absent"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("flux.net.goodput_mbps", 10.5);
+        m.gauge_set("flux.net.goodput_mbps", 42.25);
+        assert_eq!(m.gauge("flux.net.goodput_mbps"), Some(42.25));
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10);
+        h.observe(50);
+        h.observe(1_000);
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_065);
+    }
+
+    #[test]
+    fn observe_auto_registers_default_buckets() {
+        let mut m = MetricsRegistry::new();
+        m.observe("flux.migration.total_ms", 750);
+        let h = m.histogram("flux.migration.total_ms").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 750);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered_regardless_of_insertion() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("flux.z", 1);
+        m.counter_add("flux.a", 1);
+        m.gauge_set("flux.m", 0.0);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["flux.a", "flux.m", "flux.z"]);
+    }
+
+    #[test]
+    fn register_histogram_keeps_existing() {
+        let mut m = MetricsRegistry::new();
+        m.register_histogram("flux.h", &[1, 2]);
+        m.observe("flux.h", 2);
+        m.register_histogram("flux.h", &[99]);
+        assert_eq!(m.histogram("flux.h").unwrap().bounds(), &[1, 2]);
+    }
+}

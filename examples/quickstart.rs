@@ -95,4 +95,24 @@ fn main() {
         migrated.view_root.layout_size,
         (768, 1280)
     );
+
+    // Everything above was also captured by the telemetry hub — spans per
+    // device lane, flux.* metrics — exportable as a chrome://tracing file
+    // (see `flux-prof` for the full treatment).
+    world.harvest_metrics();
+    let now = world.clock.now();
+    world.telemetry.finish(now);
+    println!(
+        "\nTelemetry: {} spans on {} lanes, {} over the radio in {} chunks.",
+        world.telemetry.spans().len(),
+        world.telemetry.lanes().len(),
+        world
+            .telemetry
+            .metrics()
+            .counter("flux.net.bytes_transferred"),
+        world
+            .telemetry
+            .metrics()
+            .counter("flux.net.chunks_delivered"),
+    );
 }

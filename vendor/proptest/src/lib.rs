@@ -1,7 +1,7 @@
 //! Offline stub of `proptest`.
 //!
 //! Implements the subset of the proptest API this workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map`/`boxed`, `any::<T>()`
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`/`boxed`, `any::<T>()`
 //! for primitives and tuples, integer range strategies, string pattern
 //! strategies, `prop::collection::vec`, `prop::num::f64::NORMAL`,
 //! [`strategy::Just`], `prop_oneof!`, and the `proptest!` test macro with
