@@ -1,0 +1,205 @@
+//! A content-addressed checkpoint-image cache on the guest device.
+//!
+//! Pairing already exploits content identity for the filesystem: rsync
+//! `--link-dest` turns unchanged files into hard links. This module is the
+//! checkpoint analogue. The compressed image stream is cut into fixed-size
+//! chunks *per VMA* (chunks never span VMAs, so one VMA growing its payload
+//! cannot shift — and thereby invalidate — every chunk behind it), each
+//! chunk is addressed by a hash of its content identity, and the guest
+//! keeps delivered chunks under `{pairing_root}/.cache/{package}/`. A
+//! repeat migration of the same package ships only the chunks the guest
+//! does not already hold.
+//!
+//! Content identity in the simulation: a VMA's synthetic page contents are
+//! fully described by its `content_seed`, which [`flux_kernel::criu::restore`]
+//! preserves across devices, so a round-tripped app re-checkpoints to the
+//! same chunk addresses. The model identifies a chunk by
+//! `(package, content_seed, offset, length)` — it assumes pages already
+//! dumped keep their content while *new* dirty pages extend the payload,
+//! which is how dirtying is modelled kernel-side. Offsets address the
+//! per-VMA compressed stream, so a grown payload re-uses every full chunk
+//! of its old prefix and only the trailing (resized) chunk misses.
+
+use crate::cria::IMAGE_COMPRESS_RATIO;
+use crate::world::fnv;
+use flux_fs::{Content, SimFs};
+use flux_kernel::ProcessImage;
+use flux_net::DEFAULT_CHUNK;
+use flux_simcore::ByteSize;
+
+/// One cacheable chunk: content-address hash plus compressed length.
+pub type CacheChunk = (u64, ByteSize);
+
+/// The guest-side directory holding cached chunks for `package`.
+pub fn cache_dir(pairing_root: &str, package: &str) -> String {
+    format!("{pairing_root}/.cache/{package}")
+}
+
+fn chunk_path(pairing_root: &str, package: &str, hash: u64) -> String {
+    format!("{}/{hash:016x}", cache_dir(pairing_root, package))
+}
+
+/// Cuts the compressed page payload of `image` into content-addressed
+/// chunks, per VMA.
+fn chunks_of(package: &str, image: &ProcessImage) -> Vec<CacheChunk> {
+    let chunk = DEFAULT_CHUNK.as_u64();
+    let mut out = Vec::new();
+    for v in &image.vmas {
+        let stream = v.payload.scale(IMAGE_COMPRESS_RATIO).as_u64();
+        let mut off = 0u64;
+        while off < stream {
+            let len = chunk.min(stream - off);
+            let hash = fnv(&format!(
+                "{package}:{:016x}:{off:x}:{len:x}",
+                v.content_seed
+            ));
+            out.push((hash, ByteSize::from_bytes(len)));
+            off += len;
+        }
+    }
+    out
+}
+
+/// How an image's chunks split against the guest's cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CachePartition {
+    /// Chunks already present on the guest.
+    pub hits: usize,
+    /// Chunks that must be shipped.
+    pub misses: usize,
+    /// Compressed bytes the cache saves from the transfer.
+    pub hit_bytes: ByteSize,
+    /// Compressed bytes still to ship.
+    pub miss_bytes: ByteSize,
+    /// The missing chunks, to [`insert`] once delivery completes.
+    pub missed: Vec<CacheChunk>,
+}
+
+/// Splits `image`'s compressed page chunks into cache hits and misses
+/// against the guest filesystem `fs`.
+pub fn partition(
+    fs: &SimFs,
+    pairing_root: &str,
+    package: &str,
+    image: &ProcessImage,
+) -> CachePartition {
+    let mut p = CachePartition::default();
+    for (hash, len) in chunks_of(package, image) {
+        if fs.exists(&chunk_path(pairing_root, package, hash)) {
+            p.hits += 1;
+            p.hit_bytes += len;
+        } else {
+            p.misses += 1;
+            p.miss_bytes += len;
+            p.missed.push((hash, len));
+        }
+    }
+    p
+}
+
+/// Records delivered chunks in the guest's cache, returning how many were
+/// newly inserted. Content-addressed entries are immutable, so the cache
+/// deliberately survives migration rollback — a chunk delivered by an
+/// aborted attempt is still valid for the next one.
+pub fn insert(fs: &mut SimFs, pairing_root: &str, package: &str, chunks: &[CacheChunk]) -> usize {
+    let mut inserted = 0;
+    for (hash, len) in chunks {
+        let path = chunk_path(pairing_root, package, *hash);
+        if !fs.exists(&path) {
+            fs.write(&path, Content::new(*len, *hash));
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_binder::SavedBinderState;
+    use flux_kernel::criu::VmaImage;
+    use flux_kernel::{Prot, Thread, VmaKind};
+    use flux_simcore::{Pid, SimTime, Uid};
+
+    fn image(anon_payload: ByteSize) -> ProcessImage {
+        ProcessImage {
+            package: "com.x".into(),
+            virt_pid: Pid(5),
+            uid: Uid(10_001),
+            threads: vec![Thread::new(1, "main")],
+            vmas: vec![
+                VmaImage {
+                    kind: VmaKind::Anon,
+                    len: ByteSize::from_mib(8),
+                    prot: Prot::RW,
+                    dirty: 1.0,
+                    content_seed: 0x1111,
+                    payload: anon_payload,
+                },
+                VmaImage {
+                    kind: VmaKind::Stack,
+                    len: ByteSize::from_kib(64),
+                    prot: Prot::RW,
+                    dirty: 1.0,
+                    content_seed: 0x2222,
+                    payload: ByteSize::from_kib(64),
+                },
+            ],
+            fds: vec![],
+            binder: SavedBinderState::default(),
+            checkpoint_time: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn cold_cache_misses_everything_then_warm_hits_everything() {
+        let mut fs = SimFs::new();
+        let img = image(ByteSize::from_mib(4));
+        let cold = partition(&fs, "/pair", "com.x", &img);
+        assert_eq!(cold.hits, 0);
+        assert!(cold.misses > 0);
+        assert_eq!(cold.hit_bytes, ByteSize::ZERO);
+
+        let inserted = insert(&mut fs, "/pair", "com.x", &cold.missed);
+        assert_eq!(inserted, cold.misses);
+
+        let warm = partition(&fs, "/pair", "com.x", &img);
+        assert_eq!(warm.misses, 0);
+        assert_eq!(warm.hit_bytes, cold.miss_bytes);
+        // Re-inserting is a no-op.
+        assert_eq!(insert(&mut fs, "/pair", "com.x", &warm.missed), 0);
+    }
+
+    #[test]
+    fn grown_payload_reuses_the_unchanged_prefix() {
+        let mut fs = SimFs::new();
+        let small = image(ByteSize::from_mib(4));
+        let cold = partition(&fs, "/pair", "com.x", &small);
+        insert(&mut fs, "/pair", "com.x", &cold.missed);
+
+        // The anon VMA dirtied more pages; its compressed stream grew.
+        let grown = partition(&fs, "/pair", "com.x", &image(ByteSize::from_mib(6)));
+        assert!(grown.hits > 0, "unchanged prefix chunks should hit");
+        assert!(grown.misses > 0, "new tail chunks should miss");
+        // Only the trailing partial chunk of the old stream is invalidated.
+        assert!(grown.hit_bytes.as_u64() >= cold.miss_bytes.as_u64() / 2);
+    }
+
+    #[test]
+    fn chunks_never_span_vmas() {
+        // Total payload below one chunk size still yields one chunk per VMA.
+        let img = image(ByteSize::from_kib(64));
+        let p = partition(&SimFs::new(), "/pair", "com.x", &img);
+        assert_eq!(p.misses, 2);
+    }
+
+    #[test]
+    fn different_packages_do_not_share_chunks() {
+        let mut fs = SimFs::new();
+        let img = image(ByteSize::from_mib(1));
+        let a = partition(&fs, "/pair", "com.a", &img);
+        insert(&mut fs, "/pair", "com.a", &a.missed);
+        let b = partition(&fs, "/pair", "com.b", &img);
+        assert_eq!(b.hits, 0);
+    }
+}

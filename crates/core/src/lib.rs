@@ -43,6 +43,7 @@
 pub mod builder;
 pub mod cria;
 pub mod errors;
+pub mod image_cache;
 pub mod migration;
 pub mod pairing;
 pub mod record;
@@ -52,9 +53,11 @@ pub mod world;
 pub use builder::WorldBuilder;
 pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
 pub use errors::FluxError;
+pub use image_cache::CachePartition;
 pub use migration::{
-    broadcast_connectivity, migrate, migrate_with, MigrationError, MigrationReport, MigrationStage,
-    RetryPolicy, StageTimes, TransferLedger, KERNEL_STALL_WATCHDOG,
+    broadcast_connectivity, migrate, migrate_configured, migrate_with, MigrationConfig,
+    MigrationError, MigrationReport, MigrationStage, RetryPolicy, StageTimes, TransferLedger,
+    KERNEL_STALL_WATCHDOG, PRECOPY_DIRTY_FRACTION_PER_SEC, PRECOPY_MAX_ROUNDS, PRECOPY_STOP,
 };
 pub use pairing::{pair, verify_app, PairingReport};
 pub use record::{CallLog, CallRecord, RecordOutcome, RecordStore};

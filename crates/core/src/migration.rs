@@ -26,8 +26,9 @@
 //! invariant checks. A migration therefore either fully completes or
 //! leaves the world as if it had never started (plus the time it wasted).
 
-use crate::cria::{FluxImage, ReinitSpec};
+use crate::cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO};
 use crate::errors::FluxError;
+use crate::image_cache;
 use crate::pairing::verify_app;
 use crate::record::CallLog;
 use crate::replay::{replay_log, ReplayStats};
@@ -35,13 +36,13 @@ use crate::world::{fnv, DeviceId, FluxWorld, WorldError};
 use flux_appfw::{conditional_reinit, egl_unload, handle_trim_memory, move_to_background, App};
 use flux_device::DeviceProfile;
 use flux_kernel::criu;
-use flux_kernel::{FdKind, RestoreOptions, VmaKind};
+use flux_kernel::{FdKind, ProcessImage, RestoreOptions, VmaKind};
 use flux_net::{ChunkedOutcome, DEFAULT_CHUNK};
 use flux_services::svc::activity::ActivityManagerService;
 use flux_services::svc::connectivity::ConnectivityManagerService;
 use flux_services::svc::package::PackageManagerService;
 use flux_services::{Intent, ACTION_CONNECTIVITY_CHANGE};
-use flux_simcore::{ByteSize, CostModel, FaultPlan, SimDuration, SimTime, TraceKind};
+use flux_simcore::{ByteSize, CostModel, FaultPlan, Pipeline, SimDuration, SimTime, TraceKind};
 use flux_telemetry::LaneId;
 use flux_workloads::AppSpec;
 use std::collections::BTreeMap;
@@ -50,6 +51,52 @@ use std::fmt;
 /// A kernel stall at least this long trips the checkpoint/restore watchdog
 /// and aborts the stage (shorter stalls only add latency).
 pub const KERNEL_STALL_WATCHDOG: SimDuration = SimDuration::from_millis(800);
+
+/// Maximum pre-copy rounds before the app is frozen regardless of residue.
+pub const PRECOPY_MAX_ROUNDS: u32 = 3;
+
+/// Fraction of a foreground app's dump-needing pages dirtied per second
+/// while a pre-copy round streams (the writable working set keeps moving
+/// under the app, which is what bounds pre-copy convergence).
+pub const PRECOPY_DIRTY_FRACTION_PER_SEC: f64 = 0.02;
+
+/// Pre-copy stops early once the residual (un-streamed) payload falls to
+/// this size: freezing then ships less than two radio chunks.
+pub const PRECOPY_STOP: ByteSize = ByteSize::from_kib(512);
+
+/// Which of the pipelined-migration features a run enables.
+///
+/// The default is the serial engine — no pre-copy, no stage overlap, no
+/// image cache — which is bit-for-bit the behaviour the seed-recorded
+/// figures were captured under. Every feature is opt-in so enabling
+/// nothing changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigrationConfig {
+    /// Retry policy for faulted stages.
+    pub retry: RetryPolicy,
+    /// Run the iterative CRIA pre-dump loop, streaming cold pages while
+    /// the app is still foreground and shipping only the dirtied residue
+    /// after the freeze.
+    pub precopy: bool,
+    /// Overlap checkpoint compression with the chunked radio transfer on
+    /// separate virtual-time lanes instead of charging them serially.
+    pub pipeline: bool,
+    /// Consult (and populate) the guest's content-addressed image cache so
+    /// repeat migrations ship only chunks not already present.
+    pub image_cache: bool,
+}
+
+impl MigrationConfig {
+    /// The full pipelined engine: pre-copy + stage overlap + image cache.
+    pub fn pipelined() -> Self {
+        Self {
+            precopy: true,
+            pipeline: true,
+            image_cache: true,
+            ..Self::default()
+        }
+    }
+}
 
 /// The five pipeline stages, for failure reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,8 +271,19 @@ impl RetryPolicy {
 }
 
 /// Virtual time spent per stage (Figure 13's categories).
+///
+/// The per-stage fields are **busy** time: what each stage charged,
+/// summed across attempts. Under the serial engine busy and wall
+/// coincide. Under [`MigrationConfig::pipeline`] stages overlap on
+/// separate lanes, and [`overlap_saved`](Self::overlap_saved) records the
+/// latency the overlap hid, so [`wall_total`](Self::wall_total) and
+/// [`user_perceived`](Self::user_perceived) reflect what a clock on the
+/// wall (and the user) actually saw.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
+    /// Pre-copy rounds: iterative pre-dumps streamed while the app was
+    /// still foreground. Zero under the serial engine.
+    pub precopy: SimDuration,
     /// Backgrounding + trim-memory + `eglUnload`.
     pub preparation: SimDuration,
     /// CRIU dump + compression.
@@ -236,20 +294,36 @@ pub struct StageTimes {
     pub restore: SimDuration,
     /// Adaptive Replay + connectivity events + re-layout + foreground.
     pub reintegration: SimDuration,
+    /// Busy time hidden by pipeline overlap (compression proceeding while
+    /// chunks were already on the air). Zero under the serial engine.
+    pub overlap_saved: SimDuration,
 }
 
 impl StageTimes {
-    /// Total migration time (Figure 12). Excludes retry backoff, which
-    /// [`MigrationReport::backoff`] reports separately so the accounting
-    /// balances: wall time = stage total + backoff.
+    /// Total busy time across stages (Figure 12). Excludes retry backoff,
+    /// which [`MigrationReport::backoff`] reports separately so the
+    /// accounting balances: wall time = stage total − overlap + backoff.
     pub fn total(&self) -> SimDuration {
-        self.preparation + self.checkpoint + self.transfer + self.restore + self.reintegration
+        self.precopy
+            + self.preparation
+            + self.checkpoint
+            + self.transfer
+            + self.restore
+            + self.reintegration
     }
 
-    /// User-perceived time: preparation and checkpoint overlap the
-    /// migration-target menu, so users mostly see transfer onward (§4).
+    /// Wall-clock migration time: total busy time minus the latency the
+    /// pipeline overlap hid. Equals [`total`](Self::total) when serial.
+    pub fn wall_total(&self) -> SimDuration {
+        self.total().saturating_sub(self.overlap_saved)
+    }
+
+    /// User-perceived time: pre-copy, preparation and checkpoint overlap
+    /// the foreground app and the migration-target menu, so users mostly
+    /// see transfer onward (§4). Pipelined compression overlaps the radio,
+    /// so the overlap saving comes off the perceived wait too.
     pub fn user_perceived(&self) -> SimDuration {
-        self.transfer + self.restore + self.reintegration
+        (self.transfer + self.restore + self.reintegration).saturating_sub(self.overlap_saved)
     }
 
     /// User-perceived time excluding the transfer stage (Figure 14).
@@ -263,18 +337,31 @@ impl StageTimes {
 pub struct TransferLedger {
     /// Uncompressed checkpoint image size.
     pub image_raw: ByteSize,
-    /// Compressed image bytes actually sent.
+    /// Compressed image bytes the transfer stage ships after the freeze.
+    /// With pre-copy this is the dirtied residue (plus metadata and log);
+    /// with a warm cache, chunk hits are already subtracted.
     pub image_compressed: ByteSize,
     /// Compressed record-log bytes.
     pub log_compressed: ByteSize,
     /// APK/data-directory delta shipped by the verification sync.
     pub data_delta: ByteSize,
+    /// Compressed image bytes streamed by pre-copy rounds before the
+    /// freeze. Zero under the serial engine.
+    pub precopy_streamed: ByteSize,
+    /// Compressed image bytes the guest's content-addressed cache already
+    /// held, skipped from the air entirely. Zero with a cold cache.
+    pub cache_hit: ByteSize,
 }
 
 impl TransferLedger {
-    /// Total bytes over the air.
+    /// Bytes the post-freeze transfer stage puts over the air.
     pub fn total(&self) -> ByteSize {
         self.image_compressed + self.data_delta
+    }
+
+    /// Every byte that crossed the air, pre-copy streaming included.
+    pub fn over_air_total(&self) -> ByteSize {
+        self.image_compressed + self.data_delta + self.precopy_streamed
     }
 }
 
@@ -386,18 +473,40 @@ struct MigCtx {
     spec: AppSpec,
     /// Where partially transferred image chunks are staged on the guest.
     staged_path: String,
+    /// Where pre-copy-streamed pages accumulate on the guest.
+    precopy_path: String,
+    /// Root of the guest-side pairing directory (cache lives under it).
+    pairing_root: String,
     /// Telemetry lane of the home device.
     home_lane: LaneId,
     /// Telemetry lane of the guest device.
     guest_lane: LaneId,
+    /// Feature switches for this migration.
+    cfg: MigrationConfig,
 }
 
 /// Mutable progress carried across attempts: completed stages are not
 /// redone, delivered chunks are not re-sent.
 #[derive(Default)]
 struct Progress {
+    precopy_done: bool,
+    /// The last pre-dump fully streamed to the guest; the final image
+    /// ships only its [`ProcessImage::dirty_delta`] against this.
+    precopy_base: Option<ProcessImage>,
+    precopy_streamed: ByteSize,
     prep_done: bool,
     image: Option<FluxImage>,
+    /// Compressed bytes the transfer stage must still ship (set once the
+    /// checkpoint exists when pre-copy and/or the cache reduced the
+    /// payload; `None` means the full compressed image).
+    image_to_ship: Option<ByteSize>,
+    cache_checked: bool,
+    cache_hit: ByteSize,
+    /// Cache misses to insert into the guest cache once delivered.
+    cache_missed: Vec<image_cache::CacheChunk>,
+    /// Compression cost deferred by the pipeline from the checkpoint
+    /// stage into the transfer stage's fused window.
+    compress_pending: SimDuration,
     delivered_chunks: usize,
     transfer_done: bool,
     data_delta: ByteSize,
@@ -465,6 +574,23 @@ pub fn migrate_with(
     package: &str,
     policy: &RetryPolicy,
 ) -> Result<MigrationReport, FluxError> {
+    let cfg = MigrationConfig {
+        retry: *policy,
+        ..MigrationConfig::default()
+    };
+    migrate_configured(world, home, guest, package, &cfg)
+}
+
+/// [`migrate`] with explicit feature switches: pre-copy, pipelined stage
+/// overlap and the content-addressed image cache are all opt-in here.
+pub fn migrate_configured(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+    cfg: &MigrationConfig,
+) -> Result<MigrationReport, FluxError> {
+    let policy = &cfg.retry;
     preflight(world, home, guest, package)?;
 
     let pairing_root = world
@@ -490,8 +616,11 @@ pub fn migrate_with(
             .cloned()
             .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?,
         staged_path: format!("{pairing_root}/.migrate/{package}.image"),
+        precopy_path: format!("{pairing_root}/.migrate/{package}.precopy"),
+        pairing_root,
         home_lane: world.device(home)?.lane,
         guest_lane: world.device(guest)?.lane,
+        cfg: *cfg,
     };
     let plan = world.fault_plan.clone();
     let mut prog = Progress::default();
@@ -586,6 +715,12 @@ fn run_attempt(
 ) -> Result<(ReplayStats, usize), StageFailure> {
     let package = ctx.package.as_str();
 
+    // ---- Stage 0: pre-copy (home device, app still foreground) ----------
+    if ctx.cfg.precopy && !prog.precopy_done {
+        run_precopy(world, ctx, plan, prog)?;
+        prog.precopy_done = true;
+    }
+
     // ---- Stage 1: preparation (home device) -----------------------------
     if !prog.prep_done {
         let t0 = world.clock.now();
@@ -661,9 +796,22 @@ fn run_attempt(
         };
         let raw = image.raw_bytes();
         let objects = image.process.object_count();
-        let dump_cost = ctx.home_cost.checkpoint_time(raw, objects);
-        let compress_cost = ctx.home_cost.compress_time(raw);
-        let cost = dump_cost + compress_cost;
+        // With pre-copy coverage the frozen dump writes only the pages
+        // dirtied since the last streamed pre-dump (plus metadata), and
+        // only that residue is compressed and shipped.
+        let ship_raw = match &prog.precopy_base {
+            Some(base) => image.process.dirty_delta(base).total_bytes(),
+            None => raw,
+        };
+        let dump_cost = ctx.home_cost.checkpoint_time(ship_raw, objects);
+        let compress_cost = ctx.home_cost.compress_time(ship_raw);
+        // The pipeline defers compression into the transfer stage's fused
+        // window, where it overlaps the radio on a separate lane.
+        let (cost, deferred) = if ctx.cfg.pipeline {
+            (dump_cost, compress_cost)
+        } else {
+            (dump_cost + compress_cost, SimDuration::ZERO)
+        };
         let charge_start = world.clock.now();
         let fail = charge_with_stalls(
             world,
@@ -683,18 +831,43 @@ fn run_attempt(
             dump_cost,
             &image.process.component_weights(),
         );
-        world.telemetry.record_complete(
-            ctx.home_lane,
-            "criu.compress",
-            charge_start + dump_cost,
-            charge_start + cost,
-        );
+        if !ctx.cfg.pipeline {
+            world.telemetry.record_complete(
+                ctx.home_lane,
+                "criu.compress",
+                charge_start + dump_cost,
+                charge_start + cost,
+            );
+        }
         let now = world.clock.now();
         prog.times.checkpoint += now - t1;
         world.telemetry.exit(span, now);
         if let Some(fail) = fail {
             return Err(fail);
         }
+        if let Some(base) = &prog.precopy_base {
+            prog.image_to_ship = Some(
+                image
+                    .process
+                    .dirty_delta(base)
+                    .total_bytes()
+                    .scale(IMAGE_COMPRESS_RATIO)
+                    + image.compressed_log_bytes(),
+            );
+        } else if ctx.cfg.image_cache && !prog.cache_checked {
+            // No pre-copy ran, so the cache is consulted here, over the
+            // full frozen image.
+            let p = {
+                let dev = world.device(ctx.guest)?;
+                image_cache::partition(&dev.fs, &ctx.pairing_root, package, &image.process)
+            };
+            record_cache_counters(world, &p);
+            prog.cache_hit = p.hit_bytes;
+            prog.cache_checked = true;
+            prog.image_to_ship = Some(image.compressed_bytes() - p.hit_bytes);
+            prog.cache_missed = p.missed;
+        }
+        prog.compress_pending = deferred;
         prog.image = Some(image);
     }
 
@@ -709,17 +882,59 @@ fn run_attempt(
         let verify = verify_app(world, ctx.home, ctx.guest, package)?;
         prog.data_delta += verify.bytes_shipped;
         let ledger = ledger_of(prog);
-        let now = world.clock.now();
-        let radio = world.net.transfer_chunked(
-            now,
-            ledger.total(),
-            DEFAULT_CHUNK,
-            &ctx.home_profile.wifi,
-            &ctx.guest_profile.wifi,
-            prog.delivered_chunks,
-            plan,
-        );
-        world.clock.charge(radio.duration);
+        let verify_done = world.clock.now();
+        let radio = if ctx.cfg.pipeline {
+            // Fused window: the compression deferred from the checkpoint
+            // stage proceeds on the CPU lane while chunks already go on
+            // the air; the radio starts once the first chunk exists.
+            // (Deferred compression is not stall-checked — the watchdog
+            // guards the dump, which stays in the checkpoint stage.)
+            let mut pipe = Pipeline::begin(verify_done);
+            let cpu = pipe.lane();
+            let radio_lane = pipe.lane();
+            let compress = prog.compress_pending;
+            let chunk_count = ledger
+                .total()
+                .as_u64()
+                .div_ceil(DEFAULT_CHUNK.as_u64())
+                .max(1);
+            let lead = compress / chunk_count;
+            let (c_start, c_end) = pipe.run(cpu, compress);
+            let radio = world.net.transfer_chunked(
+                verify_done + lead,
+                ledger.total(),
+                DEFAULT_CHUNK,
+                &ctx.home_profile.wifi,
+                &ctx.guest_profile.wifi,
+                prog.delivered_chunks,
+                plan,
+            );
+            pipe.run_after(radio_lane, verify_done + lead, radio.duration);
+            world.clock.advance_to(pipe.end());
+            if compress > SimDuration::ZERO {
+                // The deferred compression stays in the checkpoint stage's
+                // busy accounting, where the serial engine charges it.
+                world
+                    .telemetry
+                    .record_complete(ctx.home_lane, "criu.compress", c_start, c_end);
+                prog.times.checkpoint += compress;
+                prog.compress_pending = SimDuration::ZERO;
+            }
+            prog.times.overlap_saved += pipe.overlap_saved();
+            radio
+        } else {
+            let radio = world.net.transfer_chunked(
+                verify_done,
+                ledger.total(),
+                DEFAULT_CHUNK,
+                &ctx.home_profile.wifi,
+                &ctx.guest_profile.wifi,
+                prog.delivered_chunks,
+                plan,
+            );
+            world.clock.charge(radio.duration);
+            radio
+        };
         prog.delivered_chunks = radio.delivered_chunks;
         for chunk in &radio.chunks {
             world.telemetry.instant(
@@ -735,27 +950,36 @@ fn run_attempt(
                 ),
             );
         }
+        // The flux.net.* counters accumulate per-attempt figures, so over a
+        // resumed transfer they sum to the payload exactly once.
         world
             .telemetry
             .counter_add("flux.net.bytes_transferred", radio.bytes_delivered.as_u64());
         world
             .telemetry
-            .counter_add("flux.net.chunks_delivered", radio.chunks.len() as u64);
+            .counter_add("flux.net.chunks_delivered", radio.attempt_chunks() as u64);
+        if radio.resumed_chunks > 0 {
+            world
+                .telemetry
+                .counter_add("flux.net.chunks_resumed", radio.resumed_chunks as u64);
+        }
         world
             .telemetry
             .counter_add("flux.net.chunks_congested", radio.congested_chunks as u64);
         world
             .telemetry
             .gauge_set("flux.net.goodput_mbps", radio.goodput_mbps);
+        // Each congested chunk is one fault event that hit this migration.
+        prog.faults += radio.congested_chunks as u32;
         if radio.congested_chunks > 0 {
-            prog.faults += 1;
             world.telemetry.emit_kind(
                 world.clock.now(),
                 TraceKind::Fault,
                 "net.fault",
                 format!(
-                    "congestion slowed {} of {} chunks",
-                    radio.congested_chunks, radio.total_chunks
+                    "congestion stretched {} of the {} chunks sent this attempt",
+                    radio.congested_chunks,
+                    radio.attempt_chunks()
                 ),
             );
         }
@@ -763,10 +987,33 @@ fn run_attempt(
         // starting over.
         stage_chunks(world, ctx, prog)?;
         let now = world.clock.now();
-        prog.times.transfer += now - t2;
+        prog.times.transfer += if ctx.cfg.pipeline {
+            // Busy accounting: the air time the radio occupied, not the
+            // fused window's wall span — the hidden part is what
+            // `overlap_saved` carries.
+            verify_done.since(t2) + radio.duration
+        } else {
+            now - t2
+        };
         world.telemetry.exit(span, now);
         match radio.outcome {
-            ChunkedOutcome::Complete => prog.transfer_done = true,
+            ChunkedOutcome::Complete => {
+                prog.transfer_done = true;
+                // Chunks the cache lacked are now on the guest: remember
+                // them for the next migration of this package.
+                if !prog.cache_missed.is_empty() {
+                    let missed = std::mem::take(&mut prog.cache_missed);
+                    let inserted = {
+                        let dev = world.device_mut(ctx.guest)?;
+                        image_cache::insert(&mut dev.fs, &ctx.pairing_root, package, &missed)
+                    };
+                    if inserted > 0 {
+                        world
+                            .telemetry
+                            .counter_add("flux.cache.insertions", inserted as u64);
+                    }
+                }
+            }
             ChunkedOutcome::LinkDropped { at } => {
                 return Err(StageFailure::Fault {
                     stage: MigrationStage::Transfer,
@@ -960,6 +1207,186 @@ fn run_attempt(
     Ok((replay, redrawn))
 }
 
+/// The iterative pre-copy loop (stage 0): pre-dump the still-running app,
+/// stream the pages over the radio, repeat on what was dirtied meanwhile,
+/// until the residue is small or the round budget runs out. The final
+/// frozen checkpoint then ships only the [`ProcessImage::dirty_delta`]
+/// against the last streamed pre-dump.
+///
+/// Pre-copy is best effort: a link drop abandons further rounds rather
+/// than failing the migration — coverage simply stays at the last fully
+/// streamed round (possibly none), and the freeze ships the rest.
+fn run_precopy(
+    world: &mut FluxWorld,
+    ctx: &MigCtx,
+    plan: &FaultPlan,
+    prog: &mut Progress,
+) -> Result<(), StageFailure> {
+    let package = ctx.package.as_str();
+    let t0 = world.clock.now();
+    let span = world
+        .telemetry
+        .enter(ctx.home_lane, "migration.precopy", t0);
+    let mut rounds = 0u32;
+    for round in 1..=PRECOPY_MAX_ROUNDS {
+        let round_start = world.clock.now();
+        // Pre-dump the running process — no freeze, device state skipped.
+        let pre = {
+            let dev = world.device(ctx.home)?;
+            let app = dev
+                .apps
+                .get(package)
+                .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
+            criu::predump(&dev.kernel, app.main_pid, round_start)
+                .map_err(|e| MigrationError::Internal(e.to_string()))?
+        };
+        // This round streams what earlier rounds have not covered.
+        let round_payload = match &prog.precopy_base {
+            None => pre.payload_bytes(),
+            Some(base) => pre.dirty_delta(base).payload_bytes(),
+        };
+        if prog.precopy_base.is_some() && round_payload <= PRECOPY_STOP {
+            break; // Residue small enough: freeze and ship it.
+        }
+        let mut stream = round_payload.scale(IMAGE_COMPRESS_RATIO);
+        // Round 1 covers the bulk of the image; consult the guest's
+        // content-addressed cache so only absent chunks hit the air.
+        if round == 1 && ctx.cfg.image_cache {
+            let p = {
+                let dev = world.device(ctx.guest)?;
+                image_cache::partition(&dev.fs, &ctx.pairing_root, package, &pre)
+            };
+            record_cache_counters(world, &p);
+            prog.cache_hit += p.hit_bytes;
+            prog.cache_checked = true;
+            prog.cache_missed = p.missed;
+            stream = p.miss_bytes;
+        }
+        // CPU: pre-dump and compress the round's pages on the home device.
+        world.clock.charge(
+            ctx.home_cost
+                .checkpoint_time(round_payload, pre.object_count())
+                + ctx.home_cost.compress_time(round_payload),
+        );
+        // Radio: stream the round into the guest's staging area.
+        let now = world.clock.now();
+        let radio = world.net.transfer_chunked(
+            now,
+            stream,
+            DEFAULT_CHUNK,
+            &ctx.home_profile.wifi,
+            &ctx.guest_profile.wifi,
+            0,
+            plan,
+        );
+        world.clock.charge(radio.duration);
+        if !radio.complete() {
+            prog.faults += 1;
+            world.telemetry.emit_kind(
+                world.clock.now(),
+                TraceKind::Fault,
+                "migration.precopy.abandoned",
+                format!(
+                    "link dropped in round {round}; coverage stays at {} streamed round(s)",
+                    rounds
+                ),
+            );
+            break;
+        }
+        prog.precopy_streamed += stream;
+        prog.precopy_base = Some(pre);
+        rounds += 1;
+        // Chunks the cache lacked arrived with this round's stream.
+        if !prog.cache_missed.is_empty() {
+            let missed = std::mem::take(&mut prog.cache_missed);
+            let inserted = {
+                let dev = world.device_mut(ctx.guest)?;
+                image_cache::insert(&mut dev.fs, &ctx.pairing_root, package, &missed)
+            };
+            if inserted > 0 {
+                world
+                    .telemetry
+                    .counter_add("flux.cache.insertions", inserted as u64);
+            }
+        }
+        // Record the streamed coverage on the guest so teardown and the
+        // rollback invariants can see (and clean) it.
+        {
+            let dev = world.device_mut(ctx.guest)?;
+            dev.fs.write(
+                &ctx.precopy_path,
+                flux_fs::Content::new(
+                    prog.precopy_streamed,
+                    fnv(&format!(
+                        "{}-precopy-{}",
+                        ctx.package,
+                        prog.precopy_streamed.as_u64()
+                    )),
+                ),
+            );
+        }
+        let round_end = world.clock.now();
+        world.telemetry.record_complete(
+            ctx.home_lane,
+            &format!("migration.precopy.round{round}"),
+            round_start,
+            round_end,
+        );
+        // The foreground app kept writing while the round streamed.
+        bump_foreground_dirty(world, ctx, round_end - round_start)?;
+    }
+    world
+        .telemetry
+        .counter_add("flux.migration.precopy_rounds", u64::from(rounds));
+    world.telemetry.counter_add(
+        "flux.migration.precopy_bytes",
+        prog.precopy_streamed.as_u64(),
+    );
+    let now = world.clock.now();
+    prog.times.precopy += now - t0;
+    world.telemetry.exit(span, now);
+    Ok(())
+}
+
+/// Models the foreground app dirtying more of its writable working set
+/// over `window` of virtual time (what pre-copy rounds race against).
+fn bump_foreground_dirty(
+    world: &mut FluxWorld,
+    ctx: &MigCtx,
+    window: SimDuration,
+) -> Result<(), StageFailure> {
+    let frac = PRECOPY_DIRTY_FRACTION_PER_SEC * window.as_secs_f64();
+    let dev = world.device_mut(ctx.home)?;
+    let pid = dev
+        .apps
+        .get(ctx.package.as_str())
+        .ok_or_else(|| MigrationError::NoSuchApp(ctx.package.clone()))?
+        .main_pid;
+    let proc = dev
+        .kernel
+        .process_mut(pid)
+        .map_err(|e| MigrationError::Internal(e.to_string()))?;
+    for v in proc.mem.vmas_mut() {
+        if v.kind.needs_page_dump() {
+            v.dirty = (v.dirty + frac).min(1.0);
+        }
+    }
+    Ok(())
+}
+
+/// Accounts a cache partition to the `flux.cache.*` counters.
+fn record_cache_counters(world: &mut FluxWorld, p: &image_cache::CachePartition) {
+    world
+        .telemetry
+        .counter_add("flux.cache.hits", p.hits as u64);
+    world
+        .telemetry
+        .counter_add("flux.cache.misses", p.misses as u64);
+    world
+        .telemetry
+        .counter_add("flux.cache.bytes_saved", p.hit_bytes.as_u64());
+}
+
 /// Splits a lump-charged CRIU window `[start, start + total]` into
 /// per-driver sub-spans (`<prefix>.mem`, `<prefix>.fds`, ...) proportional
 /// to `weights`. Integer arithmetic; the last part absorbs the rounding
@@ -1038,9 +1465,15 @@ fn ledger_of(prog: &Progress) -> TransferLedger {
     let image = prog.image.as_ref().expect("ledger needs a checkpoint");
     TransferLedger {
         image_raw: image.raw_bytes(),
-        image_compressed: image.compressed_bytes(),
+        // Pre-copy and the image cache both shrink the frozen-window ship;
+        // `image_to_ship` carries the already-discounted figure.
+        image_compressed: prog
+            .image_to_ship
+            .unwrap_or_else(|| image.compressed_bytes()),
         log_compressed: image.compressed_log_bytes(),
         data_delta: prog.data_delta,
+        precopy_streamed: prog.precopy_streamed,
+        cache_hit: prog.cache_hit,
     }
 }
 
@@ -1066,6 +1499,7 @@ fn stage_chunks(world: &mut FluxWorld, ctx: &MigCtx, prog: &Progress) -> Result<
 fn remove_staged_chunks(world: &mut FluxWorld, ctx: &MigCtx) -> Result<(), WorldError> {
     let dev = world.device_mut(ctx.guest)?;
     let _ = dev.fs.remove(&ctx.staged_path);
+    let _ = dev.fs.remove(&ctx.precopy_path);
     Ok(())
 }
 
@@ -1091,6 +1525,7 @@ fn teardown_guest(
     }
     if !keep_chunks {
         let _ = dev.fs.remove(&ctx.staged_path);
+        let _ = dev.fs.remove(&ctx.precopy_path);
         prog.delivered_chunks = 0;
     }
     Ok(())
@@ -1202,6 +1637,12 @@ fn rollback(world: &mut FluxWorld, ctx: &MigCtx, prog: &mut Progress) -> Result<
         }
         .into());
     }
+    if guest_dev.fs.exists(&ctx.precopy_path) {
+        return Err(MigrationError::RollbackFailed {
+            reason: "pre-copy data leaked on the guest".into(),
+        }
+        .into());
+    }
     world.telemetry.emit_kind(
         world.clock.now(),
         TraceKind::Rollback,
@@ -1251,6 +1692,20 @@ fn finalise(
         world
             .telemetry
             .observe(&format!("flux.migration.stage_ms.{stage}"), d.as_millis());
+    }
+    // Conditional so the serial path's telemetry snapshot stays byte-
+    // identical: `observe` creates the metric key even at zero.
+    if stages.precopy > SimDuration::ZERO {
+        world.telemetry.observe(
+            "flux.migration.stage_ms.precopy",
+            stages.precopy.as_millis(),
+        );
+    }
+    if stages.overlap_saved > SimDuration::ZERO {
+        world.telemetry.observe(
+            "flux.migration.overlap_saved_ms",
+            stages.overlap_saved.as_millis(),
+        );
     }
     world.telemetry.emit(
         world.clock.now(),

@@ -191,6 +191,37 @@ impl ProcessImage {
         ]
     }
 
+    /// The residual image relative to an earlier [`predump`] of the same
+    /// process: per-VMA page payload dirtied since `base` (VMAs are matched
+    /// by content seed and kind), plus everything a pre-dump does not carry
+    /// — metadata, descriptors, Binder state — taken from `self`.
+    ///
+    /// Streaming `base`'s pages and then shipping the delta therefore
+    /// delivers every page of `self` exactly once, which is the invariant
+    /// the pre-copy migration loop depends on. VMAs absent from `base`
+    /// (mapped after the pre-dump) contribute their full payload.
+    pub fn dirty_delta(&self, base: &ProcessImage) -> ProcessImage {
+        let vmas = self
+            .vmas
+            .iter()
+            .map(|v| {
+                let prior = base
+                    .vmas
+                    .iter()
+                    .find(|b| b.content_seed == v.content_seed && b.kind == v.kind)
+                    .map_or(0, |b| b.payload.as_u64());
+                VmaImage {
+                    payload: ByteSize::from_bytes(v.payload.as_u64().saturating_sub(prior)),
+                    ..v.clone()
+                }
+            })
+            .collect();
+        ProcessImage {
+            vmas,
+            ..self.clone()
+        }
+    }
+
     /// Deterministically materialises `len` bytes of synthetic page data
     /// for benchmarking real serialisation throughput.
     pub fn materialize_pages(&self, cap: usize) -> Vec<u8> {
@@ -589,6 +620,49 @@ pub fn checkpoint(kernel: &Kernel, pid: Pid, now: SimTime) -> Result<ProcessImag
     })
 }
 
+/// Takes a *pre-dump* of process `pid` at virtual time `now`, without
+/// freezing it.
+///
+/// A pre-dump captures the current page payload of every checkpointable
+/// VMA while the app keeps running in the foreground, so a pre-copy
+/// migration can stream the bulk of the image before the freeze. It is a
+/// streaming-only image, not a restorable one: device-specific VMAs are
+/// skipped (preparation has not run yet), the descriptor table is empty,
+/// and Binder state is not captured — the final frozen [`checkpoint`]
+/// supplies all of that, and [`ProcessImage::dirty_delta`] against the
+/// last pre-dump yields the residue still to ship.
+pub fn predump(kernel: &Kernel, pid: Pid, now: SimTime) -> Result<ProcessImage, CriuError> {
+    let proc = kernel
+        .process(pid)
+        .map_err(|_| CriuError::NoSuchProcess(pid))?;
+
+    let vmas = proc
+        .mem
+        .vmas()
+        .iter()
+        .filter(|v| !v.kind.is_device_specific())
+        .map(|v: &Vma| VmaImage {
+            kind: v.kind.clone(),
+            len: v.len,
+            prot: v.prot,
+            dirty: v.dirty,
+            content_seed: v.content_seed,
+            payload: v.dump_bytes(),
+        })
+        .collect();
+
+    Ok(ProcessImage {
+        package: proc.package.clone(),
+        virt_pid: proc.virt_pid,
+        uid: proc.uid,
+        threads: proc.threads.clone(),
+        vmas,
+        fds: Vec::new(),
+        binder: SavedBinderState::default(),
+        checkpoint_time: now,
+    })
+}
+
 /// Options controlling a restore.
 #[derive(Debug, Clone)]
 pub struct RestoreOptions {
@@ -650,7 +724,12 @@ pub fn restore(
         proc.threads = image.threads.clone();
 
         for v in &image.vmas {
-            proc.mem.map(v.kind.clone(), v.len, v.prot, v.dirty);
+            // Carry the checkpointed content identity: the restored pages
+            // *are* the home pages, so a later re-migration must present
+            // the same seed for the guest's content-addressed image cache
+            // to recognise unchanged chunks.
+            proc.mem
+                .map_with_seed(v.kind.clone(), v.len, v.prot, v.dirty, v.content_seed);
         }
 
         // Rebuild the descriptor table. INET sockets are dropped (the app is
@@ -919,6 +998,89 @@ mod tests {
         );
         assert!(matches!(r, Err(CriuError::Binder(_))));
         assert_eq!(guest.process_count(), before);
+    }
+
+    #[test]
+    fn predump_works_on_running_process_and_skips_device_state() {
+        let (mut k, app) = home_with_app();
+        // Device-specific state is still mapped — preparation hasn't run —
+        // and the process is still running in the foreground.
+        k.process_mut(app).unwrap().mem.map(
+            VmaKind::Gpu {
+                resource: "texture-cache".into(),
+            },
+            ByteSize::from_mib(16),
+            Prot::RW,
+            1.0,
+        );
+        let pre = predump(&k, app, SimTime::from_secs(1)).unwrap();
+        // Same dirty anon payload a checkpoint would carry (3 MiB of the
+        // 6 MiB anon VMA), no GPU VMA, and none of the restore-only state.
+        assert_eq!(pre.payload_bytes(), ByteSize::from_mib(3));
+        assert!(pre.vmas.iter().all(|v| !v.kind.is_device_specific()));
+        assert!(pre.fds.is_empty());
+        assert!(pre.binder.handles.is_empty());
+        assert_eq!(pre.checkpoint_time, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn dirty_delta_carries_only_newly_dirtied_pages() {
+        let (mut k, app) = home_with_app();
+        let pre = predump(&k, app, SimTime::ZERO).unwrap();
+
+        // The app keeps running and dirties more of its anon heap.
+        for v in k.process_mut(app).unwrap().mem.vmas_mut() {
+            if v.kind == VmaKind::Anon {
+                v.dirty = 0.75; // was 0.5
+            }
+        }
+        k.freeze(app).unwrap();
+        let full = checkpoint(&k, app, SimTime::from_secs(2)).unwrap();
+        let delta = full.dirty_delta(&pre);
+
+        // Residue = the extra 25% of the 6 MiB anon VMA.
+        assert_eq!(
+            delta.payload_bytes(),
+            full.payload_bytes() - pre.payload_bytes()
+        );
+        assert_eq!(delta.payload_bytes(), ByteSize::from_kib(1536));
+        // Pre-dump payload + residue covers the full image exactly once.
+        assert_eq!(
+            pre.payload_bytes() + delta.payload_bytes(),
+            full.payload_bytes()
+        );
+        // The delta still carries everything the pre-dump lacked.
+        assert_eq!(delta.fds, full.fds);
+        assert_eq!(delta.binder, full.binder);
+        assert_eq!(delta.threads, full.threads);
+    }
+
+    #[test]
+    fn restore_preserves_content_seeds() {
+        let (mut home, app) = home_with_app();
+        home.freeze(app).unwrap();
+        let img = checkpoint(&home, app, SimTime::ZERO).unwrap();
+
+        let mut guest = guest_kernel();
+        let ns = guest.namespaces.create();
+        let restored = restore(
+            &mut guest,
+            &img,
+            &RestoreOptions {
+                namespace: ns,
+                uid: Uid(10_077),
+                jail_root: "/data/flux/com.example.victim".into(),
+            },
+        )
+        .unwrap();
+
+        // The guest process exposes the home content identity, so a
+        // re-checkpoint after a round trip produces matching seeds and a
+        // content-addressed cache can recognise the pages.
+        let p = guest.process(restored.real_pid).unwrap();
+        let guest_seeds: Vec<u64> = p.mem.vmas().iter().map(|v| v.content_seed).collect();
+        let home_seeds: Vec<u64> = img.vmas.iter().map(|v| v.content_seed).collect();
+        assert_eq!(guest_seeds, home_seeds);
     }
 
     #[test]

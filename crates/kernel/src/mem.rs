@@ -162,6 +162,24 @@ impl AddressSpace {
 
     /// Maps a new VMA, rounding `len` up to whole pages, and returns its id.
     pub fn map(&mut self, kind: VmaKind, len: ByteSize, prot: Prot, dirty: f64) -> u64 {
+        let seed = self.next_id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.map_with_seed(kind, len, prot, dirty, seed)
+    }
+
+    /// [`map`](Self::map) with an explicit content seed.
+    ///
+    /// Restore uses this to carry the checkpointed page identity across
+    /// devices: the restored pages *are* the home pages, so a later
+    /// re-migration must present the same content identity for the guest's
+    /// content-addressed image cache to recognise unchanged chunks.
+    pub fn map_with_seed(
+        &mut self,
+        kind: VmaKind,
+        len: ByteSize,
+        prot: Prot,
+        dirty: f64,
+        content_seed: u64,
+    ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         let pages = len.as_u64().div_ceil(PAGE_SIZE).max(1);
@@ -171,7 +189,7 @@ impl AddressSpace {
             len: ByteSize::from_bytes(pages * PAGE_SIZE),
             prot,
             dirty: dirty.clamp(0.0, 1.0),
-            content_seed: id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            content_seed,
         });
         id
     }

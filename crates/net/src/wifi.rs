@@ -172,6 +172,7 @@ impl NetworkEnv {
 
         let mut out = ChunkedTransfer {
             total_chunks,
+            resumed_chunks: resume_from,
             delivered_chunks: resume_from,
             bytes_delivered: ByteSize::from_bytes(0),
             duration: self.setup_latency + body,
@@ -185,6 +186,7 @@ impl NetworkEnv {
         let mut cursor = now + self.setup_latency;
         if let Some(e) = plan.link_drop_in(now, cursor) {
             out.duration = e.at - now;
+            out.goodput_mbps = 0.0;
             out.outcome = ChunkedOutcome::LinkDropped { at: e.at };
             return out;
         }
@@ -208,6 +210,10 @@ impl NetworkEnv {
             };
             if let Some(e) = plan.link_drop_in(cursor, cursor + d) {
                 out.duration = e.at - now;
+                out.goodput_mbps = derived_goodput(
+                    out.bytes_delivered,
+                    out.duration.saturating_sub(self.setup_latency),
+                );
                 out.outcome = ChunkedOutcome::LinkDropped { at: e.at };
                 return out;
             }
@@ -223,8 +229,28 @@ impl NetworkEnv {
             out.bytes_delivered += ByteSize::from_bytes(sent);
         }
         out.duration = cursor - now;
+        // Report what actually happened on the air: when congestion
+        // stretched chunks the achieved goodput is lower than the jittered
+        // nominal rate computed up front. Without faults the air time is
+        // exactly `body`, so the nominal rate is kept bit-for-bit (chunking
+        // must not change the legacy figures).
+        if out.congested_chunks > 0 {
+            out.goodput_mbps = derived_goodput(
+                out.bytes_delivered,
+                out.duration.saturating_sub(self.setup_latency),
+            );
+        }
         out
     }
+}
+
+/// Goodput in Mbit/s achieved by moving `bytes` over `air` time (transfer
+/// duration minus connection setup). Zero when nothing moved.
+fn derived_goodput(bytes: ByteSize, air: SimDuration) -> f64 {
+    if air == SimDuration::ZERO || bytes.as_u64() == 0 {
+        return 0.0;
+    }
+    bytes.as_u64() as f64 * 8.0 / (air.as_secs_f64() * 1e6)
 }
 
 /// How a chunked transfer attempt ended.
@@ -254,21 +280,45 @@ pub struct ChunkEvent {
 }
 
 /// Statistics of one chunked transfer attempt.
+///
+/// Two scopes of accounting coexist and are named accordingly:
+///
+/// * **cumulative** over the whole payload across attempts:
+///   [`total_chunks`](Self::total_chunks),
+///   [`delivered_chunks`](Self::delivered_chunks),
+///   [`resumed_chunks`](Self::resumed_chunks);
+/// * **per-attempt** (what *this* call put on the air):
+///   [`bytes_delivered`](Self::bytes_delivered),
+///   [`attempt_chunks`](Self::attempt_chunks), [`chunks`](Self::chunks),
+///   [`duration`](Self::duration), [`goodput_mbps`](Self::goodput_mbps),
+///   [`congested_chunks`](Self::congested_chunks).
+///
+/// Summing the per-attempt figures over the attempts of a resumed transfer
+/// therefore reproduces the payload exactly once — nothing is double- or
+/// under-reported. The `flux.net.*` counters accumulate the per-attempt
+/// fields.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChunkedTransfer {
-    /// Chunks in the whole payload.
+    /// Chunks in the whole payload (cumulative scope).
     pub total_chunks: usize,
-    /// Cumulative chunks delivered, including those resumed from earlier
-    /// attempts.
+    /// Chunks already delivered by earlier attempts and skipped by this one
+    /// (the `resume_from` argument, clamped to the payload).
+    pub resumed_chunks: usize,
+    /// Cumulative chunks delivered so far, *including* those resumed from
+    /// earlier attempts. Pass this as `resume_from` to the next attempt.
     pub delivered_chunks: usize,
-    /// Bytes this attempt put on the air.
+    /// Bytes this attempt put on the air (per-attempt scope; excludes
+    /// resumed chunks).
     pub bytes_delivered: ByteSize,
     /// Virtual time this attempt consumed (setup + chunks, or time until
     /// the link dropped).
     pub duration: SimDuration,
-    /// Achieved fault-free goodput in Mbit/s.
+    /// Goodput this attempt achieved in Mbit/s, derived from
+    /// `bytes_delivered` over the air time (`duration` minus connection
+    /// setup). Equals the jittered nominal rate when no fault stretched a
+    /// chunk; 0.0 when nothing was delivered.
     pub goodput_mbps: f64,
-    /// Chunks slowed by congestion spikes.
+    /// Chunks this attempt sent that congestion spikes slowed.
     pub congested_chunks: usize,
     /// How the attempt ended.
     pub outcome: ChunkedOutcome,
@@ -282,6 +332,12 @@ impl ChunkedTransfer {
     /// Whether every chunk of the payload has now been delivered.
     pub fn complete(&self) -> bool {
         matches!(self.outcome, ChunkedOutcome::Complete)
+    }
+
+    /// Chunks this attempt delivered (per-attempt scope): the cumulative
+    /// count minus the resumed prefix. Always equals `chunks.len()`.
+    pub fn attempt_chunks(&self) -> usize {
+        self.delivered_chunks - self.resumed_chunks
     }
 }
 
@@ -493,6 +549,154 @@ mod tests {
         assert!(slow.complete());
         assert!(slow.congested_chunks > 0);
         assert!(slow.duration.as_secs_f64() > clean.duration.as_secs_f64() * 2.0);
+    }
+
+    #[test]
+    fn congested_transfer_reports_achieved_goodput() {
+        use flux_simcore::{FaultEvent, FaultKind};
+        let bytes = ByteSize::from_mib(6);
+        let clean = NetworkEnv::campus(11).transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &FaultPlan::none(),
+        );
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::CongestionSpike,
+            duration: clean.duration * 4,
+            magnitude: 3.0,
+        }]);
+        let mut env = NetworkEnv::campus(11);
+        let slow = env.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &plan,
+        );
+        assert!(slow.congested_chunks > 0);
+        // The reported goodput is what the air actually achieved, not the
+        // pre-congestion nominal rate: bytes over the (stretched) air time.
+        let air = slow.duration.saturating_sub(env.setup_latency);
+        let derived = bytes.as_u64() as f64 * 8.0 / (air.as_secs_f64() * 1e6);
+        assert!(
+            (slow.goodput_mbps - derived).abs() < 1e-6,
+            "reported {} but achieved {derived}",
+            slow.goodput_mbps
+        );
+        // A 3x stretch must show up: well below the clean rate.
+        assert!(
+            slow.goodput_mbps < clean.goodput_mbps / 2.0,
+            "congested goodput {} not below clean {}",
+            slow.goodput_mbps,
+            clean.goodput_mbps
+        );
+    }
+
+    #[test]
+    fn dropped_transfer_reports_partial_goodput() {
+        use flux_simcore::{FaultEvent, FaultKind};
+        let mut env = NetworkEnv::campus(9);
+        let bytes = ByteSize::from_mib(8);
+        let probe = NetworkEnv::campus(9).transfer(bytes, &n_dual(), &n_dual());
+        let drop_at = SimTime::ZERO + SimDuration::from_nanos(probe.duration.as_nanos() / 2);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: drop_at,
+            kind: FaultKind::LinkDrop,
+            duration: SimDuration::ZERO,
+            magnitude: 0.0,
+        }]);
+        let c = env.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &plan,
+        );
+        assert!(!c.complete());
+        let air = c.duration.saturating_sub(env.setup_latency);
+        let derived = c.bytes_delivered.as_u64() as f64 * 8.0 / (air.as_secs_f64() * 1e6);
+        assert!(
+            (c.goodput_mbps - derived).abs() < 1e-6,
+            "reported {} but achieved {derived}",
+            c.goodput_mbps
+        );
+        // A drop during the handshake achieves nothing.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_millis(1),
+            kind: FaultKind::LinkDrop,
+            duration: SimDuration::ZERO,
+            magnitude: 0.0,
+        }]);
+        let h = NetworkEnv::campus(9).transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &plan,
+        );
+        assert_eq!(h.bytes_delivered, ByteSize::from_bytes(0));
+        assert_eq!(h.goodput_mbps, 0.0);
+    }
+
+    #[test]
+    fn resume_accounting_scopes_are_consistent() {
+        use flux_simcore::{FaultEvent, FaultKind};
+        let mut env = NetworkEnv::campus(9);
+        let bytes = ByteSize::from_mib(8) + ByteSize::from_kib(37); // last chunk partial
+        let probe = NetworkEnv::campus(9).transfer(bytes, &n_dual(), &n_dual());
+        let drop_at = SimTime::ZERO + SimDuration::from_nanos(probe.duration.as_nanos() / 3);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: drop_at,
+            kind: FaultKind::LinkDrop,
+            duration: SimDuration::ZERO,
+            magnitude: 0.0,
+        }]);
+        let first = env.transfer_chunked(
+            SimTime::ZERO,
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            0,
+            &plan,
+        );
+        assert!(!first.complete());
+        assert_eq!(first.resumed_chunks, 0);
+        assert_eq!(first.attempt_chunks(), first.chunks.len());
+        let second = env.transfer_chunked(
+            drop_at + SimDuration::from_secs(1),
+            bytes,
+            DEFAULT_CHUNK,
+            &n_dual(),
+            &n_dual(),
+            first.delivered_chunks,
+            &plan,
+        );
+        assert!(second.complete());
+        // Cumulative scope: resumed prefix + this attempt = whole payload.
+        assert_eq!(second.resumed_chunks, first.delivered_chunks);
+        assert_eq!(second.delivered_chunks, second.total_chunks);
+        assert_eq!(second.attempt_chunks(), second.chunks.len());
+        // Per-attempt scope: the attempts partition the payload exactly.
+        assert_eq!(
+            first.attempt_chunks() + second.attempt_chunks(),
+            second.total_chunks
+        );
+        assert_eq!(
+            (first.bytes_delivered + second.bytes_delivered).as_u64(),
+            bytes.as_u64()
+        );
     }
 
     #[test]

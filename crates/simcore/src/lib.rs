@@ -17,10 +17,14 @@
 //! * [`fault`] — seeded [`FaultPlan`] schedules of link drops, congestion
 //!   spikes and kernel stalls that the transfer and migration paths consult
 //!   when fault injection is enabled.
+//! * [`pipeline`] — a virtual-time lane scheduler so pipelined migration can
+//!   overlap compression, radio transfer and filesystem sync while staying
+//!   deterministic.
 
 pub mod cost;
 pub mod fault;
 pub mod ids;
+pub mod pipeline;
 pub mod rng;
 pub mod size;
 pub mod time;
@@ -30,6 +34,7 @@ pub mod wire;
 pub use cost::CostModel;
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use ids::{Pid, Uid};
+pub use pipeline::{PipeLane, Pipeline};
 pub use rng::SimRng;
 pub use size::ByteSize;
 pub use time::{SimClock, SimDuration, SimTime};

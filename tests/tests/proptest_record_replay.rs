@@ -198,3 +198,37 @@ proptest! {
         );
     }
 }
+
+/// Regression, formerly the shrunk proptest seed
+/// `steps = [RemoveAlarm(0), SetAlarm(0, 60)]`: an *unmatched* alarm
+/// remove followed by a set of the same operation. The remove's `@drop`
+/// pruning must only cancel out an *earlier* set of that operation — a
+/// later set must survive the log and replay, or the pending alarm
+/// silently vanishes on the guest.
+#[test]
+fn unmatched_remove_then_set_keeps_the_alarm_across_migration() {
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(777)
+        .device("h", DeviceProfile::nexus7_2013())
+        .device("g", DeviceProfile::nexus7_2013())
+        .build()
+        .unwrap();
+    let (home, guest) = (ids[0], ids[1]);
+    let app = spec("Twitter").unwrap();
+    world.install_app(home, &app).unwrap();
+    world.launch_app(home, &app.package).unwrap();
+
+    apply(&mut world, home, &app.package, &Step::RemoveAlarm(0));
+    apply(&mut world, home, &app.package, &Step::SetAlarm(0, 60));
+
+    let home_uid = world.device(home).unwrap().app_uid(&app.package).unwrap();
+    let before = observe(&world, home, home_uid);
+    assert_eq!(before.1.len(), 1, "op0 is pending on the home device");
+
+    pair(&mut world, home, guest).unwrap();
+    migrate(&mut world, home, guest, &app.package).unwrap();
+
+    let guest_uid = world.device(guest).unwrap().app_uid(&app.package).unwrap();
+    let after = observe(&world, guest, guest_uid);
+    assert_eq!(before, after, "the re-set alarm must survive replay");
+}

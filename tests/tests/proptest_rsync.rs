@@ -92,3 +92,34 @@ proptest! {
         prop_assert_eq!(r.files_hard_linked, r.files_total);
     }
 }
+
+/// Regression, formerly the shrunk proptest seed
+/// `src_files = [(21, 1, 248)], dst_files = [(21, 2, 248)]`: a destination
+/// file at the same path whose *hash* matches the source but whose *size*
+/// differs is NOT up to date. Content identity is `(size, hash)`; comparing
+/// hashes alone left the stale 2 KiB file in place.
+#[test]
+fn same_hash_different_size_is_resynced() {
+    let mut src = SimFs::new();
+    src.write("/src/f21", Content::new(ByteSize::from_kib(1), 249));
+    let mut dst = SimFs::new();
+    dst.write("/dst/mirror/f21", Content::new(ByteSize::from_kib(2), 249));
+
+    let r = sync(
+        &src,
+        "/src",
+        &mut dst,
+        "/dst/mirror",
+        &SyncOptions::default(),
+        &CostModel::reference(),
+    )
+    .unwrap();
+
+    assert_eq!(r.files_up_to_date, 0, "size mismatch must not look current");
+    assert!(r.bytes_shipped > ByteSize::ZERO);
+    assert_eq!(
+        dst.get("/dst/mirror/f21").unwrap().content,
+        Content::new(ByteSize::from_kib(1), 249),
+        "destination must mirror the source's (size, hash), not just hash"
+    );
+}

@@ -1,0 +1,127 @@
+//! Property tests on chunked-transfer accounting across resumed attempts.
+//!
+//! However a seeded fault plan splits a payload into attempts, the
+//! per-attempt figures must tile the payload exactly once: summed
+//! delivered bytes equal the payload, summed per-attempt chunk counts
+//! equal the total chunk count, each attempt's goodput agrees with its
+//! own bytes over its own air time, and the per-chunk event log agrees
+//! with the attempt totals. These are precisely the figures the
+//! migration engine feeds the `flux.net.*` counters and the transfer
+//! ledger, so tiling violations would double- or under-report bytes.
+
+use flux_net::{ChunkedOutcome, WifiAdapter, WifiStandard};
+use flux_simcore::{ByteSize, FaultConfig, FaultPlan, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn adapter() -> WifiAdapter {
+    WifiAdapter {
+        standard: WifiStandard::N,
+        dual_band: true,
+        link_mbps: 65.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn attempt_accounting_tiles_the_payload_exactly_once(
+        seed in 0..100_000u64,
+        payload_kib in 64..32_768u64,
+        chunk_kib in 32..1024u64,
+        rate_idx in 0..4usize,
+    ) {
+        let rates = [0.0, 0.05, 0.2, 0.5];
+        let plan = FaultPlan::generate(
+            seed,
+            &FaultConfig::uniform(rates[rate_idx], SimDuration::from_secs(600)),
+        );
+        let mut env = flux_net::NetworkEnv::campus(seed);
+        let payload = ByteSize::from_kib(payload_kib);
+        let chunk = ByteSize::from_kib(chunk_kib);
+        let (a, b) = (adapter(), adapter());
+
+        let mut now = SimTime::ZERO;
+        let mut delivered = 0usize;
+        let mut bytes_sum = ByteSize::ZERO;
+        let mut attempt_chunk_sum = 0usize;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            prop_assert!(attempts <= 400, "transfer never completed");
+            let r = env.transfer_chunked(now, payload, chunk, &a, &b, delivered, &plan);
+
+            // Per-attempt self-consistency.
+            prop_assert_eq!(r.resumed_chunks, delivered);
+            prop_assert_eq!(r.attempt_chunks(), r.chunks.len());
+            let event_bytes: u64 = r.chunks.iter().map(|c| c.bytes.as_u64()).sum();
+            prop_assert_eq!(event_bytes, r.bytes_delivered.as_u64());
+            prop_assert!(r.delivered_chunks <= r.total_chunks);
+            prop_assert!(r.delivered_chunks >= r.resumed_chunks);
+
+            // Goodput agrees with this attempt's bytes over its air time.
+            let air = r.duration.saturating_sub(env.setup_latency);
+            if r.bytes_delivered > ByteSize::ZERO {
+                let bits = r.bytes_delivered.as_u64() as f64 * 8.0;
+                let derived = bits / (air.as_secs_f64() * 1e6);
+                let err = (r.goodput_mbps - derived).abs() / derived;
+                prop_assert!(
+                    err < 1e-3,
+                    "goodput {} vs derived {} (err {err})", r.goodput_mbps, derived
+                );
+            } else if matches!(r.outcome, ChunkedOutcome::LinkDropped { .. }) {
+                prop_assert_eq!(r.goodput_mbps, 0.0, "nothing moved, goodput must be 0");
+            }
+
+            // Accumulate the per-attempt scope, the way the migration
+            // engine feeds counters and the ledger.
+            bytes_sum += r.bytes_delivered;
+            attempt_chunk_sum += r.attempt_chunks();
+            delivered = r.delivered_chunks;
+
+            match r.outcome {
+                ChunkedOutcome::Complete => {
+                    prop_assert_eq!(r.delivered_chunks, r.total_chunks);
+                    break;
+                }
+                ChunkedOutcome::LinkDropped { at } => {
+                    prop_assert!(at >= now, "drop precedes the attempt");
+                    // Advance past the fault the way retry backoff does.
+                    now = now + r.duration + SimDuration::from_secs(5);
+                }
+            }
+        }
+
+        // The tiling: across every split the plan produced, the payload
+        // crossed the air exactly once.
+        prop_assert_eq!(bytes_sum, payload);
+        let total = payload.as_u64().div_ceil(chunk.as_u64()) as usize;
+        prop_assert_eq!(attempt_chunk_sum, total);
+    }
+
+    /// An empty fault plan completes in one attempt whose figures match
+    /// the whole payload — the degenerate split.
+    #[test]
+    fn fault_free_transfer_is_a_single_exact_attempt(
+        seed in 0..100_000u64,
+        payload_kib in 64..32_768u64,
+    ) {
+        let mut env = flux_net::NetworkEnv::campus(seed);
+        let payload = ByteSize::from_kib(payload_kib);
+        let chunk = ByteSize::from_kib(256);
+        let r = env.transfer_chunked(
+            SimTime::ZERO,
+            payload,
+            chunk,
+            &adapter(),
+            &adapter(),
+            0,
+            &FaultPlan::none(),
+        );
+        prop_assert!(r.complete());
+        prop_assert_eq!(r.bytes_delivered, payload);
+        prop_assert_eq!(r.resumed_chunks, 0);
+        prop_assert_eq!(r.congested_chunks, 0);
+        prop_assert_eq!(r.delivered_chunks, r.total_chunks);
+    }
+}
