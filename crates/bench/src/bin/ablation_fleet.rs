@@ -1,0 +1,241 @@
+//! Fleet ablation: fleet size × max-in-flight grid over the Table 3 apps,
+//! under the shared-medium radio model.
+//!
+//! Each cell builds a fresh world with one device pair per request
+//! (Nexus 4 home, Nexus 7 (2013) guest), deploys a migratable Table 3 app
+//! per pair, runs its canned workload, pairs the devices, and drives the
+//! whole batch through the [`FleetScheduler`]. The medium capacity is the
+//! [`FleetConfig`] default, so a lone transfer runs at full serial speed
+//! while concurrent transfers contend for the shared airspace — the grid
+//! measures scheduling quality, not free parallelism.
+//!
+//! Per cell the table reports the fleet makespan, the serialized makespan
+//! (what `max-in-flight = 1` would take under the same medium), the
+//! speedup, the peak concurrency actually reached and the mean queue wait.
+//!
+//! The binary self-verifies two ways:
+//!
+//! * the whole grid runs twice and must be byte-identical — fleet
+//!   scheduling must not cost determinism;
+//! * for every fleet size, each `max-in-flight > 1` cell's makespan must
+//!   strictly beat its own serialized makespan, and the `max-in-flight = 1`
+//!   cell must *equal* its serialized makespan exactly.
+//!
+//! ```text
+//! ablation_fleet [--smoke] [--out DIR]
+//! ```
+
+use flux_core::{pair, FleetConfig, FleetReport, FleetScheduler, MigrationRequest, WorldBuilder};
+use flux_device::DeviceProfile;
+use flux_simcore::SimDuration;
+use flux_workloads::{top_apps, AppSpec};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Seeds per cell (everything is deterministic; means are across these).
+const SEEDS: [u64; 2] = [21, 22];
+/// Fleet sizes (requests per batch) on the full grid.
+const FLEET_SIZES: [usize; 3] = [2, 4, 8];
+/// Admission limits on the full grid.
+const MAX_IN_FLIGHT: [usize; 3] = [1, 2, 4];
+
+/// The Table 3 apps the engine can migrate, in table order.
+fn migratable_apps() -> Vec<AppSpec> {
+    top_apps()
+        .into_iter()
+        .filter(|a| !a.multi_process && !a.preserve_egl)
+        .collect()
+}
+
+/// Runs one (seed, fleet size, max-in-flight) cell.
+fn run_cell(seed: u64, fleet: usize, max_in_flight: usize) -> Result<FleetReport, String> {
+    let apps = migratable_apps();
+    let mut builder = WorldBuilder::new().seed(seed);
+    for i in 0..fleet {
+        let app = apps[i % apps.len()].clone();
+        builder = builder
+            .device(&format!("phone{i:02}"), DeviceProfile::nexus4())
+            .device(&format!("tablet{i:02}"), DeviceProfile::nexus7_2013())
+            .app(2 * i, app);
+    }
+    let (mut world, ids) = builder.build().map_err(|e| e.to_string())?;
+    let mut requests = Vec::with_capacity(fleet);
+    for i in 0..fleet {
+        let app = &apps[i % apps.len()];
+        let (home, guest) = (ids[2 * i], ids[2 * i + 1]);
+        world
+            .run_script(home, &app.package, &app.actions.clone())
+            .map_err(|e| e.to_string())?;
+        pair(&mut world, home, guest).map_err(|e| e.to_string())?;
+        requests.push(MigrationRequest::new(
+            i as u64 + 1,
+            home,
+            guest,
+            &app.package,
+        ));
+    }
+    let scheduler = FleetScheduler::new(FleetConfig {
+        max_in_flight,
+        ..FleetConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    scheduler
+        .run(&mut world, requests)
+        .map_err(|e| e.to_string())
+}
+
+fn mean_wait(report: &FleetReport) -> SimDuration {
+    if report.flights.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let sum: u64 = report
+        .flights
+        .iter()
+        .map(|f| f.queue_wait().as_nanos())
+        .sum();
+    SimDuration::from_nanos(sum / report.flights.len() as u64)
+}
+
+/// Runs the grid and renders the table; fails if any cell violates the
+/// makespan-vs-serialized invariants.
+fn run_grid(seeds: &[u64], fleets: &[usize], limits: &[usize]) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fleet ablation: {} migratable Table 3 apps, Nexus 4 -> Nexus 7 (2013) pairs, {} seed(s)\n",
+        migratable_apps().len(),
+        seeds.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>14} {:>14} {:>8} {:>6} {:>12} {:>10}",
+        "fleet",
+        "max-in-flt",
+        "makespan",
+        "serialized",
+        "speedup",
+        "peak",
+        "mean wait",
+        "completed"
+    );
+    for &fleet in fleets {
+        for &limit in limits {
+            let mut makespans = Vec::new();
+            let mut serialized = Vec::new();
+            let mut waits = Vec::new();
+            let mut peaks = Vec::new();
+            let mut completed = 0usize;
+            let mut total = 0usize;
+            for &seed in seeds {
+                let r = run_cell(seed, fleet, limit)
+                    .map_err(|e| format!("fleet {fleet} limit {limit} seed {seed}: {e}"))?;
+                if limit == 1 && r.makespan != r.serialized_makespan {
+                    return Err(format!(
+                        "fleet {fleet} seed {seed}: max-in-flight 1 makespan {} != serialized {}",
+                        r.makespan, r.serialized_makespan
+                    ));
+                }
+                if limit > 1 && fleet > 1 && r.makespan >= r.serialized_makespan {
+                    return Err(format!(
+                        "fleet {fleet} limit {limit} seed {seed}: makespan {} not below serialized {}",
+                        r.makespan, r.serialized_makespan
+                    ));
+                }
+                completed += r.completed;
+                total += r.flights.len();
+                makespans.push(r.makespan);
+                serialized.push(r.serialized_makespan);
+                waits.push(mean_wait(&r));
+                peaks.push(r.peak_in_flight);
+            }
+            let mean = |xs: &[SimDuration]| {
+                SimDuration::from_nanos(
+                    xs.iter().map(|d| d.as_nanos()).sum::<u64>() / xs.len() as u64,
+                )
+            };
+            let mk = mean(&makespans);
+            let ser = mean(&serialized);
+            let _ = writeln!(
+                out,
+                "{:<8} {:>12} {:>14} {:>14} {:>7.2}x {:>6} {:>12} {:>7}/{}",
+                fleet,
+                limit,
+                format!("{mk}"),
+                format!("{ser}"),
+                ser.as_secs_f64() / mk.as_secs_f64(),
+                peaks.iter().max().unwrap(),
+                format!("{}", mean(&waits)),
+                completed,
+                total,
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<String> = None;
+    let mut seeds: &[u64] = &SEEDS;
+    let mut fleets: &[usize] = &FLEET_SIZES;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                seeds = &SEEDS[..1];
+                fleets = &FLEET_SIZES[..2];
+            }
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("ablation_fleet: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ablation_fleet [--smoke] [--out DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ablation_fleet: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Two full passes: virtual time owes us byte-identical tables.
+    let table = match run_grid(seeds, fleets, &MAX_IN_FLIGHT) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ablation_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_grid(seeds, fleets, &MAX_IN_FLIGHT) {
+        Ok(second) if second == table => {}
+        Ok(_) => {
+            eprintln!("ablation_fleet: two passes over the same seeds diverged");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("ablation_fleet: repeat pass failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    print!("{table}");
+    println!("\nall concurrent cells beat their serialized makespan; both passes byte-identical");
+
+    if let Some(dir) = out_dir {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("ablation_fleet: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(dir.join("ablation_fleet.txt"), &table) {
+            eprintln!("ablation_fleet: cannot write artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

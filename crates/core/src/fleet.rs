@@ -1,0 +1,615 @@
+//! Fleet-scale concurrent migration scheduling.
+//!
+//! The paper's evaluation migrates one app between one device pair; a
+//! production deployment has many migrations in flight at once, contending
+//! for the same radio. A [`FleetScheduler`] accepts a batch of
+//! [`MigrationRequest`]s across N devices and drives them concurrently over
+//! virtual time:
+//!
+//! * **Admission control** — at most [`FleetConfig::max_in_flight`]
+//!   migrations on the air, and per-device exclusivity: a device can be the
+//!   *source* of one migration and the *target* of one migration at a time,
+//!   never two of the same role.
+//! * **FIFO-with-priority queueing** — requests admit in descending
+//!   [`MigrationRequest::priority`], FIFO (ascending request id) within a
+//!   class. A request whose devices are busy is skipped, not head-of-line
+//!   blocking: later requests backfill the air.
+//! * **Shared medium** — the freeze-time transfer of every in-flight
+//!   migration drains a [`RadioMedium`], so K concurrent transfers see
+//!   ~1/K goodput each and concurrency is never free.
+//! * **Retry/rollback composition** — each request carries its own
+//!   [`MigrationConfig`] (hence [`RetryPolicy`](crate::RetryPolicy)) and an
+//!   optional [`FaultPlan`] expressed *relative to its own start*; a
+//!   migration that exhausts its retries rolls back alone, occupying its
+//!   devices for the time the attempts and the rollback actually took.
+//!
+//! # Execution model and determinism
+//!
+//! The world owns a single [`SimClock`](flux_simcore::SimClock) and a
+//! single RNG stream per subsystem, so the underlying five-stage engine
+//! cannot literally interleave two migrations. The fleet therefore runs on
+//! two levels. Migrations *execute* serially, at admission, in admission
+//! order — charging the world clock and consuming RNG exactly as a lone
+//! migration would. The fleet then *schedules* the measured phases onto its
+//! own timeline: a CPU-bound span (pre-copy, preparation, checkpoint,
+//! backoff), the shared-medium transfer, and a CPU-bound tail (restore,
+//! reintegration). Per-device exclusivity makes the fleet schedule
+//! serialisable, and admission order is a pure function of (priority,
+//! request id) and completion events — never of submission order — so a
+//! batch produces byte-identical reports however its requests were
+//! permuted. Simultaneous fleet events are interleaved by a
+//! [`Timeline`] keyed on the stable request id.
+//!
+//! Uncontended, a fleet transfer drains in exactly its serial duration, so
+//! a single-request fleet reproduces [`migrate_configured`]'s figures to
+//! the nanosecond — the scenario suite pins this.
+//!
+//! # Examples
+//!
+//! ```
+//! use flux_core::{pair, FleetConfig, FleetScheduler, MigrationRequest, WorldBuilder};
+//! use flux_device::DeviceProfile;
+//! use flux_workloads::spec;
+//!
+//! let app = spec("WhatsApp").unwrap();
+//! let (mut world, ids) = WorldBuilder::new()
+//!     .seed(42)
+//!     .device("phone", DeviceProfile::nexus4())
+//!     .device("tablet", DeviceProfile::nexus7_2013())
+//!     .app(0, app.clone())
+//!     .pair(0, 1)
+//!     .build()
+//!     .unwrap();
+//! world.run_script(ids[0], &app.package.clone(), &app.actions.clone()).unwrap();
+//!
+//! let scheduler = FleetScheduler::new(FleetConfig::default()).unwrap();
+//! let batch = vec![MigrationRequest::new(1, ids[0], ids[1], &app.package)];
+//! let report = scheduler.run(&mut world, batch).unwrap();
+//! assert_eq!(report.completed, 1);
+//! assert!(report.makespan > flux_simcore::SimDuration::ZERO);
+//! ```
+
+use crate::errors::FluxError;
+use crate::migration::{migrate_configured, MigrationConfig, MigrationError, MigrationReport};
+use crate::world::{DeviceId, FluxWorld};
+use flux_net::{MediumSegment, RadioMedium};
+use flux_simcore::{ByteSize, FaultPlan, SimDuration, SimTime, Timeline};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One migration the fleet should perform.
+#[derive(Debug, Clone)]
+pub struct MigrationRequest {
+    /// Stable id: the determinism key (event ties, FIFO order) and the name
+    /// of the request's telemetry lane. Unique within a batch.
+    pub id: u64,
+    /// Source device.
+    pub home: DeviceId,
+    /// Target device.
+    pub guest: DeviceId,
+    /// Package to migrate.
+    pub package: String,
+    /// Admission priority: higher admits first; FIFO by id within a class.
+    pub priority: u8,
+    /// Engine configuration (retry policy, pre-copy, pipelining, cache).
+    pub cfg: MigrationConfig,
+    /// Fault schedule relative to this migration's own start; shifted onto
+    /// the world clock at admission. [`FaultPlan::none`] inherits the
+    /// world's ambient plan instead.
+    pub faults: FaultPlan,
+}
+
+impl MigrationRequest {
+    /// A default-engine, priority-0, fault-free request.
+    pub fn new(id: u64, home: DeviceId, guest: DeviceId, package: &str) -> Self {
+        Self {
+            id,
+            home,
+            guest,
+            package: package.to_owned(),
+            priority: 0,
+            cfg: MigrationConfig::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Sets the admission priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn with_config(mut self, cfg: MigrationConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the request-relative fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Admission and contention knobs for a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Maximum concurrently in-flight migrations. `1` serialises the batch.
+    pub max_in_flight: usize,
+    /// Aggregate goodput (Mbit/s) of the shared radio medium. The default
+    /// clears a lone campus-WiFi dual-band transfer (~22 Mbit/s effective)
+    /// but makes two concurrent transfers contend.
+    pub medium_capacity_mbps: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 4,
+            medium_capacity_mbps: 30.0,
+        }
+    }
+}
+
+/// How one fleet request ended.
+#[derive(Debug, Clone)]
+pub enum FleetOutcome {
+    /// The migration succeeded; the full single-pair report.
+    Completed(MigrationReport),
+    /// Faults exhausted the retry budget; the migration was rolled back and
+    /// the app runs on its home device again.
+    RolledBack {
+        /// The terminal migration error.
+        error: FluxError,
+    },
+    /// The engine refused the migration pre-flight (not paired, app not
+    /// running, §3.3–3.4 restrictions); no device time or air was consumed.
+    Refused {
+        /// The refusal.
+        error: FluxError,
+    },
+}
+
+impl FleetOutcome {
+    /// Whether the request completed successfully.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, FleetOutcome::Completed(_))
+    }
+
+    /// The single-pair report, when completed.
+    pub fn report(&self) -> Option<&MigrationReport> {
+        match self {
+            FleetOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Where one request spent its time on the fleet timeline.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// The request's stable id.
+    pub id: u64,
+    /// Migrated package.
+    pub package: String,
+    /// Source device.
+    pub home: DeviceId,
+    /// Target device.
+    pub guest: DeviceId,
+    /// Admission priority the request ran at.
+    pub priority: u8,
+    /// When the batch opened (all requests submit together).
+    pub submitted_at: SimTime,
+    /// When admission control let the request onto its devices.
+    pub admitted_at: SimTime,
+    /// When its freeze-time transfer joined the medium. Equals
+    /// `admitted_at` plus the CPU-bound head; for refused or rolled-back
+    /// requests (which never reach the medium), the end of their span.
+    pub transfer_start: SimTime,
+    /// When its transfer drained. Equals `transfer_start` when the request
+    /// never reached the medium.
+    pub transfer_end: SimTime,
+    /// When the request left its devices.
+    pub finished_at: SimTime,
+    /// How it ended.
+    pub outcome: FleetOutcome,
+}
+
+impl FlightRecord {
+    /// Time spent queued before admission.
+    pub fn queue_wait(&self) -> SimDuration {
+        self.admitted_at.since(self.submitted_at)
+    }
+
+    /// Admission-to-finish span.
+    pub fn span(&self) -> SimDuration {
+        self.finished_at.since(self.admitted_at)
+    }
+}
+
+/// The result of a whole fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One record per request, ascending by request id.
+    pub flights: Vec<FlightRecord>,
+    /// When the batch opened.
+    pub started_at: SimTime,
+    /// Fleet-timeline span from batch open to the last flight's finish.
+    pub makespan: SimDuration,
+    /// What the same batch would have taken with `max_in_flight = 1` under
+    /// the same medium: the sum of every flight's uncontended span.
+    pub serialized_makespan: SimDuration,
+    /// Most migrations simultaneously in flight.
+    pub peak_in_flight: usize,
+    /// The medium's constant-rate allocation trace.
+    pub medium: Vec<MediumSegment>,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests that rolled back.
+    pub rolled_back: usize,
+    /// Requests refused pre-flight.
+    pub refused: usize,
+}
+
+/// The measured shape of one executed migration, ready to schedule.
+struct Executed {
+    outcome: FleetOutcome,
+    /// CPU-bound head: pre-copy, preparation, checkpoint, retry backoff —
+    /// minus whatever pipelining overlapped. For rolled-back requests, the
+    /// whole measured span (attempts plus rollback).
+    pre: SimDuration,
+    /// Freeze-time payload for the medium: `(bytes, serial air time)`.
+    flow: Option<(ByteSize, SimDuration)>,
+    /// CPU-bound tail: restore and reintegration.
+    post: SimDuration,
+}
+
+/// A request occupying its devices.
+struct Active {
+    idx: usize,
+    admitted_at: SimTime,
+    transfer_start: SimTime,
+    transfer_end: SimTime,
+    exec: Executed,
+}
+
+/// Fleet-timeline events, keyed by request id.
+enum FleetEvent {
+    /// The CPU-bound head finished; the transfer may join the medium.
+    PreDone,
+    /// The CPU-bound tail finished; the request leaves its devices.
+    PostDone,
+}
+
+/// Drives batches of migrations concurrently over virtual time.
+///
+/// See the [module docs](self) for the execution model.
+#[derive(Debug, Clone)]
+pub struct FleetScheduler {
+    cfg: FleetConfig,
+}
+
+impl FleetScheduler {
+    /// Validates `cfg` and builds a scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`FluxError::Config`] when `max_in_flight` is zero or the medium
+    /// capacity is not strictly positive and finite.
+    pub fn new(cfg: FleetConfig) -> Result<Self, FluxError> {
+        if cfg.max_in_flight == 0 {
+            return Err(FluxError::Config(
+                "fleet max_in_flight must be at least 1".into(),
+            ));
+        }
+        if !(cfg.medium_capacity_mbps > 0.0 && cfg.medium_capacity_mbps.is_finite()) {
+            return Err(FluxError::Config(format!(
+                "fleet medium capacity must be positive, got {}",
+                cfg.medium_capacity_mbps
+            )));
+        }
+        Ok(Self { cfg })
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Runs `requests` to completion and returns the fleet report.
+    ///
+    /// Every request reaches a terminal [`FleetOutcome`]; an individual
+    /// migration failing is reported per-flight, not as an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// [`FluxError::Config`] when two requests share an id (the id is the
+    /// determinism key, so collisions would make tie-breaking ambiguous).
+    pub fn run(
+        &self,
+        world: &mut FluxWorld,
+        requests: Vec<MigrationRequest>,
+    ) -> Result<FleetReport, FluxError> {
+        let mut ids = BTreeSet::new();
+        for req in &requests {
+            if !ids.insert(req.id) {
+                return Err(FluxError::Config(format!(
+                    "duplicate fleet request id {}",
+                    req.id
+                )));
+            }
+        }
+
+        let start = world.clock.now();
+        world
+            .telemetry
+            .counter_add("flux.fleet.submitted", requests.len() as u64);
+
+        // Canonical queue order — priority descending, id ascending — is
+        // also the canonical *execution* order modulo backfilling, and is
+        // independent of the order `requests` arrived in.
+        let mut queue: Vec<usize> = (0..requests.len()).collect();
+        queue.sort_by_key(|&i| (std::cmp::Reverse(requests[i].priority), requests[i].id));
+
+        let mut medium = RadioMedium::new(self.cfg.medium_capacity_mbps, start);
+        let mut timeline: Timeline<FleetEvent> = Timeline::new();
+        let mut active: BTreeMap<u64, Active> = BTreeMap::new();
+        let mut busy_source: BTreeSet<usize> = BTreeSet::new();
+        let mut busy_target: BTreeSet<usize> = BTreeSet::new();
+        let mut flights: BTreeMap<u64, FlightRecord> = BTreeMap::new();
+        let mut serialized = SimDuration::ZERO;
+        let mut peak = 0usize;
+        let mut now = start;
+
+        loop {
+            // Admission pass: scan the queue in canonical order, admitting
+            // everything whose devices are free while slots remain.
+            let mut still_queued = Vec::with_capacity(queue.len());
+            for &idx in &queue {
+                let req = &requests[idx];
+                let admissible = active.len() < self.cfg.max_in_flight
+                    && !busy_source.contains(&req.home.0)
+                    && !busy_target.contains(&req.guest.0);
+                if !admissible {
+                    still_queued.push(idx);
+                    continue;
+                }
+                busy_source.insert(req.home.0);
+                busy_target.insert(req.guest.0);
+                let exec = execute_underlying(world, req);
+                serialized += isolated_span(&exec, self.cfg.medium_capacity_mbps);
+                world.telemetry.counter_add("flux.fleet.admitted", 1);
+                timeline.schedule(now + exec.pre, req.id, FleetEvent::PreDone);
+                active.insert(
+                    req.id,
+                    Active {
+                        idx,
+                        admitted_at: now,
+                        transfer_start: now,
+                        transfer_end: now,
+                        exec,
+                    },
+                );
+                peak = peak.max(active.len());
+            }
+            queue = still_queued;
+            world
+                .telemetry
+                .gauge_set("flux.fleet.queue_depth", queue.len() as f64);
+
+            if active.is_empty() {
+                // Nothing in flight and (with max_in_flight >= 1 and all
+                // devices free) nothing admissible: the queue is drained.
+                debug_assert!(queue.is_empty());
+                break;
+            }
+
+            // Advance the fleet clock to the next interesting instant.
+            let next = [medium.next_completion().map(|(t, _)| t), timeline.next_at()]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("active flights always have a pending event");
+            medium.advance(next);
+            now = next;
+
+            // Drained transfers first (they free air for flows joining at
+            // the same instant), then due CPU-phase events, both in
+            // ascending request-id order.
+            for id in medium.take_completed() {
+                let flight = active.get_mut(&id).expect("completed flow is active");
+                flight.transfer_end = now;
+                timeline.schedule(now + flight.exec.post, id, FleetEvent::PostDone);
+            }
+            while let Some((at, id, event)) = timeline.pop_due(now) {
+                match event {
+                    FleetEvent::PreDone => {
+                        let flight = active.get_mut(&id).expect("pre-done flight is active");
+                        flight.transfer_start = at;
+                        match flight.exec.flow {
+                            Some((bytes, air)) => medium.admit(id, bytes, air),
+                            None => {
+                                flight.transfer_end = at;
+                                timeline.schedule(at + flight.exec.post, id, FleetEvent::PostDone);
+                            }
+                        }
+                    }
+                    FleetEvent::PostDone => {
+                        let flight = active.remove(&id).expect("post-done flight is active");
+                        let req = &requests[flight.idx];
+                        busy_source.remove(&req.home.0);
+                        busy_target.remove(&req.guest.0);
+                        let record = finish_flight(world, req, flight, start, at);
+                        flights.insert(id, record);
+                    }
+                }
+            }
+        }
+
+        let makespan = now.since(start);
+        world
+            .telemetry
+            .observe("flux.fleet.makespan_ms", makespan.as_millis());
+        world
+            .telemetry
+            .gauge_set("flux.fleet.peak_in_flight", peak as f64);
+
+        let flights: Vec<FlightRecord> = flights.into_values().collect();
+        let completed = flights.iter().filter(|f| f.outcome.is_completed()).count();
+        let rolled_back = flights
+            .iter()
+            .filter(|f| matches!(f.outcome, FleetOutcome::RolledBack { .. }))
+            .count();
+        let refused = flights
+            .iter()
+            .filter(|f| matches!(f.outcome, FleetOutcome::Refused { .. }))
+            .count();
+        Ok(FleetReport {
+            flights,
+            started_at: start,
+            makespan,
+            serialized_makespan: serialized,
+            peak_in_flight: peak,
+            medium: medium.segments().to_vec(),
+            completed,
+            rolled_back,
+            refused,
+        })
+    }
+}
+
+/// Runs `requests` under [`FleetConfig::default`].
+///
+/// # Errors
+///
+/// As for [`FleetScheduler::run`].
+pub fn run_fleet(
+    world: &mut FluxWorld,
+    requests: Vec<MigrationRequest>,
+) -> Result<FleetReport, FluxError> {
+    FleetScheduler::new(FleetConfig::default())?.run(world, requests)
+}
+
+/// Executes one migration on the world's serial engine and splits the
+/// measured span into fleet phases.
+fn execute_underlying(world: &mut FluxWorld, req: &MigrationRequest) -> Executed {
+    let t0 = world.clock.now();
+    let ambient = (!req.faults.is_empty()).then(|| {
+        std::mem::replace(
+            &mut world.fault_plan,
+            req.faults.shifted_by(t0.since(SimTime::ZERO)),
+        )
+    });
+    let result = migrate_configured(world, req.home, req.guest, &req.package, &req.cfg);
+    if let Some(plan) = ambient {
+        world.fault_plan = plan;
+    }
+    let wall = world.clock.now().since(t0);
+    match result {
+        Ok(report) => {
+            let transfer = report.stages.transfer;
+            let post = report.stages.restore + report.stages.reintegration;
+            let pre = wall.saturating_sub(transfer + post);
+            let flow = (transfer > SimDuration::ZERO).then(|| (report.ledger.total(), transfer));
+            Executed {
+                outcome: FleetOutcome::Completed(report),
+                pre,
+                flow,
+                post,
+            }
+        }
+        Err(error) => {
+            let rolled_back = matches!(
+                error,
+                FluxError::Migration(
+                    MigrationError::FaultAborted { .. } | MigrationError::RollbackFailed { .. }
+                )
+            );
+            // A rolled-back request held its devices for however long its
+            // attempts and the rollback took; its partial transfers are not
+            // charged to the medium (a modelling simplification). A refusal
+            // is pre-flight and free.
+            let outcome = if rolled_back {
+                FleetOutcome::RolledBack { error }
+            } else {
+                FleetOutcome::Refused { error }
+            };
+            Executed {
+                outcome,
+                pre: wall,
+                flow: None,
+                post: SimDuration::ZERO,
+            }
+        }
+    }
+}
+
+/// A flight's span had it run alone under `capacity_mbps` — exactly the
+/// slice a `max_in_flight = 1` schedule would give it.
+fn isolated_span(exec: &Executed, capacity_mbps: f64) -> SimDuration {
+    let air = match exec.flow {
+        Some((bytes, air)) => {
+            let nominal = bytes.as_u64() as f64 * 8.0 / air.as_secs_f64() / 1e6;
+            if nominal <= capacity_mbps {
+                air
+            } else {
+                SimDuration::from_nanos(
+                    (air.as_nanos() as f64 * nominal / capacity_mbps).ceil() as u64
+                )
+            }
+        }
+        None => SimDuration::ZERO,
+    };
+    exec.pre + air + exec.post
+}
+
+/// Emits the flight's telemetry lane and builds its record.
+fn finish_flight(
+    world: &mut FluxWorld,
+    req: &MigrationRequest,
+    flight: Active,
+    submitted_at: SimTime,
+    finished_at: SimTime,
+) -> FlightRecord {
+    let lane = world.telemetry.lane(&format!("fleet.m{:03}", req.id));
+    world
+        .telemetry
+        .record_complete(lane, "fleet.queued", submitted_at, flight.admitted_at);
+    world
+        .telemetry
+        .record_complete(lane, "fleet.pre", flight.admitted_at, flight.transfer_start);
+    if flight.transfer_end > flight.transfer_start {
+        world.telemetry.record_complete(
+            lane,
+            "fleet.transfer",
+            flight.transfer_start,
+            flight.transfer_end,
+        );
+    }
+    world
+        .telemetry
+        .record_complete(lane, "fleet.post", flight.transfer_end, finished_at);
+    let counter = match flight.exec.outcome {
+        FleetOutcome::Completed(_) => "flux.fleet.completed",
+        FleetOutcome::RolledBack { .. } => "flux.fleet.rolled_back",
+        FleetOutcome::Refused { .. } => "flux.fleet.refused",
+    };
+    world.telemetry.counter_add(counter, 1);
+    world.telemetry.observe(
+        "flux.fleet.queue_wait_ms",
+        flight.admitted_at.since(submitted_at).as_millis(),
+    );
+    FlightRecord {
+        id: req.id,
+        package: req.package.clone(),
+        home: req.home,
+        guest: req.guest,
+        priority: req.priority,
+        submitted_at,
+        admitted_at: flight.admitted_at,
+        transfer_start: flight.transfer_start,
+        transfer_end: flight.transfer_end,
+        finished_at,
+        outcome: flight.exec.outcome,
+    }
+}

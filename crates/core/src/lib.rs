@@ -43,6 +43,7 @@
 pub mod builder;
 pub mod cria;
 pub mod errors;
+pub mod fleet;
 pub mod image_cache;
 pub mod migration;
 pub mod pairing;
@@ -53,6 +54,10 @@ pub mod world;
 pub use builder::WorldBuilder;
 pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
 pub use errors::FluxError;
+pub use fleet::{
+    run_fleet, FleetConfig, FleetOutcome, FleetReport, FleetScheduler, FlightRecord,
+    MigrationRequest,
+};
 pub use image_cache::CachePartition;
 pub use migration::{
     broadcast_connectivity, migrate, migrate_configured, migrate_with, MigrationConfig,

@@ -8,8 +8,10 @@
 //! 2012 Nexus 7 "is only capable of operating on the extremely congested
 //! 2.4 GHz band"), and deterministic jitter from the simulation RNG.
 
+pub mod medium;
 pub mod wifi;
 
+pub use medium::{MediumSegment, RadioMedium};
 pub use wifi::{
     Band, ChunkEvent, ChunkedOutcome, ChunkedTransfer, NetworkEnv, TransferStats, WifiAdapter,
     WifiStandard, DEFAULT_CHUNK,

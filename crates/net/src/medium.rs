@@ -1,0 +1,355 @@
+//! A shared-medium radio contention model.
+//!
+//! [`NetworkEnv`](crate::NetworkEnv) prices one transfer at a time: the pair
+//! of adapters owns the whole airspace. A fleet of concurrent migrations
+//! does not get that luxury — K transfers through the same access point
+//! share one medium, and each sees roughly 1/K of its solo goodput. A
+//! [`RadioMedium`] models that sharing as a deterministic fluid process:
+//! each admitted flow carries the *serial air time* the single-transfer
+//! model already priced for it (jitter, congestion, MAC efficiency and all),
+//! and drains at a rate capped by an equal split of the medium capacity.
+//!
+//! Between events the rate allocation is constant, so the medium only needs
+//! piecewise-linear arithmetic — no iteration, no floating-point feedback —
+//! and two identically-driven media produce byte-identical traces. With one
+//! flow whose nominal rate fits under the capacity, the drain multiplier is
+//! exactly `1.0`, so an uncontended fleet transfer completes in *exactly*
+//! its serial duration: the fleet path degrades to the single-pair figures.
+//!
+//! The allocation is an equal-share cap (`min(nominal, capacity / K)`), not
+//! max-min water-filling: slack from a slow flow is *not* redistributed.
+//! That keeps the model monotone and trivially conservative — the per-flow
+//! shares can never sum past the capacity, which the fleet proptests assert
+//! segment by segment.
+//!
+//! # Caller protocol
+//!
+//! The scheduler owns event discovery. At each step it advances the medium
+//! to the next interesting instant, harvests finished flows, then admits
+//! new ones:
+//!
+//! ```
+//! use flux_net::RadioMedium;
+//! use flux_simcore::{ByteSize, SimDuration, SimTime};
+//!
+//! let mut medium = RadioMedium::new(30.0, SimTime::ZERO);
+//! medium.admit(1, ByteSize::from_mib(10), SimDuration::from_secs(4));
+//! let (done_at, id) = medium.next_completion().unwrap();
+//! medium.advance(done_at);
+//! assert_eq!(medium.take_completed(), vec![id]);
+//! assert_eq!(done_at, SimTime::from_secs(4)); // alone under capacity: exact
+//! ```
+
+use flux_simcore::{ByteSize, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One constant-rate stretch of the medium's life: which flows were active
+/// over `[from, to)` and the goodput share (Mbit/s) each was allocated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediumSegment {
+    /// Start of the stretch.
+    pub from: SimTime,
+    /// End of the stretch.
+    pub to: SimTime,
+    /// `(flow id, allocated goodput in Mbit/s)`, ascending by id.
+    pub flows: Vec<(u64, f64)>,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    /// Serial air time still owed, in nanoseconds at multiplier 1.0.
+    remaining: SimDuration,
+    /// The goodput the single-transfer model priced for this payload:
+    /// `bytes / serial air time`.
+    nominal_mbps: f64,
+}
+
+/// A deterministic processor-sharing radio medium for concurrent transfers.
+///
+/// See the [module docs](self) for the model and the caller protocol.
+#[derive(Debug, Clone)]
+pub struct RadioMedium {
+    capacity_mbps: f64,
+    now: SimTime,
+    flows: BTreeMap<u64, Flow>,
+    segments: Vec<MediumSegment>,
+}
+
+impl RadioMedium {
+    /// A medium with `capacity_mbps` of aggregate goodput, opened at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mbps` is not strictly positive and finite.
+    pub fn new(capacity_mbps: f64, now: SimTime) -> Self {
+        assert!(
+            capacity_mbps > 0.0 && capacity_mbps.is_finite(),
+            "radio medium capacity must be positive, got {capacity_mbps}"
+        );
+        Self {
+            capacity_mbps,
+            now,
+            flows: BTreeMap::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// The aggregate goodput budget.
+    pub fn capacity_mbps(&self) -> f64 {
+        self.capacity_mbps
+    }
+
+    /// The medium's current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of flows currently on the air.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Admits a flow at the current instant: `bytes` of payload that the
+    /// serial transfer model priced at `serial_air` of air time. Alone
+    /// under capacity it drains in exactly `serial_air`; under contention
+    /// its rate is capped at `capacity / K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already on the air, or if `serial_air` is zero
+    /// (zero-cost payloads never touch the medium).
+    pub fn admit(&mut self, id: u64, bytes: ByteSize, serial_air: SimDuration) {
+        assert!(
+            serial_air > SimDuration::ZERO,
+            "flow {id}: zero serial air time"
+        );
+        let nominal_mbps = bytes.as_u64() as f64 * 8.0 / serial_air.as_secs_f64() / 1e6;
+        let prev = self.flows.insert(
+            id,
+            Flow {
+                remaining: serial_air,
+                nominal_mbps,
+            },
+        );
+        assert!(prev.is_none(), "flow {id} admitted twice");
+    }
+
+    /// The share (Mbit/s) a flow is allocated right now: an equal split of
+    /// the capacity, capped at the flow's own nominal rate.
+    fn share_mbps(&self, flow: &Flow) -> f64 {
+        let fair = self.capacity_mbps / self.flows.len() as f64;
+        flow.nominal_mbps.min(fair)
+    }
+
+    /// The fraction of its serial rate a flow drains at: `1.0` uncontended
+    /// under capacity, `share / nominal` otherwise.
+    fn multiplier(&self, flow: &Flow) -> f64 {
+        self.share_mbps(flow) / flow.nominal_mbps
+    }
+
+    /// When the next flow completes under the *current* allocation, with
+    /// its id — ties resolved to the smallest id. `None` when idle.
+    ///
+    /// Valid until the flow population changes; the scheduler must re-ask
+    /// after every admit or harvest.
+    pub fn next_completion(&self) -> Option<(SimTime, u64)> {
+        self.flows
+            .iter()
+            .map(|(&id, flow)| {
+                (
+                    self.now + drain_time(flow.remaining, self.multiplier(flow)),
+                    id,
+                )
+            })
+            .min()
+    }
+
+    /// Advances the medium to `to`, draining every flow at its current
+    /// multiplier and recording the constant-rate segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is earlier than the medium's current time.
+    pub fn advance(&mut self, to: SimTime) {
+        assert!(to >= self.now, "radio medium time cannot rewind");
+        let dt = to - self.now;
+        if dt > SimDuration::ZERO && !self.flows.is_empty() {
+            let shares: Vec<(u64, f64)> = self
+                .flows
+                .iter()
+                .map(|(&id, flow)| (id, self.share_mbps(flow)))
+                .collect();
+            let mults: Vec<(u64, f64)> = self
+                .flows
+                .iter()
+                .map(|(&id, flow)| (id, self.multiplier(flow)))
+                .collect();
+            for (id, m) in mults {
+                let flow = self.flows.get_mut(&id).expect("flow present");
+                let served = serve(dt, m);
+                flow.remaining = flow.remaining.saturating_sub(served);
+            }
+            self.segments.push(MediumSegment {
+                from: self.now,
+                to,
+                flows: shares,
+            });
+        }
+        self.now = to;
+    }
+
+    /// Removes and returns the flows that have fully drained, ascending by
+    /// id.
+    pub fn take_completed(&mut self) -> Vec<u64> {
+        let done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining == SimDuration::ZERO)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &done {
+            self.flows.remove(id);
+        }
+        done
+    }
+
+    /// Every constant-rate segment recorded so far, in order.
+    pub fn segments(&self) -> &[MediumSegment] {
+        &self.segments
+    }
+}
+
+/// Air time consumed from a flow's remaining balance over `dt` at
+/// multiplier `m`. Exact (no rounding) at `m == 1.0`; rounds *up* below it
+/// so a flow advanced to its own predicted completion instant always
+/// finishes.
+fn serve(dt: SimDuration, m: f64) -> SimDuration {
+    if m >= 1.0 {
+        dt
+    } else {
+        SimDuration::from_nanos((dt.as_nanos() as f64 * m).ceil() as u64)
+    }
+}
+
+/// Smallest `dt` with `serve(dt, m) >= remaining`: exact at `m == 1.0`,
+/// `ceil(remaining / m)` below it.
+fn drain_time(remaining: SimDuration, m: f64) -> SimDuration {
+    if m >= 1.0 {
+        remaining
+    } else {
+        SimDuration::from_nanos((remaining.as_nanos() as f64 / m).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mib(n: u64) -> ByteSize {
+        ByteSize::from_mib(n)
+    }
+
+    #[test]
+    fn uncontended_flow_drains_in_exactly_its_serial_time() {
+        // 10 MiB priced at a messy, non-round serial time: still exact.
+        let air = SimDuration::from_nanos(3_777_123_457);
+        let mut m = RadioMedium::new(30.0, SimTime::from_secs(100));
+        m.admit(7, mib(10), air);
+        let (done, id) = m.next_completion().unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(done, SimTime::from_secs(100) + air);
+        m.advance(done);
+        assert_eq!(m.take_completed(), vec![7]);
+        assert_eq!(m.active(), 0);
+    }
+
+    #[test]
+    fn two_saturating_flows_each_see_half_the_capacity() {
+        // Both flows nominally want 20 Mbit/s; capacity 20 → 10 each.
+        let air = SimDuration::from_secs(4);
+        let bytes = ByteSize::from_bytes(20_000_000 / 8 * 4); // 20 Mbit/s * 4 s
+        let mut m = RadioMedium::new(20.0, SimTime::ZERO);
+        m.admit(1, bytes, air);
+        m.admit(2, bytes, air);
+        // Halved rate: each needs 8 s.
+        let (done, id) = m.next_completion().unwrap();
+        assert_eq!((done, id), (SimTime::from_secs(8), 1));
+        m.advance(done);
+        assert_eq!(m.take_completed(), vec![1, 2]);
+        let seg = &m.segments()[0];
+        assert_eq!(seg.flows.len(), 2);
+        for &(_, share) in &seg.flows {
+            assert!((share - 10.0).abs() < 1e-9, "share {share}");
+        }
+    }
+
+    #[test]
+    fn shares_never_sum_past_capacity() {
+        let mut m = RadioMedium::new(25.0, SimTime::ZERO);
+        m.admit(1, mib(64), SimDuration::from_secs(20));
+        m.admit(2, mib(8), SimDuration::from_secs(9));
+        m.advance(SimTime::from_secs(2));
+        m.admit(3, mib(32), SimDuration::from_secs(14));
+        while let Some((t, _)) = m.next_completion() {
+            m.advance(t);
+            m.take_completed();
+        }
+        assert!(!m.segments().is_empty());
+        for seg in m.segments() {
+            let sum: f64 = seg.flows.iter().map(|&(_, s)| s).sum();
+            assert!(
+                sum <= m.capacity_mbps() * (1.0 + 1e-12),
+                "segment [{}, {}) allocates {sum} Mbit/s",
+                seg.from,
+                seg.to
+            );
+        }
+    }
+
+    #[test]
+    fn departure_restores_the_survivors_rate() {
+        // Flow 1 is short; once it leaves, flow 2 runs uncontended again.
+        let mut m = RadioMedium::new(20.0, SimTime::ZERO);
+        let bytes = ByteSize::from_bytes(20_000_000 / 8 * 2); // 20 Mbit/s * 2 s
+        m.admit(1, bytes, SimDuration::from_secs(2));
+        m.admit(2, bytes, SimDuration::from_secs(2));
+        let (t1, id1) = m.next_completion().unwrap();
+        assert_eq!((t1, id1), (SimTime::from_secs(4), 1)); // halved: 2 s -> 4 s
+        m.advance(t1);
+        assert_eq!(m.take_completed(), vec![1, 2]); // symmetric: both drain together
+        assert_eq!(m.active(), 0);
+    }
+
+    #[test]
+    fn completion_ties_break_by_smallest_id() {
+        let mut m = RadioMedium::new(100.0, SimTime::ZERO);
+        m.admit(9, mib(1), SimDuration::from_secs(3));
+        m.admit(4, mib(1), SimDuration::from_secs(3));
+        let (_, id) = m.next_completion().unwrap();
+        assert_eq!(id, 4);
+    }
+
+    #[test]
+    fn identically_driven_media_produce_identical_traces() {
+        let drive = || {
+            let mut m = RadioMedium::new(22.5, SimTime::from_millis(250));
+            m.admit(1, mib(48), SimDuration::from_nanos(17_000_000_003));
+            m.admit(2, mib(12), SimDuration::from_nanos(4_999_999_999));
+            let mut done = Vec::new();
+            while let Some((t, _)) = m.next_completion() {
+                m.advance(t);
+                done.extend(m.take_completed());
+            }
+            (done, format!("{:?}", m.segments()))
+        };
+        assert_eq!(drive(), drive());
+    }
+
+    #[test]
+    #[should_panic(expected = "admitted twice")]
+    fn double_admission_panics() {
+        let mut m = RadioMedium::new(10.0, SimTime::ZERO);
+        m.admit(1, mib(1), SimDuration::from_secs(1));
+        m.admit(1, mib(1), SimDuration::from_secs(1));
+    }
+}

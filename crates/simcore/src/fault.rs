@@ -172,6 +172,24 @@ impl FaultPlan {
         Self::from_events(events)
     }
 
+    /// The same schedule displaced `offset` later in virtual time.
+    ///
+    /// The fleet scheduler expresses per-request plans *relative to the
+    /// migration's own start* and shifts them onto the world clock at
+    /// admission, so a request behaves identically whenever it is admitted.
+    pub fn shifted_by(&self, offset: SimDuration) -> Self {
+        Self {
+            events: self
+                .events
+                .iter()
+                .map(|e| FaultEvent {
+                    at: e.at + offset,
+                    ..*e
+                })
+                .collect(),
+        }
+    }
+
     /// All events, ordered by start time.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -295,5 +313,21 @@ mod tests {
     #[test]
     fn quiet_config_generates_nothing() {
         assert!(FaultPlan::generate(9, &FaultConfig::quiet()).is_empty());
+    }
+
+    #[test]
+    fn shifted_by_displaces_every_event() {
+        let cfg = FaultConfig::uniform(0.5, SimDuration::from_secs(60));
+        let plan = FaultPlan::generate(3, &cfg);
+        let off = SimDuration::from_secs(90);
+        let shifted = plan.shifted_by(off);
+        assert_eq!(shifted.len(), plan.len());
+        for (a, b) in plan.events().iter().zip(shifted.events()) {
+            assert_eq!(b.at, a.at + off);
+            assert_eq!(b.kind, a.kind);
+            assert_eq!(b.duration, a.duration);
+            assert_eq!(b.magnitude, a.magnitude);
+        }
+        assert!(FaultPlan::none().shifted_by(off).is_empty());
     }
 }

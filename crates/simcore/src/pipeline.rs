@@ -31,6 +31,7 @@
 //! ```
 
 use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Handle to one pipeline lane (an independent resource: CPU, radio, flash).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +119,94 @@ impl Pipeline {
     }
 }
 
+/// A deterministic discrete-event queue over virtual time.
+///
+/// [`Pipeline`] handles a *fixed* set of lanes whose work is scheduled
+/// up-front; a [`Timeline`] generalises it to a *dynamic* population of
+/// concurrent lanes — the fleet scheduler's in-flight migrations — whose
+/// next step is only known as earlier steps complete. Events fire in
+/// virtual-time order; simultaneous events fire in ascending `key` order
+/// (the fleet uses the stable request id), never in insertion order, so a
+/// run is byte-identical however the caller discovered the events.
+///
+/// Scheduling a second event with the same `(at, key)` replaces the first,
+/// mirroring `BTreeMap` semantics.
+///
+/// # Examples
+///
+/// ```
+/// use flux_simcore::pipeline::Timeline;
+/// use flux_simcore::SimTime;
+///
+/// let mut tl = Timeline::new();
+/// tl.schedule(SimTime::from_secs(5), 2, "b");
+/// tl.schedule(SimTime::from_secs(5), 1, "a"); // same instant, smaller key
+/// tl.schedule(SimTime::from_secs(3), 9, "first");
+/// assert_eq!(tl.next_at(), Some(SimTime::from_secs(3)));
+/// assert_eq!(tl.pop(), Some((SimTime::from_secs(3), 9, "first")));
+/// assert_eq!(tl.pop(), Some((SimTime::from_secs(5), 1, "a")));
+/// assert_eq!(tl.pop(), Some((SimTime::from_secs(5), 2, "b")));
+/// assert_eq!(tl.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline<T> {
+    events: BTreeMap<(SimTime, u64), T>,
+}
+
+impl<T> Timeline<T> {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self {
+            events: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`; among events at the same
+    /// instant, smaller `key`s fire first. Returns the payload it
+    /// replaced, if `(at, key)` was already scheduled.
+    pub fn schedule(&mut self, at: SimTime, key: u64, payload: T) -> Option<T> {
+        self.events.insert((at, key), payload)
+    }
+
+    /// The instant of the earliest pending event.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.keys().next().map(|&(at, _)| at)
+    }
+
+    /// Removes and returns the earliest pending event (ties by key).
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.events
+            .pop_first()
+            .map(|((at, key), payload)| (at, key, payload))
+    }
+
+    /// Like [`Timeline::pop`], but only if the earliest event fires at or
+    /// before `now` — the fleet loop's "drain everything due" helper.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, u64, T)> {
+        if self.next_at()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Whether any event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl<T> Default for Timeline<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +260,47 @@ mod tests {
         assert_eq!(p.end(), SimTime::from_secs(7));
         assert_eq!(p.wall(), SimDuration::ZERO);
         assert_eq!(p.overlap_saved(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timeline_orders_by_time_then_key_regardless_of_insertion() {
+        let mut a = Timeline::new();
+        a.schedule(SimTime::from_secs(2), 7, "x");
+        a.schedule(SimTime::from_secs(2), 3, "y");
+        a.schedule(SimTime::from_secs(1), 9, "z");
+        let mut b = Timeline::new();
+        b.schedule(SimTime::from_secs(1), 9, "z");
+        b.schedule(SimTime::from_secs(2), 3, "y");
+        b.schedule(SimTime::from_secs(2), 7, "x");
+        fn drain(mut t: Timeline<&'static str>) -> Vec<(SimTime, u64, &'static str)> {
+            let mut out = Vec::new();
+            while let Some(e) = t.pop() {
+                out.push(e);
+            }
+            out
+        }
+        assert_eq!(drain(a), drain(b));
+    }
+
+    #[test]
+    fn timeline_pop_due_respects_now() {
+        let mut t = Timeline::new();
+        t.schedule(SimTime::from_secs(4), 1, ());
+        t.schedule(SimTime::from_secs(6), 2, ());
+        assert!(t.pop_due(SimTime::from_secs(3)).is_none());
+        assert_eq!(
+            t.pop_due(SimTime::from_secs(4)),
+            Some((SimTime::from_secs(4), 1, ()))
+        );
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn timeline_schedule_replaces_same_slot() {
+        let mut t = Timeline::new();
+        assert_eq!(t.schedule(SimTime::from_secs(1), 5, "old"), None);
+        assert_eq!(t.schedule(SimTime::from_secs(1), 5, "new"), Some("old"));
+        assert_eq!(t.pop(), Some((SimTime::from_secs(1), 5, "new")));
     }
 }

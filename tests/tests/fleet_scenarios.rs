@@ -1,0 +1,261 @@
+//! Table-driven regression scenarios for the fleet migration engine.
+//!
+//! Each scenario stages one device pair per app, submits the batch through
+//! the [`FleetScheduler`] and asserts per-app state integrity — the
+//! data-loss conditions Riganelli et al.'s benchmark shows concurrent
+//! Android systems get wrong: record logs replayed exactly once, app data
+//! trees intact on the target, rolled-back migrations leaving their home
+//! device byte-identical and their guest residue-free.
+//!
+//! The suite also pins the fleet path's fidelity: a single-request fleet
+//! must reproduce `migrate_configured`'s report *exactly* (same Debug
+//! rendering, same stage times), with the fleet makespan equal to the
+//! report's wall total.
+
+mod common;
+
+use flux_appfw::ActivityState;
+use flux_core::{
+    migrate_configured, FleetConfig, FleetOutcome, FleetScheduler, MigrationConfig,
+    MigrationRequest, RetryPolicy,
+};
+use flux_simcore::SimDuration;
+
+struct Scenario {
+    name: &'static str,
+    apps: &'static [&'static str],
+    max_in_flight: usize,
+    /// Request id (1-based position) that gets [`blanket_drops`] and a
+    /// no-retry policy, forcing a mid-transfer rollback.
+    drop_victim: Option<u64>,
+    /// Per-request admission priorities.
+    priorities: &'static [u8],
+}
+
+const SCENARIOS: [Scenario; 4] = [
+    Scenario {
+        name: "single request",
+        apps: &["WhatsApp"],
+        max_in_flight: 2,
+        drop_victim: None,
+        priorities: &[0],
+    },
+    Scenario {
+        name: "two concurrent",
+        apps: &["WhatsApp", "Twitter"],
+        max_in_flight: 2,
+        drop_victim: None,
+        priorities: &[0, 0],
+    },
+    Scenario {
+        name: "three concurrent, one dropped mid-flight",
+        apps: &["WhatsApp", "Twitter", "Instagram"],
+        max_in_flight: 3,
+        drop_victim: Some(2),
+        priorities: &[0, 0, 0],
+    },
+    Scenario {
+        name: "serialised with priorities",
+        apps: &["WhatsApp", "Twitter"],
+        max_in_flight: 1,
+        drop_victim: None,
+        priorities: &[0, 5],
+    },
+];
+
+/// Everything we snapshot about an app before its migration.
+struct PreState {
+    data_tree: Vec<(String, flux_fs::Content)>,
+    log_len: usize,
+}
+
+#[test]
+fn scenarios_preserve_per_app_state_under_contention() {
+    for s in &SCENARIOS {
+        let (mut world, pairs) = common::fleet_world(s.apps, 9001);
+
+        // Snapshot each home app's data tree and record log.
+        let mut pre = Vec::new();
+        for (home, _, pkg) in &pairs {
+            let dev = world.device(*home).unwrap();
+            let root = format!("/data/data/{pkg}");
+            let data_tree: Vec<_> = dev
+                .fs
+                .list(&root)
+                .map(|(path, entry)| (path.to_string(), entry.content))
+                .collect();
+            assert!(!data_tree.is_empty(), "{}: {pkg} staged no data", s.name);
+            let uid = dev.app_uid(pkg).unwrap();
+            let log_len = dev.records.log(uid).map_or(0, flux_core::CallLog::len);
+            pre.push(PreState { data_tree, log_len });
+        }
+
+        let requests: Vec<_> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (home, guest, pkg))| {
+                let id = i as u64 + 1;
+                let mut req =
+                    MigrationRequest::new(id, *home, *guest, pkg).with_priority(s.priorities[i]);
+                if s.drop_victim == Some(id) {
+                    req = req
+                        .with_faults(common::blanket_drops())
+                        .with_config(MigrationConfig {
+                            retry: RetryPolicy::none(),
+                            ..MigrationConfig::default()
+                        });
+                }
+                req
+            })
+            .collect();
+
+        let scheduler = FleetScheduler::new(FleetConfig {
+            max_in_flight: s.max_in_flight,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let report = scheduler.run(&mut world, requests).unwrap();
+
+        assert_eq!(
+            report.flights.len(),
+            s.apps.len(),
+            "{}: every request reaches a terminal outcome",
+            s.name
+        );
+        assert!(report.peak_in_flight <= s.max_in_flight, "{}", s.name);
+
+        for (flight, ((home, guest, pkg), pre)) in report.flights.iter().zip(pairs.iter().zip(&pre))
+        {
+            let ctx = format!("{}: {pkg}", s.name);
+            if s.drop_victim == Some(flight.id) {
+                // The victim — and only the victim — rolled back.
+                assert!(
+                    matches!(flight.outcome, FleetOutcome::RolledBack { .. }),
+                    "{ctx}: expected rollback, got {:?}",
+                    flight.outcome
+                );
+                let home_dev = world.device(*home).unwrap();
+                let app = home_dev.apps.get(pkg).expect("app back on home");
+                assert_eq!(app.top_state(), Some(ActivityState::Resumed), "{ctx}");
+                // Home record log survives the rollback intact.
+                let uid = home_dev.app_uid(pkg).unwrap();
+                let log_len = home_dev.records.log(uid).map_or(0, flux_core::CallLog::len);
+                assert_eq!(log_len, pre.log_len, "{ctx}: log intact");
+                // No residue on the guest: no app, no staged image.
+                let home_name = home_dev.name.clone();
+                let guest_dev = world.device(*guest).unwrap();
+                assert!(!guest_dev.apps.contains_key(pkg), "{ctx}");
+                assert!(
+                    !guest_dev
+                        .fs
+                        .exists(&format!("/data/flux/{home_name}/.migrate/{pkg}.image")),
+                    "{ctx}: staged image left behind"
+                );
+            } else {
+                let out_report = flight.outcome.report().unwrap_or_else(|| {
+                    panic!("{ctx}: expected completion, got {:?}", flight.outcome)
+                });
+                // The app runs on the guest, gone from home.
+                let guest_dev = world.device(*guest).unwrap();
+                let app = guest_dev.apps.get(pkg).expect("app on guest");
+                assert_eq!(app.top_state(), Some(ActivityState::Resumed), "{ctx}");
+                assert!(
+                    !world.device(*home).unwrap().apps.contains_key(pkg),
+                    "{ctx}"
+                );
+                // Replay covered the checkpoint-time log exactly once.
+                let replay_total = out_report.replay.replayed
+                    + out_report.replay.proxied
+                    + out_report.replay.skipped;
+                assert_eq!(replay_total as usize, pre.log_len, "{ctx}: replay coverage");
+                // Data-loss check: the guest's mirror of the app data
+                // tree (under the pairing root) is byte-identical to the
+                // home's pre-migration tree.
+                let home_name = &world.device(*home).unwrap().name;
+                for (path, content) in &pre.data_tree {
+                    let mirror_path = format!("/data/flux/{home_name}{path}");
+                    let mirrored = guest_dev
+                        .fs
+                        .get(&mirror_path)
+                        .unwrap_or_else(|| panic!("{ctx}: {mirror_path} missing on guest"));
+                    assert_eq!(&mirrored.content, content, "{ctx}: {path} content");
+                }
+            }
+        }
+
+        // Scheduling-shape assertions.
+        match s.name {
+            "two concurrent" | "three concurrent, one dropped mid-flight" => {
+                // All admitted together at batch open.
+                for flight in &report.flights {
+                    assert_eq!(flight.admitted_at, report.started_at, "{}", s.name);
+                }
+                assert!(report.peak_in_flight >= 2, "{}", s.name);
+                assert!(
+                    report.makespan < report.serialized_makespan,
+                    "{}: concurrency must beat serialization",
+                    s.name
+                );
+            }
+            "serialised with priorities" => {
+                // Priority 5 (request 2) admits before priority 0
+                // (request 1) even though its id is larger.
+                let by_id = &report.flights;
+                assert!(
+                    by_id[1].admitted_at < by_id[0].admitted_at,
+                    "{}: high priority admits first",
+                    s.name
+                );
+                assert_eq!(report.peak_in_flight, 1, "{}", s.name);
+                assert_eq!(report.makespan, report.serialized_makespan, "{}", s.name);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn single_request_fleet_matches_migrate_configured_exactly() {
+    // Two identically-seeded worlds: one migrates directly, one through
+    // the fleet path. The underlying engine must be indistinguishable.
+    let (mut direct, pairs_d) = common::fleet_world(&["WhatsApp"], 4242);
+    let (mut fleet, pairs_f) = common::fleet_world(&["WhatsApp"], 4242);
+    let (home_d, guest_d, pkg) = pairs_d[0].clone();
+    let (home_f, guest_f, _) = pairs_f[0].clone();
+
+    let reference = migrate_configured(
+        &mut direct,
+        home_d,
+        guest_d,
+        &pkg,
+        &MigrationConfig::default(),
+    )
+    .unwrap();
+    let report = FleetScheduler::new(FleetConfig::default())
+        .unwrap()
+        .run(
+            &mut fleet,
+            vec![MigrationRequest::new(1, home_f, guest_f, &pkg)],
+        )
+        .unwrap();
+
+    assert_eq!(report.flights.len(), 1);
+    let flight = &report.flights[0];
+    let fleet_report = flight.outcome.report().expect("completed");
+
+    // The underlying report is byte-identical to the direct run's.
+    assert_eq!(format!("{reference:?}"), format!("{fleet_report:?}"));
+    // The world clocks marched in lockstep.
+    assert_eq!(direct.clock.now(), fleet.clock.now());
+    // The fleet timeline reproduces the serial figures exactly: zero
+    // queue wait, a transfer window of exactly the transfer stage, and a
+    // makespan of exactly the report's wall total.
+    assert_eq!(flight.queue_wait(), SimDuration::ZERO);
+    assert_eq!(
+        flight.transfer_end.since(flight.transfer_start),
+        reference.stages.transfer
+    );
+    assert_eq!(report.makespan, reference.stages.wall_total());
+    assert_eq!(report.makespan, report.serialized_makespan);
+    assert_eq!(report.completed, 1);
+}

@@ -1,7 +1,10 @@
 //! End-to-end migration scenarios across the whole stack.
 
+mod common;
+
+use common::staged_models as staged;
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, DeviceId, FluxError, FluxWorld, MigrationError, WorldBuilder};
+use flux_core::{migrate, pair, FluxError, MigrationError, WorldBuilder};
 use flux_device::{DeviceModel, DeviceProfile};
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::notification::NotificationManagerService;
@@ -9,29 +12,6 @@ use flux_services::svc::sensor::SensorService;
 use flux_services::Event;
 use flux_simcore::SimDuration;
 use flux_workloads::{spec, top_apps, Action};
-
-/// Boots a two-device world, deploys `app_name` on the home device, runs
-/// its workload and pairs the devices.
-fn staged(
-    app_name: &str,
-    home_model: DeviceModel,
-    guest_model: DeviceModel,
-) -> (FluxWorld, DeviceId, DeviceId, String) {
-    let app = spec(app_name).expect("app in Table 3");
-    let (mut world, ids) = WorldBuilder::new()
-        .seed(1234)
-        .device("home", DeviceProfile::of(home_model))
-        .device("guest", DeviceProfile::of(guest_model))
-        .app(0, app.clone())
-        .build()
-        .unwrap();
-    let (home, guest) = (ids[0], ids[1]);
-    world
-        .run_script(home, &app.package, &app.actions.clone())
-        .unwrap();
-    pair(&mut world, home, guest).unwrap();
-    (world, home, guest, app.package.clone())
-}
 
 #[test]
 fn notification_state_follows_the_app() {

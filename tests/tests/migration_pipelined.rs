@@ -2,32 +2,12 @@
 //! content-addressed image cache, plus the opt-out guarantee that the
 //! serial path is bit-identical to the seed behaviour.
 
-use flux_appfw::ActivityState;
-use flux_core::{
-    migrate, migrate_configured, pair, DeviceId, FluxWorld, MigrationConfig, RetryPolicy,
-    WorldBuilder,
-};
-use flux_device::{DeviceModel, DeviceProfile};
-use flux_simcore::{ByteSize, FaultConfig, FaultPlan, SimDuration};
-use flux_workloads::spec;
+mod common;
 
-/// Boots the standard two-device world, runs the app's workload and pairs.
-fn staged(app_name: &str, seed: u64) -> (FluxWorld, DeviceId, DeviceId, String) {
-    let app = spec(app_name).expect("app in Table 3");
-    let (mut world, ids) = WorldBuilder::new()
-        .seed(seed)
-        .device("h", DeviceProfile::of(DeviceModel::Nexus4))
-        .device("g", DeviceProfile::of(DeviceModel::Nexus7_2013))
-        .app(0, app.clone())
-        .build()
-        .unwrap();
-    let (home, guest) = (ids[0], ids[1]);
-    world
-        .run_script(home, &app.package, &app.actions.clone())
-        .unwrap();
-    pair(&mut world, home, guest).unwrap();
-    (world, home, guest, app.package.clone())
-}
+use common::staged;
+use flux_appfw::ActivityState;
+use flux_core::{migrate, migrate_configured, pair, MigrationConfig, RetryPolicy};
+use flux_simcore::{ByteSize, FaultConfig, FaultPlan, SimDuration};
 
 #[test]
 fn serial_config_is_bit_identical_to_default_migrate() {
@@ -159,25 +139,13 @@ fn faulted_pipelined_migration_is_still_transactional() {
     // all-or-nothing guarantee: rollback leaves no pre-copy or staged
     // residue on the guest (the content-addressed cache, being immutable,
     // deliberately survives).
-    let app = spec("WhatsApp").unwrap();
-    let pkg = app.package.clone();
     let mut saw_rollback = false;
     for seed in 0..40u64 {
         let plan = FaultPlan::generate(
             seed,
             &FaultConfig::uniform(0.5, SimDuration::from_secs(600)),
         );
-        let (mut world, ids) = WorldBuilder::new()
-            .seed(seed)
-            .fault_plan(plan)
-            .device("h", DeviceProfile::nexus4())
-            .device("g", DeviceProfile::nexus7_2013())
-            .app(0, app.clone())
-            .build()
-            .unwrap();
-        let (home, guest) = (ids[0], ids[1]);
-        world.run_script(home, &pkg, &app.actions.clone()).unwrap();
-        pair(&mut world, home, guest).unwrap();
+        let (mut world, home, guest, pkg) = common::staged_faulty("WhatsApp", seed, plan);
         let cfg = MigrationConfig {
             retry: RetryPolicy::none(),
             ..MigrationConfig::pipelined()

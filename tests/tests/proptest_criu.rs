@@ -1,6 +1,8 @@
 //! Property tests on the CRIU checkpoint/restore engine and image codec.
 
-use flux_binder::NodeKind;
+mod common;
+
+use common::SERVICE_NAMES;
 use flux_kernel::{criu, FdKind, Kernel, ProcessImage, Prot, RestoreOptions, VmaKind};
 use flux_simcore::{ByteSize, Pid, SimTime, Uid};
 use proptest::prelude::*;
@@ -14,8 +16,6 @@ struct ProcShape {
     threads: u8,
     services: Vec<u8>, // indices into SERVICE_NAMES
 }
-
-const SERVICE_NAMES: [&str; 5] = ["notification", "alarm", "audio", "wifi", "clipboard"];
 
 fn shape_strategy() -> impl Strategy<Value = ProcShape> {
     (
@@ -35,20 +35,7 @@ fn shape_strategy() -> impl Strategy<Value = ProcShape> {
 }
 
 fn build(shape: &ProcShape) -> (Kernel, Pid) {
-    let mut k = Kernel::new("3.1");
-    let sys = k.spawn(Uid::SYSTEM, "system_server");
-    for name in SERVICE_NAMES {
-        let node = k
-            .binder
-            .create_node(
-                sys,
-                NodeKind::Service {
-                    descriptor: format!("I{name}"),
-                },
-            )
-            .unwrap();
-        k.binder.add_service(name, node).unwrap();
-    }
+    let mut k = common::kernel_with_services("3.1");
     let app = k.spawn(Uid(10_042), "com.example.prop");
     {
         let p = k.process_mut(app).unwrap();
@@ -86,21 +73,7 @@ fn build(shape: &ProcShape) -> (Kernel, Pid) {
 }
 
 fn guest() -> Kernel {
-    let mut g = Kernel::new("3.4");
-    let sys = g.spawn(Uid::SYSTEM, "system_server");
-    for name in SERVICE_NAMES {
-        let node = g
-            .binder
-            .create_node(
-                sys,
-                NodeKind::Service {
-                    descriptor: format!("I{name}"),
-                },
-            )
-            .unwrap();
-        g.binder.add_service(name, node).unwrap();
-    }
-    g
+    common::kernel_with_services("3.4")
 }
 
 proptest! {

@@ -7,11 +7,11 @@
 //! snapshot, and the guest carries no residue (no app, no wrapper
 //! process, no staged image chunks).
 
+mod common;
+
 use flux_appfw::ActivityState;
-use flux_core::{migrate_with, pair, FluxError, MigrationError, RetryPolicy, WorldBuilder};
-use flux_device::DeviceProfile;
+use flux_core::{migrate_with, FluxError, MigrationError, RetryPolicy};
 use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
-use flux_workloads::spec;
 use proptest::prelude::*;
 
 /// High per-kind fault rates so retries and rollbacks actually happen.
@@ -26,23 +26,11 @@ proptest! {
         rate_idx in 0..4usize,
         fail_fast in any::<bool>(),
     ) {
-        let app = spec("WhatsApp").unwrap();
-        let pkg = app.package.clone();
         let plan = FaultPlan::generate(
             seed,
             &FaultConfig::uniform(RATES[rate_idx], SimDuration::from_secs(600)),
         );
-        let (mut world, ids) = WorldBuilder::new()
-            .seed(seed)
-            .fault_plan(plan)
-            .device("h", DeviceProfile::nexus4())
-            .device("g", DeviceProfile::nexus7_2013())
-            .app(0, app.clone())
-            .build()
-            .unwrap();
-        let (home, guest) = (ids[0], ids[1]);
-        world.run_script(home, &pkg, &app.actions.clone()).unwrap();
-        pair(&mut world, home, guest).unwrap();
+        let (mut world, home, guest, pkg) = common::staged_faulty("WhatsApp", seed, plan);
 
         // Pre-migration snapshot of the home-side state.
         let home_uid = world.device(home).unwrap().app_uid(&pkg).unwrap();
@@ -102,24 +90,12 @@ proptest! {
     /// retried under a quiet fault plan must succeed.
     #[test]
     fn rolled_back_world_can_migrate_later(seed in 0..50_000u64) {
-        let app = spec("WhatsApp").unwrap();
-        let pkg = app.package.clone();
         // A brutal schedule guaranteeing early failures.
         let plan = FaultPlan::generate(
             seed,
             &FaultConfig::uniform(0.5, SimDuration::from_secs(600)),
         );
-        let (mut world, ids) = WorldBuilder::new()
-            .seed(seed)
-            .fault_plan(plan)
-            .device("h", DeviceProfile::nexus4())
-            .device("g", DeviceProfile::nexus7_2013())
-            .app(0, app.clone())
-            .build()
-            .unwrap();
-        let (home, guest) = (ids[0], ids[1]);
-        world.run_script(home, &pkg, &app.actions.clone()).unwrap();
-        pair(&mut world, home, guest).unwrap();
+        let (mut world, home, guest, pkg) = common::staged_faulty("WhatsApp", seed, plan);
 
         let first = migrate_with(&mut world, home, guest, &pkg, &RetryPolicy::none());
         if first.is_err() {

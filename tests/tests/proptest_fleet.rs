@@ -1,0 +1,176 @@
+//! Properties of the fleet scheduler and the shared radio medium.
+//!
+//! For any seeded fleet — disjoint device pairs or every request sharing
+//! one home device, with or without a fault-injected victim — four
+//! invariants must hold at every virtual instant:
+//!
+//! 1. **Medium conservation**: the per-flow shares recorded in every
+//!    [`MediumSegment`] sum to at most the configured capacity.
+//! 2. **No starvation**: every submitted request reaches a terminal
+//!    outcome, and its timeline is well-ordered (submitted ≤ admitted ≤
+//!    transfer window ≤ finished).
+//! 3. **Per-device exclusivity**: a device's source-role flight windows
+//!    never overlap, and neither do its target-role windows.
+//! 4. **Permutation invariance**: with equal priorities, the submission
+//!    order of the batch is invisible — rotating or reversing the request
+//!    vector yields a byte-identical fleet report on an identical world.
+
+mod common;
+
+use flux_core::{FleetConfig, FleetScheduler, MigrationConfig, MigrationRequest, RetryPolicy};
+use flux_simcore::SimTime;
+use proptest::prelude::*;
+
+/// Migratable Table 3 apps (no `multi_process`, no `preserve_egl`).
+const POOL: [&str; 4] = ["WhatsApp", "Twitter", "Instagram", "Netflix"];
+
+fn requests_for(
+    pairs: &[(flux_core::DeviceId, flux_core::DeviceId, String)],
+    victim: Option<u64>,
+) -> Vec<MigrationRequest> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (home, guest, pkg))| {
+            let id = i as u64 + 1;
+            let mut req = MigrationRequest::new(id, *home, *guest, pkg);
+            if victim == Some(id) {
+                req = req
+                    .with_faults(common::blanket_drops())
+                    .with_config(MigrationConfig {
+                        retry: RetryPolicy::none(),
+                        ..MigrationConfig::default()
+                    });
+            }
+            req
+        })
+        .collect()
+}
+
+/// Half-open interval overlap.
+fn overlaps(a: (SimTime, SimTime), b: (SimTime, SimTime)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn medium_exclusivity_and_liveness_hold_for_any_fleet(
+        seed in 0..100_000u64,
+        n in 2..5usize,
+        limit in 1..5usize,
+        shared_home in any::<bool>(),
+        victim_sel in 0..8u64,
+    ) {
+        let apps = &POOL[..n];
+        let (mut world, pairs) = if shared_home {
+            common::shared_home_world(apps, seed)
+        } else {
+            common::fleet_world(apps, seed)
+        };
+        // With probability n/8 one request carries a rollback-forcing
+        // fault plan, so the invariants are exercised across mixed
+        // completed/rolled-back batches too.
+        let victim = (victim_sel < n as u64).then_some(victim_sel + 1);
+        let cfg = FleetConfig {
+            max_in_flight: limit,
+            ..FleetConfig::default()
+        };
+        let report = FleetScheduler::new(cfg)
+            .unwrap()
+            .run(&mut world, requests_for(&pairs, victim))
+            .unwrap();
+
+        // (2) No starvation, well-ordered per-flight timelines.
+        prop_assert_eq!(report.flights.len(), n);
+        prop_assert!(report.peak_in_flight <= limit);
+        for f in &report.flights {
+            prop_assert!(f.submitted_at <= f.admitted_at, "{}: admitted before submitted", f.id);
+            prop_assert!(f.admitted_at <= f.transfer_start, "{}", f.id);
+            prop_assert!(f.transfer_start <= f.transfer_end, "{}", f.id);
+            prop_assert!(f.transfer_end <= f.finished_at, "{}", f.id);
+            if victim == Some(f.id) {
+                prop_assert!(!f.outcome.is_completed(), "victim {} completed", f.id);
+            } else {
+                prop_assert!(f.outcome.is_completed(), "{} did not complete", f.id);
+            }
+        }
+
+        // (1) Medium conservation: every recorded segment's shares sum to
+        // at most the configured capacity.
+        for seg in &report.medium {
+            let total: f64 = seg.flows.iter().map(|(_, mbps)| mbps).sum();
+            prop_assert!(
+                total <= cfg.medium_capacity_mbps * (1.0 + 1e-9),
+                "segment [{}, {}) oversubscribed: {total} > {}",
+                seg.from, seg.to, cfg.medium_capacity_mbps
+            );
+        }
+
+        // (3) Per-device exclusivity, per role: no two flights sharing a
+        // source device (or a target device) overlap in [admitted,
+        // finished).
+        for a in &report.flights {
+            for b in &report.flights {
+                if a.id >= b.id {
+                    continue;
+                }
+                let wa = (a.admitted_at, a.finished_at);
+                let wb = (b.admitted_at, b.finished_at);
+                if a.home == b.home {
+                    prop_assert!(
+                        !overlaps(wa, wb),
+                        "flights {} and {} share source {:?} concurrently", a.id, b.id, a.home
+                    );
+                }
+                if a.guest == b.guest {
+                    prop_assert!(
+                        !overlaps(wa, wb),
+                        "flights {} and {} share target {:?} concurrently", a.id, b.id, a.guest
+                    );
+                }
+            }
+        }
+    }
+
+    // (4) Permutation invariance: equal-priority batches produce a
+    // byte-identical report whatever order the request vector arrives in.
+    #[test]
+    fn submission_order_is_invisible_under_equal_priorities(
+        seed in 0..100_000u64,
+        n in 2..5usize,
+        limit in 1..5usize,
+        rot in 0..4usize,
+        reverse in any::<bool>(),
+    ) {
+        let apps = &POOL[..n];
+        let cfg = FleetConfig {
+            max_in_flight: limit,
+            ..FleetConfig::default()
+        };
+
+        let (mut w1, p1) = common::fleet_world(apps, seed);
+        let r1 = FleetScheduler::new(cfg)
+            .unwrap()
+            .run(&mut w1, requests_for(&p1, None))
+            .unwrap();
+
+        let (mut w2, p2) = common::fleet_world(apps, seed);
+        let mut permuted = requests_for(&p2, None);
+        permuted.rotate_left(rot % n);
+        if reverse {
+            permuted.reverse();
+        }
+        let r2 = FleetScheduler::new(cfg)
+            .unwrap()
+            .run(&mut w2, permuted)
+            .unwrap();
+
+        prop_assert_eq!(format!("{:?}", r1.flights), format!("{:?}", r2.flights));
+        prop_assert_eq!(r1.makespan, r2.makespan);
+        prop_assert_eq!(r1.serialized_makespan, r2.serialized_makespan);
+        prop_assert_eq!(format!("{:?}", r1.medium), format!("{:?}", r2.medium));
+        prop_assert_eq!(w1.clock.now(), w2.clock.now());
+    }
+}

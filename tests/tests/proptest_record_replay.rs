@@ -5,9 +5,10 @@
 //! These properties drive random notification/alarm/clipboard churn and
 //! check that claim against the live service implementations.
 
+mod common;
+
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, DeviceId, FluxWorld, WorldBuilder};
-use flux_device::DeviceProfile;
+use flux_core::{migrate, pair, DeviceId, FluxWorld};
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::notification::NotificationManagerService;
 use flux_simcore::Uid;
@@ -144,13 +145,7 @@ proptest! {
     /// the app equals the home's state at checkpoint.
     #[test]
     fn replayed_state_equals_home_state(steps in prop::collection::vec(step_strategy(), 1..24)) {
-        let (mut world, ids) = WorldBuilder::new()
-            .seed(777)
-            .device("h", DeviceProfile::nexus7_2013())
-            .device("g", DeviceProfile::nexus7_2013())
-            .build()
-            .unwrap();
-        let (home, guest) = (ids[0], ids[1]);
+        let (mut world, home, guest) = common::bare_pair(777);
         let app = spec("Twitter").unwrap();
         // Deploy without the canned workload so only `steps` shape state.
         world.install_app(home, &app).unwrap();
@@ -174,12 +169,7 @@ proptest! {
     /// motivation).
     #[test]
     fn log_is_bounded_by_live_state(steps in prop::collection::vec(step_strategy(), 1..64)) {
-        let (mut world, ids) = WorldBuilder::new()
-            .seed(778)
-            .device("h", DeviceProfile::nexus7_2013())
-            .build()
-            .unwrap();
-        let home = ids[0];
+        let (mut world, home) = common::bare_device(778);
         let app = spec("Twitter").unwrap();
         world.install_app(home, &app).unwrap();
         world.launch_app(home, &app.package).unwrap();
@@ -207,13 +197,7 @@ proptest! {
 /// silently vanishes on the guest.
 #[test]
 fn unmatched_remove_then_set_keeps_the_alarm_across_migration() {
-    let (mut world, ids) = WorldBuilder::new()
-        .seed(777)
-        .device("h", DeviceProfile::nexus7_2013())
-        .device("g", DeviceProfile::nexus7_2013())
-        .build()
-        .unwrap();
-    let (home, guest) = (ids[0], ids[1]);
+    let (mut world, home, guest) = common::bare_pair(777);
     let app = spec("Twitter").unwrap();
     world.install_app(home, &app).unwrap();
     world.launch_app(home, &app.package).unwrap();

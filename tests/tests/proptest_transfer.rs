@@ -9,17 +9,12 @@
 //! migration engine feeds the `flux.net.*` counters and the transfer
 //! ledger, so tiling violations would double- or under-report bytes.
 
-use flux_net::{ChunkedOutcome, WifiAdapter, WifiStandard};
+mod common;
+
+use common::campus_adapter as adapter;
+use flux_net::ChunkedOutcome;
 use flux_simcore::{ByteSize, FaultConfig, FaultPlan, SimDuration, SimTime};
 use proptest::prelude::*;
-
-fn adapter() -> WifiAdapter {
-    WifiAdapter {
-        standard: WifiStandard::N,
-        dual_band: true,
-        link_mbps: 65.0,
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

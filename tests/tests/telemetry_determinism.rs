@@ -4,6 +4,8 @@
 //! output must round-trip through the JSON parser, and the per-stage
 //! profile must sum to exactly the migration report's total.
 
+mod common;
+
 use flux_core::{migrate, pair, FluxWorld, MigrationReport, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
@@ -13,21 +15,8 @@ use flux_workloads::spec;
 /// Runs the standard profiled scenario: WhatsApp, Nexus 4 → Nexus 7
 /// (2013), with telemetry finished and harvested at the end.
 fn run_scenario(seed: u64, plan: FaultPlan) -> (FluxWorld, MigrationReport) {
-    let app = spec("WhatsApp").expect("spec");
-    let (mut world, ids) = WorldBuilder::new()
-        .seed(seed)
-        .fault_plan(plan)
-        .device("home", DeviceProfile::nexus4())
-        .device("guest", DeviceProfile::nexus7_2013())
-        .app(0, app.clone())
-        .build()
-        .expect("build");
-    let (home, guest) = (ids[0], ids[1]);
-    world
-        .run_script(home, &app.package, &app.actions.clone())
-        .expect("script");
-    pair(&mut world, home, guest).expect("pair");
-    let report = migrate(&mut world, home, guest, &app.package).expect("migrate");
+    let (mut world, home, guest, pkg) = common::staged_faulty("WhatsApp", seed, plan);
+    let report = migrate(&mut world, home, guest, &pkg).expect("migrate");
     world.harvest_metrics();
     let now = world.clock.now();
     world.telemetry.finish(now);

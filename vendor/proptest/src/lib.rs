@@ -5,7 +5,8 @@
 //! for primitives and tuples, integer range strategies, string pattern
 //! strategies, `prop::collection::vec`, `prop::num::f64::NORMAL`,
 //! [`strategy::Just`], `prop_oneof!`, and the `proptest!` test macro with
-//! `ProptestConfig::with_cases`.
+//! `ProptestConfig::with_cases` (the `PROPTEST_CASES` environment variable
+//! overrides the in-source case count, as in real proptest).
 //!
 //! Semantics: each test function runs `cases` iterations against values
 //! drawn from a deterministic per-test RNG (seeded from the test's module
@@ -88,7 +89,7 @@ macro_rules! __proptest_fns {
             let mut __rng = $crate::test_runner::TestRng::deterministic(
                 concat!(module_path!(), "::", stringify!($name)),
             );
-            for __case in 0..__config.cases {
+            for __case in 0..__config.resolved_cases() {
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
                 $body
             }

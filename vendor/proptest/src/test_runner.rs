@@ -12,6 +12,17 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count the harness actually runs: the `PROPTEST_CASES`
+    /// environment variable overrides whatever the source requested, so a
+    /// CI lane can crank every property to e.g. 256 cases without
+    /// touching the test files (mirroring real proptest's env knob).
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
