@@ -1,0 +1,344 @@
+//! The engine driver: the one control loop that owns retry/backoff,
+//! telemetry span emission, ledger accounting and rollback unwinding.
+//!
+//! Every migration entry point — [`migrate`], [`migrate_with`],
+//! [`migrate_configured`] and the fleet scheduler — funnels into
+//! [`run`], which executes [`ATTEMPT_STAGES`] in order through one
+//! uniform stage wrapper. A retryable fault re-enters the loop with
+//! exponential backoff, resuming from the first incomplete stage; a fatal
+//! failure (or an exhausted retry budget) unwinds the stages in reverse
+//! and verifies the rollback invariants. The driver is the only place
+//! spans are opened and closed for stages, busy time is accumulated, and
+//! rollback ordering is decided.
+
+use super::ctx::{MigCtx, Progress};
+use super::failure::StageFailure;
+use super::finalise::Finalise;
+use super::{preflight, Stage, StageCtx, StageOutcome, ATTEMPT_STAGES};
+use crate::errors::FluxError;
+use crate::migration::{MigrationConfig, MigrationReport, RetryPolicy};
+use crate::world::{DeviceId, FluxWorld};
+use flux_simcore::{FaultPlan, TraceKind};
+use flux_telemetry::LaneId;
+
+/// Migrates `package` from `home` to `guest` under the default
+/// [`RetryPolicy`].
+///
+/// In the UI this is the two-finger vertical swipe of Figure 1; here it is
+/// the full §3.1 life cycle. On success the app is gone from the home
+/// device (its icon remains conceptually; the spec stays installed) and
+/// runs on the guest with the same PID, Binder handles, notifications,
+/// alarms and sensor channels it had at home. On failure the world rolls
+/// back to the pre-migration state and the error says why.
+pub fn migrate(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+) -> Result<MigrationReport, FluxError> {
+    migrate_with(world, home, guest, package, &RetryPolicy::default())
+}
+
+/// [`migrate`] with an explicit retry policy.
+pub fn migrate_with(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+    policy: &RetryPolicy,
+) -> Result<MigrationReport, FluxError> {
+    let cfg = MigrationConfig {
+        retry: *policy,
+        ..MigrationConfig::default()
+    };
+    run(world, home, guest, package, &cfg)
+}
+
+/// [`migrate`] with explicit feature switches: pre-copy, pipelined stage
+/// overlap and the content-addressed image cache are all opt-in here.
+pub fn migrate_configured(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+    cfg: &MigrationConfig,
+) -> Result<MigrationReport, FluxError> {
+    run(world, home, guest, package, cfg)
+}
+
+/// The engine entry point: admits the migration, then drives the stage
+/// pipeline under `cfg` until it completes, exhausts its retry budget, or
+/// hits a fatal failure and rolls back.
+pub fn run(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+    cfg: &MigrationConfig,
+) -> Result<MigrationReport, FluxError> {
+    world.telemetry.counter_add("flux.engine.runs", 1);
+    let policy = &cfg.retry;
+    preflight::check(world, home, guest, package)?;
+
+    let mig = MigCtx::gather(world, home, guest, package, cfg)?;
+    // The fault plan is pinned at admission so a concurrent scheduler
+    // swapping plans cannot perturb an in-flight migration.
+    let plan = world.fault_plan.clone();
+    let mut prog = Progress::default();
+
+    let mig_span = world
+        .telemetry
+        .enter(LaneId::WORLD, "migration", world.clock.now());
+    // Settles abandoned device-lane stage spans (from fatally failed
+    // stages) and accounts the migration-level counters on a terminal
+    // path.
+    let settle = |world: &mut FluxWorld, prog: &Progress| {
+        let now = world.clock.now();
+        world.telemetry.finish_lane(mig.home_lane, now);
+        world.telemetry.finish_lane(mig.guest_lane, now);
+        world
+            .telemetry
+            .counter_add("flux.migration.attempts", u64::from(prog.attempts));
+        world
+            .telemetry
+            .counter_add("flux.migration.faults", u64::from(prog.faults));
+        world.telemetry.exit(mig_span, now);
+    };
+
+    loop {
+        prog.attempts += 1;
+        match run_attempt(world, &mig, &plan, &mut prog) {
+            Ok(()) => {
+                settle(world, &prog);
+                Finalise.run(&mut StageCtx::new(world, &mig, &plan, &mut prog))?;
+                return Ok(build_report(&mig, prog));
+            }
+            Err(StageFailure::FaultAborted { stage, detail, .. }) => {
+                prog.faults += 1;
+                let now = world.clock.now();
+                world.telemetry.emit_kind(
+                    now,
+                    TraceKind::Fault,
+                    "migration.fault",
+                    format!("{stage}: {detail}"),
+                );
+                if prog.attempts >= policy.max_attempts {
+                    let attempts = prog.attempts;
+                    if let Err(re) = unwind(world, &mig, &plan, &mut prog) {
+                        settle(world, &prog);
+                        return Err(re);
+                    }
+                    settle(world, &prog);
+                    return Err(StageFailure::FaultAborted {
+                        stage,
+                        attempts,
+                        detail,
+                    }
+                    .into());
+                }
+                let backoff = policy.backoff_after(prog.attempts);
+                let backoff_span =
+                    world
+                        .telemetry
+                        .enter(LaneId::WORLD, "migration.backoff", world.clock.now());
+                world.clock.charge(backoff);
+                world.telemetry.exit(backoff_span, world.clock.now());
+                prog.backoff += backoff;
+                world.telemetry.counter_add("flux.migration.retries", 1);
+                world.telemetry.emit_kind(
+                    world.clock.now(),
+                    TraceKind::Retry,
+                    "migration.retry",
+                    format!(
+                        "attempt {} of {} resumes at {stage} after {backoff} backoff",
+                        prog.attempts + 1,
+                        policy.max_attempts
+                    ),
+                );
+            }
+            Err(fatal) => {
+                if let Err(re) = unwind(world, &mig, &plan, &mut prog) {
+                    settle(world, &prog);
+                    return Err(re);
+                }
+                settle(world, &prog);
+                return Err(fatal.into());
+            }
+        }
+    }
+}
+
+/// Runs one attempt: every pipeline stage in order, each through the
+/// uniform [`run_stage`] wrapper, resuming from the first incomplete
+/// stage.
+fn run_attempt(
+    world: &mut FluxWorld,
+    mig: &MigCtx,
+    plan: &FaultPlan,
+    prog: &mut Progress,
+) -> Result<(), StageFailure> {
+    for stage in ATTEMPT_STAGES {
+        run_stage(stage, world, mig, plan, prog)?;
+    }
+    Ok(())
+}
+
+/// The one stage wrapper: span entry/exit, busy-time accumulation, and
+/// the fatal-versus-retryable span discipline live here and nowhere else.
+fn run_stage(
+    stage: &dyn Stage,
+    world: &mut FluxWorld,
+    mig: &MigCtx,
+    plan: &FaultPlan,
+    prog: &mut Progress,
+) -> Result<(), StageFailure> {
+    let mut cx = StageCtx::new(world, mig, plan, prog);
+    if !stage.pending(&cx) {
+        return Ok(());
+    }
+    let t0 = cx.world.clock.now();
+    let lane = stage.lane(&cx);
+    let span = cx.world.telemetry.enter(lane, &stage.span_name(), t0);
+    let result = stage.run(&mut cx);
+    match &result {
+        Ok(outcome) => {
+            let now = cx.world.clock.now();
+            let busy = cx.prog.busy_override.take().unwrap_or(now - t0);
+            if *outcome != StageOutcome::Skipped {
+                if let Some(slot) = stage.times_slot(&mut cx.prog.times) {
+                    *slot += busy;
+                }
+            }
+            cx.world.telemetry.exit(span, now);
+        }
+        Err(f) if f.is_retryable() => {
+            // A faulted stage still did (and charged for) its work: its
+            // busy time counts, and its span closes cleanly.
+            let now = cx.world.clock.now();
+            let busy = cx.prog.busy_override.take().unwrap_or(now - t0);
+            if let Some(slot) = stage.times_slot(&mut cx.prog.times) {
+                *slot += busy;
+            }
+            cx.world.telemetry.exit(span, now);
+        }
+        Err(_) => {
+            // Fatal: the span is deliberately left open — the terminal
+            // settle's lane finish closes it, so the trace shows the stage
+            // as abandoned mid-flight.
+            cx.prog.busy_override = None;
+        }
+    }
+    result.map(|_| ())
+}
+
+/// Rolls the world back to its pre-migration state: every attempt stage
+/// is unwound in reverse pipeline order, then invariant checks verify
+/// that the home-side app is foregrounded and running and the guest holds
+/// no residue. An invariant failure is the only error.
+fn unwind(
+    world: &mut FluxWorld,
+    mig: &MigCtx,
+    plan: &FaultPlan,
+    prog: &mut Progress,
+) -> Result<(), FluxError> {
+    let package = mig.package.as_str();
+    let now = world.clock.now();
+    // Stage spans abandoned by the failing attempt must not swallow the
+    // rollback work into their duration.
+    world.telemetry.finish_lane(mig.home_lane, now);
+    world.telemetry.finish_lane(mig.guest_lane, now);
+    let span = world
+        .telemetry
+        .enter(LaneId::WORLD, "migration.rollback", now);
+    world.telemetry.counter_add("flux.migration.rollbacks", 1);
+    world.telemetry.emit_kind(
+        now,
+        TraceKind::Rollback,
+        "migration.rollback",
+        format!(
+            "{package}: tearing down guest state, resuming on {}",
+            mig.home_name
+        ),
+    );
+
+    {
+        let mut cx = StageCtx::new(world, mig, plan, prog);
+        for stage in ATTEMPT_STAGES.iter().rev() {
+            stage.rollback(&mut cx)?;
+        }
+    }
+
+    // Invariant checks: home app foregrounded and running, no guest residue.
+    let home_dev = world
+        .device(mig.home)
+        .map_err(|e| StageFailure::RollbackFailed {
+            reason: e.to_string(),
+        })?;
+    let app = home_dev
+        .apps
+        .get(package)
+        .ok_or_else(|| StageFailure::RollbackFailed {
+            reason: "home app missing after rollback".into(),
+        })?;
+    if app.top_state() != Some(flux_appfw::ActivityState::Resumed) {
+        return Err(StageFailure::RollbackFailed {
+            reason: format!("home activity not resumed: {:?}", app.top_state()),
+        }
+        .into());
+    }
+    if home_dev.kernel.process(app.main_pid).is_err() {
+        return Err(StageFailure::RollbackFailed {
+            reason: "home process gone after rollback".into(),
+        }
+        .into());
+    }
+    let guest_dev = world
+        .device(mig.guest)
+        .map_err(|e| StageFailure::RollbackFailed {
+            reason: e.to_string(),
+        })?;
+    if guest_dev.apps.contains_key(package) {
+        return Err(StageFailure::RollbackFailed {
+            reason: "guest still holds the app after rollback".into(),
+        }
+        .into());
+    }
+    if guest_dev.fs.exists(&mig.staged_path) {
+        return Err(StageFailure::RollbackFailed {
+            reason: "staged chunks leaked on the guest".into(),
+        }
+        .into());
+    }
+    if guest_dev.fs.exists(&mig.precopy_path) {
+        return Err(StageFailure::RollbackFailed {
+            reason: "pre-copy data leaked on the guest".into(),
+        }
+        .into());
+    }
+    world.telemetry.emit_kind(
+        world.clock.now(),
+        TraceKind::Rollback,
+        "migration.rollback",
+        format!("{package}: home-side invariants verified"),
+    );
+    let now = world.clock.now();
+    world.telemetry.exit(span, now);
+    Ok(())
+}
+
+/// Assembles the success report from the settled progress record.
+fn build_report(mig: &MigCtx, mut prog: Progress) -> MigrationReport {
+    MigrationReport {
+        package: mig.package.clone(),
+        from: mig.home_name.clone(),
+        to: mig.guest_name.clone(),
+        stages: prog.times,
+        ledger: prog.ledger(),
+        replay: prog.replay.take().expect("reintegration completed"),
+        dropped_connections: std::mem::take(&mut prog.dropped_connections),
+        redrawn_views: prog.redrawn,
+        attempts: prog.attempts,
+        faults: prog.faults,
+        backoff: prog.backoff,
+    }
+}

@@ -1,0 +1,176 @@
+//! The one failure type every stage speaks.
+//!
+//! Pre-refactor the engine juggled three overlapping types: a public
+//! `MigrationError` (refusals and terminal outcomes), an internal
+//! `StageFailure` (retryable vs fatal), and a `From<FluxError>` /
+//! `From<WorldError>` conversion ladder between them, with duplicated
+//! `Display` arms. They are now one enum: [`StageFailure`], carried by
+//! [`FluxError::Migration`]. A stage returns
+//! [`StageFailure::FaultAborted`] for an injected, retryable fault (the
+//! driver patches in the final attempt count before surfacing it) and any
+//! other variant for an unrecoverable refusal or error.
+
+use crate::errors::FluxError;
+use crate::migration::MigrationStage;
+use crate::world::WorldError;
+use std::fmt;
+
+/// Why a migration stage refused to run, faulted, or failed outright.
+///
+/// Refusal variants ([`NotPaired`](Self::NotPaired) through
+/// [`NonSystemBinder`](Self::NonSystemBinder)) match §3.3–3.4 of the
+/// paper. [`FaultAborted`](Self::FaultAborted) doubles as the in-flight
+/// retryable fault — the only variant the driver retries — and the
+/// terminal "retry budget exhausted" outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageFailure {
+    /// The devices are not paired, or the app was not part of the pairing.
+    NotPaired,
+    /// The app is not running on the home device.
+    NoSuchApp(String),
+    /// Multi-process apps are unsupported (§3.4).
+    MultiProcess {
+        /// Number of processes found.
+        processes: usize,
+    },
+    /// The app holds an EGL context with `setPreserveEGLContextOnPause`
+    /// (§3.4 — the Subway Surfers case).
+    PreservedEglContext,
+    /// The app is mid-ContentProvider interaction (§3.4).
+    ContentProviderActive,
+    /// The app has common (non-app-specific) SD-card files open (§3.4).
+    CommonSdCardFile {
+        /// The offending path.
+        path: String,
+    },
+    /// The APK needs a newer API level than the guest provides (§3.1).
+    ApiLevelIncompatible {
+        /// Level the APK requires.
+        required: u32,
+        /// Level the guest offers.
+        guest: u32,
+    },
+    /// The app holds Binder connections to non-system services (§3.3).
+    NonSystemBinder {
+        /// Description of the offending connection.
+        description: String,
+    },
+    /// An injected fault hit the stage. While in flight this is the
+    /// retryable failure (`attempts` still zero); once the retry budget is
+    /// exhausted the driver rolls back and surfaces it with the final
+    /// attempt count.
+    FaultAborted {
+        /// The stage that kept failing.
+        stage: MigrationStage,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Human-readable description of the last fault.
+        detail: String,
+    },
+    /// Rollback could not restore the home-side invariants — the one
+    /// failure mode that is not transparent to the user.
+    RollbackFailed {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A lower-level failure.
+    Internal(String),
+}
+
+impl StageFailure {
+    /// Whether the driver may retry the attempt (injected faults only).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StageFailure::FaultAborted { .. })
+    }
+}
+
+impl fmt::Display for StageFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageFailure::NotPaired => write!(f, "devices are not paired for this app"),
+            StageFailure::NoSuchApp(p) => write!(f, "app {p} is not running"),
+            StageFailure::MultiProcess { processes } => {
+                write!(
+                    f,
+                    "multi-process app ({processes} processes) is unsupported"
+                )
+            }
+            StageFailure::PreservedEglContext => {
+                write!(f, "app preserves its EGL context while paused; unsupported")
+            }
+            StageFailure::ContentProviderActive => {
+                write!(f, "app is interacting with a ContentProvider")
+            }
+            StageFailure::CommonSdCardFile { path } => {
+                write!(f, "open common SD card file: {path}")
+            }
+            StageFailure::ApiLevelIncompatible { required, guest } => {
+                write!(f, "APK requires API {required}, guest offers {guest}")
+            }
+            StageFailure::NonSystemBinder { description } => {
+                write!(f, "non-system binder connection: {description}")
+            }
+            StageFailure::FaultAborted {
+                stage,
+                attempts,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "migration aborted at {stage} after {attempts} attempt(s), rolled back: {detail}"
+                )
+            }
+            StageFailure::RollbackFailed { reason } => {
+                write!(f, "rollback failed: {reason}")
+            }
+            StageFailure::Internal(m) => write!(f, "migration failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StageFailure {}
+
+impl From<WorldError> for StageFailure {
+    fn from(e: WorldError) -> Self {
+        StageFailure::Internal(e.to_string())
+    }
+}
+
+impl From<FluxError> for StageFailure {
+    fn from(e: FluxError) -> Self {
+        match e {
+            FluxError::Migration(sf) => sf,
+            other => StageFailure::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_fault_aborted_is_retryable() {
+        let fault = StageFailure::FaultAborted {
+            stage: MigrationStage::Transfer,
+            attempts: 0,
+            detail: "link dropped".into(),
+        };
+        assert!(fault.is_retryable());
+        assert!(!StageFailure::NotPaired.is_retryable());
+        assert!(!StageFailure::RollbackFailed { reason: "x".into() }.is_retryable());
+    }
+
+    #[test]
+    fn flux_error_round_trips_without_nesting() {
+        let sf = StageFailure::NoSuchApp("com.whatsapp".into());
+        let fe: FluxError = sf.clone().into();
+        assert_eq!(StageFailure::from(fe), sf);
+    }
+
+    #[test]
+    fn world_errors_collapse_to_internal() {
+        let sf: StageFailure = WorldError::NoSuchDevice(7).into();
+        assert!(matches!(sf, StageFailure::Internal(_)));
+    }
+}

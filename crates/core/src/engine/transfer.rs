@@ -1,0 +1,195 @@
+//! The transfer phase: APK/data verification sync + the chunked radio
+//! transfer of the CRIA image — the stage that owns the engine's
+//! interaction with [`flux_net`]'s chunked transfer and radio model.
+//!
+//! Under [`MigrationConfig::pipeline`](crate::MigrationConfig) the
+//! compression deferred from the checkpoint stage overlaps the radio in a
+//! [`FusedLanes`] window; the busy accounting then charges the air time
+//! the radio actually occupied, with the hidden latency carried by
+//! `overlap_saved`. Delivered chunks are staged on the guest so a faulted
+//! attempt resumes instead of starting over.
+
+use super::failure::StageFailure;
+use super::{Stage, StageCtx, StageOutcome};
+use crate::migration::{MigrationStage, StageTimes};
+use crate::pairing::verify_app;
+use flux_net::{ChunkedOutcome, DEFAULT_CHUNK};
+use flux_simcore::{FusedLanes, SimDuration, TraceKind};
+use flux_telemetry::LaneId;
+
+/// The transfer stage (verification sync + chunked radio transfer).
+pub struct Transfer;
+
+impl Stage for Transfer {
+    fn name(&self) -> &'static str {
+        "transfer"
+    }
+
+    fn lane(&self, cx: &StageCtx<'_>) -> LaneId {
+        let _ = cx;
+        LaneId::WORLD
+    }
+
+    fn pending(&self, cx: &StageCtx<'_>) -> bool {
+        !cx.prog.transfer_done
+    }
+
+    fn times_slot<'t>(&self, times: &'t mut StageTimes) -> Option<&'t mut SimDuration> {
+        Some(&mut times.transfer)
+    }
+
+    fn run(&self, cx: &mut StageCtx<'_>) -> Result<StageOutcome, StageFailure> {
+        let package = cx.mig.package.as_str();
+        let t2 = cx.world.clock.now();
+        // The verification sync is naturally resumable: files delivered by
+        // an earlier attempt classify as up-to-date and ship zero bytes.
+        let verify = verify_app(cx.world, cx.mig.home, cx.mig.guest, package)?;
+        cx.prog.data_delta += verify.bytes_shipped;
+        let ledger = cx.prog.ledger();
+        let verify_done = cx.world.clock.now();
+        let radio = if cx.mig.cfg.pipeline {
+            // Fused window: the compression deferred from the checkpoint
+            // stage proceeds on the CPU lane while chunks already go on
+            // the air; the radio starts once the first chunk exists.
+            // (Deferred compression is not stall-checked — the watchdog
+            // guards the dump, which stays in the checkpoint stage.)
+            let compress = cx.prog.compress_pending;
+            let chunk_count = ledger
+                .total()
+                .as_u64()
+                .div_ceil(DEFAULT_CHUNK.as_u64())
+                .max(1);
+            let mut fused = FusedLanes::begin(verify_done, compress, chunk_count);
+            let radio = cx.world.net.transfer_chunked(
+                fused.radio_ready(),
+                ledger.total(),
+                DEFAULT_CHUNK,
+                &cx.mig.home_profile.wifi,
+                &cx.mig.guest_profile.wifi,
+                cx.prog.delivered_chunks,
+                cx.plan,
+            );
+            fused.run_radio(radio.duration);
+            cx.world.clock.advance_to(fused.end());
+            if compress > SimDuration::ZERO {
+                // The deferred compression stays in the checkpoint stage's
+                // busy accounting, where the serial engine charges it.
+                let (c_start, c_end) = fused.cpu_window();
+                cx.world.telemetry.record_complete(
+                    cx.mig.home_lane,
+                    "criu.compress",
+                    c_start,
+                    c_end,
+                );
+                cx.prog.times.checkpoint += compress;
+                cx.prog.compress_pending = SimDuration::ZERO;
+            }
+            cx.prog.times.overlap_saved += fused.overlap_saved();
+            radio
+        } else {
+            let radio = cx.world.net.transfer_chunked(
+                verify_done,
+                ledger.total(),
+                DEFAULT_CHUNK,
+                &cx.mig.home_profile.wifi,
+                &cx.mig.guest_profile.wifi,
+                cx.prog.delivered_chunks,
+                cx.plan,
+            );
+            cx.world.clock.charge(radio.duration);
+            radio
+        };
+        cx.prog.delivered_chunks = radio.delivered_chunks;
+        for chunk in &radio.chunks {
+            cx.world.telemetry.instant(
+                LaneId::WORLD,
+                TraceKind::Generic,
+                "net.chunk",
+                chunk.at,
+                format!(
+                    "{} in {}{}",
+                    chunk.bytes,
+                    chunk.duration,
+                    if chunk.congested { " (congested)" } else { "" }
+                ),
+            );
+        }
+        // The flux.net.* counters accumulate per-attempt figures, so over a
+        // resumed transfer they sum to the payload exactly once.
+        cx.world
+            .telemetry
+            .counter_add("flux.net.bytes_transferred", radio.bytes_delivered.as_u64());
+        cx.world
+            .telemetry
+            .counter_add("flux.net.chunks_delivered", radio.attempt_chunks() as u64);
+        if radio.resumed_chunks > 0 {
+            cx.world
+                .telemetry
+                .counter_add("flux.net.chunks_resumed", radio.resumed_chunks as u64);
+        }
+        cx.world
+            .telemetry
+            .counter_add("flux.net.chunks_congested", radio.congested_chunks as u64);
+        cx.world
+            .telemetry
+            .gauge_set("flux.net.goodput_mbps", radio.goodput_mbps);
+        // Each congested chunk is one fault event that hit this migration.
+        cx.prog.faults += radio.congested_chunks as u32;
+        if radio.congested_chunks > 0 {
+            cx.world.telemetry.emit_kind(
+                cx.world.clock.now(),
+                TraceKind::Fault,
+                "net.fault",
+                format!(
+                    "congestion stretched {} of the {} chunks sent this attempt",
+                    radio.congested_chunks,
+                    radio.attempt_chunks()
+                ),
+            );
+        }
+        // Stage what the guest acknowledged so a retry resumes instead of
+        // starting over.
+        cx.stage_chunks()?;
+        // Busy accounting: under the pipeline, the air time the radio
+        // occupied rather than the fused window's wall span — the hidden
+        // part is what `overlap_saved` carries.
+        let now = cx.world.clock.now();
+        cx.prog.busy_override = Some(if cx.mig.cfg.pipeline {
+            verify_done.since(t2) + radio.duration
+        } else {
+            now - t2
+        });
+        match radio.outcome {
+            ChunkedOutcome::Complete => {
+                cx.prog.transfer_done = true;
+                // Chunks the cache lacked are now on the guest: remember
+                // them for the next migration of this package.
+                cx.insert_cache_misses()?;
+                Ok(StageOutcome::Completed)
+            }
+            ChunkedOutcome::LinkDropped { at } => Err(StageFailure::FaultAborted {
+                stage: MigrationStage::Transfer,
+                attempts: 0,
+                detail: format!(
+                    "link dropped at {at} with {}/{} chunks delivered",
+                    radio.delivered_chunks, radio.total_chunks
+                ),
+            }),
+        }
+    }
+
+    /// Removes the staged chunk prefix; an aborted migration must leave no
+    /// image residue on the guest. (The image *cache* deliberately
+    /// survives — it is content-addressed, not migration state.)
+    fn rollback(&self, cx: &mut StageCtx<'_>) -> Result<(), StageFailure> {
+        let dev = cx
+            .world
+            .device_mut(cx.mig.guest)
+            .map_err(|e| StageFailure::RollbackFailed {
+                reason: e.to_string(),
+            })?;
+        let _ = dev.fs.remove(&cx.mig.staged_path);
+        cx.prog.delivered_chunks = 0;
+        Ok(())
+    }
+}

@@ -1,14 +1,14 @@
 //! The unified error type for the public Flux API.
 //!
 //! Lower layers keep their own focused error enums ([`WorldError`],
-//! [`MigrationError`], [`BinderError`]); everything user-facing —
+//! [`StageFailure`], [`BinderError`]); everything user-facing —
 //! [`FluxWorld::app_call`](crate::FluxWorld::app_call),
 //! [`FluxWorld::perform`](crate::FluxWorld::perform),
 //! [`migrate`](crate::migrate), [`pair`](crate::pair) and the
 //! [`WorldBuilder`](crate::WorldBuilder) — returns [`FluxError`], which
 //! wraps them with stable `From` impls and `source()` chaining.
 
-use crate::migration::MigrationError;
+use crate::engine::StageFailure;
 use crate::world::WorldError;
 use flux_binder::BinderError;
 use std::error::Error;
@@ -22,7 +22,7 @@ pub enum FluxError {
     /// delivery routing.
     World(WorldError),
     /// A migration was refused (§3.3–3.4) or failed and was rolled back.
-    Migration(MigrationError),
+    Migration(StageFailure),
     /// A raw Binder-level failure outside any other context.
     Binder(BinderError),
     /// A world was configured inconsistently (builder validation).
@@ -57,8 +57,8 @@ impl From<WorldError> for FluxError {
     }
 }
 
-impl From<MigrationError> for FluxError {
-    fn from(e: MigrationError) -> Self {
+impl From<StageFailure> for FluxError {
+    fn from(e: StageFailure) -> Self {
         FluxError::Migration(e)
     }
 }
@@ -71,7 +71,7 @@ impl From<BinderError> for FluxError {
 
 impl FluxError {
     /// The migration refusal/failure inside, if that is what this is.
-    pub fn as_migration(&self) -> Option<&MigrationError> {
+    pub fn as_migration(&self) -> Option<&StageFailure> {
         match self {
             FluxError::Migration(e) => Some(e),
             _ => None,
@@ -87,7 +87,7 @@ mod tests {
     fn from_impls_wrap_each_layer() {
         let w: FluxError = WorldError::NoSuchDevice(3).into();
         assert_eq!(w, FluxError::World(WorldError::NoSuchDevice(3)));
-        let m: FluxError = MigrationError::NotPaired.into();
+        let m: FluxError = StageFailure::NotPaired.into();
         assert!(m.as_migration().is_some());
         let b: FluxError = BinderError::NoSuchService {
             name: "window".into(),
@@ -98,15 +98,15 @@ mod tests {
 
     #[test]
     fn source_chains_to_the_wrapped_error() {
-        let e: FluxError = MigrationError::NotPaired.into();
+        let e: FluxError = StageFailure::NotPaired.into();
         let src = e.source().expect("has a source");
-        assert_eq!(src.to_string(), MigrationError::NotPaired.to_string());
+        assert_eq!(src.to_string(), StageFailure::NotPaired.to_string());
         assert!(FluxError::Config("bad".into()).source().is_none());
     }
 
     #[test]
     fn display_forwards_the_inner_message() {
-        let e: FluxError = MigrationError::MultiProcess { processes: 2 }.into();
+        let e: FluxError = StageFailure::MultiProcess { processes: 2 }.into();
         assert!(e.to_string().contains("multi-process"));
     }
 }

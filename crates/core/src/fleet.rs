@@ -41,7 +41,7 @@
 //! [`Timeline`] keyed on the stable request id.
 //!
 //! Uncontended, a fleet transfer drains in exactly its serial duration, so
-//! a single-request fleet reproduces [`migrate_configured`]'s figures to
+//! a single-request fleet reproduces [`crate::migrate_configured`]'s figures to
 //! the nanosecond — the scenario suite pins this.
 //!
 //! # Examples
@@ -69,8 +69,9 @@
 //! assert!(report.makespan > flux_simcore::SimDuration::ZERO);
 //! ```
 
+use crate::engine::{self, StageFailure};
 use crate::errors::FluxError;
-use crate::migration::{migrate_configured, MigrationConfig, MigrationError, MigrationReport};
+use crate::migration::{MigrationConfig, MigrationReport};
 use crate::world::{DeviceId, FluxWorld};
 use flux_net::{MediumSegment, RadioMedium};
 use flux_simcore::{ByteSize, FaultPlan, SimDuration, SimTime, Timeline};
@@ -500,7 +501,7 @@ fn execute_underlying(world: &mut FluxWorld, req: &MigrationRequest) -> Executed
             req.faults.shifted_by(t0.since(SimTime::ZERO)),
         )
     });
-    let result = migrate_configured(world, req.home, req.guest, &req.package, &req.cfg);
+    let result = engine::run(world, req.home, req.guest, &req.package, &req.cfg);
     if let Some(plan) = ambient {
         world.fault_plan = plan;
     }
@@ -522,7 +523,7 @@ fn execute_underlying(world: &mut FluxWorld, req: &MigrationRequest) -> Executed
             let rolled_back = matches!(
                 error,
                 FluxError::Migration(
-                    MigrationError::FaultAborted { .. } | MigrationError::RollbackFailed { .. }
+                    StageFailure::FaultAborted { .. } | StageFailure::RollbackFailed { .. }
                 )
             );
             // A rolled-back request held its devices for however long its

@@ -13,8 +13,12 @@
 //!   CRIU process dump, the record log and re-initialisation metadata.
 //! * [`pairing`] — the one-time device pairing: rsync `--link-dest` sync of
 //!   frameworks/libraries, APK + data sync, pseudo-install of the wrapper.
-//! * [`migration`] — the five-stage pipeline (preparation, checkpoint,
-//!   transfer, restore, reintegration) with full time and byte accounting.
+//! * [`migration`] — the vocabulary of the five-stage pipeline
+//!   (preparation, checkpoint, transfer, restore, reintegration): config,
+//!   stage identity, retry policy, time and byte accounting.
+//! * [`engine`] — the staged migration engine: one [`engine::Stage`]
+//!   module per paper phase and one driver owning retry, rollback and
+//!   telemetry. All migration entry points execute through it.
 //! * [`world`] — the multi-device environment tying it all together.
 //!
 //! # Examples
@@ -42,6 +46,7 @@
 
 pub mod builder;
 pub mod cria;
+pub mod engine;
 pub mod errors;
 pub mod fleet;
 pub mod image_cache;
@@ -53,15 +58,17 @@ pub mod world;
 
 pub use builder::WorldBuilder;
 pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
+pub use engine::{broadcast_connectivity, migrate, migrate_configured, migrate_with, StageFailure};
 pub use errors::FluxError;
 pub use fleet::{
     run_fleet, FleetConfig, FleetOutcome, FleetReport, FleetScheduler, FlightRecord,
     MigrationRequest,
 };
 pub use image_cache::CachePartition;
+#[allow(deprecated)]
+pub use migration::MigrationError;
 pub use migration::{
-    broadcast_connectivity, migrate, migrate_configured, migrate_with, MigrationConfig,
-    MigrationError, MigrationReport, MigrationStage, RetryPolicy, StageTimes, TransferLedger,
+    MigrationConfig, MigrationReport, MigrationStage, RetryPolicy, StageTimes, TransferLedger,
     KERNEL_STALL_WATCHDOG, PRECOPY_DIRTY_FRACTION_PER_SEC, PRECOPY_MAX_ROUNDS, PRECOPY_STOP,
 };
 pub use pairing::{pair, verify_app, PairingReport};

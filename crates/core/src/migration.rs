@@ -1,52 +1,38 @@
-//! The five-stage migration pipeline (§3.1, Figures 3–4), with fault
-//! injection, retry and transactional rollback.
+//! Migration vocabulary: configuration, stage identity, retry policy and
+//! the time/byte accounting types (§3.1, Figures 3–4, 12–15).
 //!
 //! A migration runs **preparation → checkpoint → transfer → restore →
-//! reintegration**, the exact stage split of Figure 13. Every stage charges
-//! virtual time from the owning device's cost model or the radio, so the
-//! per-stage breakdown, overall times (Figure 12), user-perceived times
-//! (Figure 14) and transferred bytes (Figure 15) all fall out of one run.
+//! reintegration**, the exact stage split of Figure 13, with an optional
+//! pre-copy stage 0 in front. The pipeline itself — one module per phase,
+//! one driver owning retry, rollback and telemetry — lives in
+//! [`crate::engine`]; this module keeps the types those stages speak and
+//! the figure-facing accounting structs, plus compatibility re-exports so
+//! `flux_core::migration::migrate` keeps working.
 //!
 //! Unsupported cases are detected up front and refused with a
-//! [`MigrationError`], matching §3.3–3.4: multi-process apps, preserved EGL
+//! [`StageFailure`], matching §3.3–3.4: multi-process apps, preserved EGL
 //! contexts, in-flight ContentProvider interactions, open common SD-card
 //! files, incompatible API levels and non-system Binder connections.
 //!
-//! When the world carries a non-empty
-//! [`flux_simcore::FaultPlan`], stages can *fail* rather than
-//! merely cost time: link drops abort the chunked image transfer mid-way,
-//! and kernel stalls past [`KERNEL_STALL_WATCHDOG`] abort a checkpoint or
-//! restore. Failed stages are retried under a [`RetryPolicy`] with
-//! exponential backoff charged to virtual time, resuming from delivered
-//! state — chunks acknowledged by the guest are never re-sent. If the
-//! retry budget runs out (or an unrecoverable error occurs mid-flight),
-//! the migration **rolls back**: partial guest state — the wrapper
-//! process, staged image chunks, injected Binder references — is torn
-//! down, and the home-side app returns to the foreground, verified by
-//! invariant checks. A migration therefore either fully completes or
+//! When the world carries a non-empty [`flux_simcore::FaultPlan`], stages
+//! can *fail* rather than merely cost time: link drops abort the chunked
+//! image transfer mid-way, and kernel stalls past [`KERNEL_STALL_WATCHDOG`]
+//! abort a checkpoint or restore. Failed stages are retried under a
+//! [`RetryPolicy`] with exponential backoff charged to virtual time,
+//! resuming from delivered state — chunks acknowledged by the guest are
+//! never re-sent. If the retry budget runs out (or an unrecoverable error
+//! occurs mid-flight), the migration **rolls back**: partial guest state —
+//! the wrapper process, staged image chunks, injected Binder references —
+//! is torn down, and the home-side app returns to the foreground, verified
+//! by invariant checks. A migration therefore either fully completes or
 //! leaves the world as if it had never started (plus the time it wasted).
 
-use crate::cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO};
-use crate::errors::FluxError;
-use crate::image_cache;
-use crate::pairing::verify_app;
-use crate::record::CallLog;
-use crate::replay::{replay_log, ReplayStats};
-use crate::world::{fnv, DeviceId, FluxWorld, WorldError};
-use flux_appfw::{conditional_reinit, egl_unload, handle_trim_memory, move_to_background, App};
-use flux_device::DeviceProfile;
-use flux_kernel::criu;
-use flux_kernel::{FdKind, ProcessImage, RestoreOptions, VmaKind};
-use flux_net::{ChunkedOutcome, DEFAULT_CHUNK};
-use flux_services::svc::activity::ActivityManagerService;
-use flux_services::svc::connectivity::ConnectivityManagerService;
-use flux_services::svc::package::PackageManagerService;
-use flux_services::{Intent, ACTION_CONNECTIVITY_CHANGE};
-use flux_simcore::{ByteSize, CostModel, FaultPlan, Pipeline, SimDuration, SimTime, TraceKind};
-use flux_telemetry::LaneId;
-use flux_workloads::AppSpec;
-use std::collections::BTreeMap;
+use crate::engine::StageFailure;
+use crate::replay::ReplayStats;
+use flux_simcore::{ByteSize, SimDuration};
 use std::fmt;
+
+pub use crate::engine::{broadcast_connectivity, migrate, migrate_configured, migrate_with};
 
 /// A kernel stall at least this long trips the checkpoint/restore watchdog
 /// and aborts the stage (shorter stalls only add latency).
@@ -98,7 +84,11 @@ impl MigrationConfig {
     }
 }
 
-/// The five pipeline stages, for failure reporting.
+/// The five report stages, for failure reporting and per-stage accounting.
+///
+/// Each value's [`name`](Self::name) equals the corresponding engine
+/// stage's [`Stage::name`](crate::engine::Stage::name), which is what span
+/// and metric names derive from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigrationStage {
     /// Backgrounding + trim-memory + `eglUnload` on the home device.
@@ -113,123 +103,38 @@ pub enum MigrationStage {
     Reintegration,
 }
 
+impl MigrationStage {
+    /// All five report stages, pipeline order.
+    pub const ALL: [MigrationStage; 5] = [
+        MigrationStage::Preparation,
+        MigrationStage::Checkpoint,
+        MigrationStage::Transfer,
+        MigrationStage::Restore,
+        MigrationStage::Reintegration,
+    ];
+
+    /// The wire name: what spans, metrics and fault details call the stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationStage::Preparation => "preparation",
+            MigrationStage::Checkpoint => "checkpoint",
+            MigrationStage::Transfer => "transfer",
+            MigrationStage::Restore => "restore",
+            MigrationStage::Reintegration => "reintegration",
+        }
+    }
+}
+
 impl fmt::Display for MigrationStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MigrationStage::Preparation => write!(f, "preparation"),
-            MigrationStage::Checkpoint => write!(f, "checkpoint"),
-            MigrationStage::Transfer => write!(f, "transfer"),
-            MigrationStage::Restore => write!(f, "restore"),
-            MigrationStage::Reintegration => write!(f, "reintegration"),
-        }
+        f.write_str(self.name())
     }
 }
 
 /// Why a migration was refused or failed.
-#[derive(Debug, Clone, PartialEq)]
-pub enum MigrationError {
-    /// The devices are not paired, or the app was not part of the pairing.
-    NotPaired,
-    /// The app is not running on the home device.
-    NoSuchApp(String),
-    /// Multi-process apps are unsupported (§3.4).
-    MultiProcess {
-        /// Number of processes found.
-        processes: usize,
-    },
-    /// The app holds an EGL context with `setPreserveEGLContextOnPause`
-    /// (§3.4 — the Subway Surfers case).
-    PreservedEglContext,
-    /// The app is mid-ContentProvider interaction (§3.4).
-    ContentProviderActive,
-    /// The app has common (non-app-specific) SD-card files open (§3.4).
-    CommonSdCardFile {
-        /// The offending path.
-        path: String,
-    },
-    /// The APK needs a newer API level than the guest provides (§3.1).
-    ApiLevelIncompatible {
-        /// Level the APK requires.
-        required: u32,
-        /// Level the guest offers.
-        guest: u32,
-    },
-    /// The app holds Binder connections to non-system services (§3.3).
-    NonSystemBinder {
-        /// Description of the offending connection.
-        description: String,
-    },
-    /// Injected faults exhausted the retry budget; the migration was
-    /// rolled back and the app runs on the home device again.
-    FaultAborted {
-        /// The stage that kept failing.
-        stage: MigrationStage,
-        /// Attempts made before giving up.
-        attempts: u32,
-        /// Human-readable description of the last fault.
-        detail: String,
-    },
-    /// Rollback could not restore the home-side invariants — the one
-    /// failure mode that is not transparent to the user.
-    RollbackFailed {
-        /// What went wrong.
-        reason: String,
-    },
-    /// A lower-level failure.
-    Internal(String),
-}
-
-impl fmt::Display for MigrationError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MigrationError::NotPaired => write!(f, "devices are not paired for this app"),
-            MigrationError::NoSuchApp(p) => write!(f, "app {p} is not running"),
-            MigrationError::MultiProcess { processes } => {
-                write!(
-                    f,
-                    "multi-process app ({processes} processes) is unsupported"
-                )
-            }
-            MigrationError::PreservedEglContext => {
-                write!(f, "app preserves its EGL context while paused; unsupported")
-            }
-            MigrationError::ContentProviderActive => {
-                write!(f, "app is interacting with a ContentProvider")
-            }
-            MigrationError::CommonSdCardFile { path } => {
-                write!(f, "open common SD card file: {path}")
-            }
-            MigrationError::ApiLevelIncompatible { required, guest } => {
-                write!(f, "APK requires API {required}, guest offers {guest}")
-            }
-            MigrationError::NonSystemBinder { description } => {
-                write!(f, "non-system binder connection: {description}")
-            }
-            MigrationError::FaultAborted {
-                stage,
-                attempts,
-                detail,
-            } => {
-                write!(
-                    f,
-                    "migration aborted at {stage} after {attempts} attempt(s), rolled back: {detail}"
-                )
-            }
-            MigrationError::RollbackFailed { reason } => {
-                write!(f, "rollback failed: {reason}")
-            }
-            MigrationError::Internal(m) => write!(f, "migration failed: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for MigrationError {}
-
-impl From<WorldError> for MigrationError {
-    fn from(e: WorldError) -> Self {
-        MigrationError::Internal(e.to_string())
-    }
-}
+#[deprecated(note = "use `flux_core::engine::StageFailure`; the engine \
+                     refactor unified the error types into one")]
+pub type MigrationError = StageFailure;
 
 /// How often and how patiently failed stages are retried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -300,6 +205,17 @@ pub struct StageTimes {
 }
 
 impl StageTimes {
+    /// The busy time recorded for one report stage.
+    pub fn of(&self, stage: MigrationStage) -> SimDuration {
+        match stage {
+            MigrationStage::Preparation => self.preparation,
+            MigrationStage::Checkpoint => self.checkpoint,
+            MigrationStage::Transfer => self.transfer,
+            MigrationStage::Restore => self.restore,
+            MigrationStage::Reintegration => self.reintegration,
+        }
+    }
+
     /// Total busy time across stages (Figure 12). Excludes retry backoff,
     /// which [`MigrationReport::backoff`] reports separately so the
     /// accounting balances: wall time = stage total − overlap + backoff.
@@ -393,1377 +309,53 @@ pub struct MigrationReport {
     pub backoff: SimDuration,
 }
 
-/// Pre-flight checks: everything §3.3–3.4 says makes an app unmigratable.
-fn preflight(
-    world: &FluxWorld,
-    home: DeviceId,
-    guest: DeviceId,
-    package: &str,
-) -> Result<(), MigrationError> {
-    let h = world.device(home).map_err(MigrationError::from)?;
-    let g = world.device(guest).map_err(MigrationError::from)?;
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-    let paired = g
-        .pairings
-        .get(&home.0)
-        .is_some_and(|p| p.packages.contains(package));
-    if !paired {
-        return Err(MigrationError::NotPaired);
-    }
-
-    let app = h
-        .apps
-        .get(package)
-        .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
-
-    if app.is_multi_process() {
-        return Err(MigrationError::MultiProcess {
-            processes: app.pids().len(),
-        });
-    }
-    if app.gl.any_preserved() {
-        return Err(MigrationError::PreservedEglContext);
-    }
-    if app.in_content_provider_call {
-        return Err(MigrationError::ContentProviderActive);
-    }
-    if app.min_api > g.profile.api_level {
-        return Err(MigrationError::ApiLevelIncompatible {
-            required: app.min_api,
-            guest: g.profile.api_level,
-        });
-    }
-
-    // Open common SD-card files (outside the app-specific directory).
-    let proc = h
-        .kernel
-        .process(app.main_pid)
-        .map_err(|e| MigrationError::Internal(e.to_string()))?;
-    let app_sd_prefix = format!("/sdcard/Android/data/{package}");
-    for (_, kind) in proc.fds.iter() {
-        if let FdKind::File { path, .. } = kind {
-            if path.starts_with("/sdcard/") && !path.starts_with(&app_sd_prefix) {
-                return Err(MigrationError::CommonSdCardFile { path: path.clone() });
-            }
-        }
-    }
-
-    // Non-system Binder connections.
-    let saved = flux_binder::state::capture(&h.kernel.binder, app.main_pid)
-        .map_err(|e| MigrationError::Internal(e.to_string()))?;
-    if let Some(handle) = saved.first_non_system() {
-        return Err(MigrationError::NonSystemBinder {
-            description: format!("{:?}", handle.target),
-        });
-    }
-    Ok(())
-}
-
-/// Immutable facts about the migration, gathered once up front.
-struct MigCtx {
-    home: DeviceId,
-    guest: DeviceId,
-    package: String,
-    home_name: String,
-    guest_name: String,
-    home_profile: DeviceProfile,
-    guest_profile: DeviceProfile,
-    home_cost: CostModel,
-    guest_cost: CostModel,
-    spec: AppSpec,
-    /// Where partially transferred image chunks are staged on the guest.
-    staged_path: String,
-    /// Where pre-copy-streamed pages accumulate on the guest.
-    precopy_path: String,
-    /// Root of the guest-side pairing directory (cache lives under it).
-    pairing_root: String,
-    /// Telemetry lane of the home device.
-    home_lane: LaneId,
-    /// Telemetry lane of the guest device.
-    guest_lane: LaneId,
-    /// Feature switches for this migration.
-    cfg: MigrationConfig,
-}
-
-/// Mutable progress carried across attempts: completed stages are not
-/// redone, delivered chunks are not re-sent.
-#[derive(Default)]
-struct Progress {
-    precopy_done: bool,
-    /// The last pre-dump fully streamed to the guest; the final image
-    /// ships only its [`ProcessImage::dirty_delta`] against this.
-    precopy_base: Option<ProcessImage>,
-    precopy_streamed: ByteSize,
-    prep_done: bool,
-    image: Option<FluxImage>,
-    /// Compressed bytes the transfer stage must still ship (set once the
-    /// checkpoint exists when pre-copy and/or the cache reduced the
-    /// payload; `None` means the full compressed image).
-    image_to_ship: Option<ByteSize>,
-    cache_checked: bool,
-    cache_hit: ByteSize,
-    /// Cache misses to insert into the guest cache once delivered.
-    cache_missed: Vec<image_cache::CacheChunk>,
-    /// Compression cost deferred by the pipeline from the checkpoint
-    /// stage into the transfer stage's fused window.
-    compress_pending: SimDuration,
-    delivered_chunks: usize,
-    transfer_done: bool,
-    data_delta: ByteSize,
-    restore_done: bool,
-    dropped_connections: Vec<String>,
-    guest_inserted: bool,
-    times: StageTimes,
-    attempts: u32,
-    faults: u32,
-    backoff: SimDuration,
-}
-
-/// How one attempt's stage failed.
-enum StageFailure {
-    /// An injected fault; the stage can be retried.
-    Fault {
-        stage: MigrationStage,
-        detail: String,
-    },
-    /// An unrecoverable error; roll back and surface it.
-    Fatal(FluxError),
-}
-
-impl From<FluxError> for StageFailure {
-    fn from(e: FluxError) -> Self {
-        StageFailure::Fatal(e)
-    }
-}
-
-impl From<WorldError> for StageFailure {
-    fn from(e: WorldError) -> Self {
-        StageFailure::Fatal(e.into())
-    }
-}
-
-impl From<MigrationError> for StageFailure {
-    fn from(e: MigrationError) -> Self {
-        StageFailure::Fatal(e.into())
-    }
-}
-
-/// Migrates `package` from `home` to `guest` under the default
-/// [`RetryPolicy`].
-///
-/// In the UI this is the two-finger vertical swipe of Figure 1; here it is
-/// the full §3.1 life cycle. On success the app is gone from the home
-/// device (its icon remains conceptually; the spec stays installed) and
-/// runs on the guest with the same PID, Binder handles, notifications,
-/// alarms and sensor channels it had at home. On failure the world rolls
-/// back to the pre-migration state and the error says why.
-pub fn migrate(
-    world: &mut FluxWorld,
-    home: DeviceId,
-    guest: DeviceId,
-    package: &str,
-) -> Result<MigrationReport, FluxError> {
-    migrate_with(world, home, guest, package, &RetryPolicy::default())
-}
-
-/// [`migrate`] with an explicit retry policy.
-pub fn migrate_with(
-    world: &mut FluxWorld,
-    home: DeviceId,
-    guest: DeviceId,
-    package: &str,
-    policy: &RetryPolicy,
-) -> Result<MigrationReport, FluxError> {
-    let cfg = MigrationConfig {
-        retry: *policy,
-        ..MigrationConfig::default()
-    };
-    migrate_configured(world, home, guest, package, &cfg)
-}
-
-/// [`migrate`] with explicit feature switches: pre-copy, pipelined stage
-/// overlap and the content-addressed image cache are all opt-in here.
-pub fn migrate_configured(
-    world: &mut FluxWorld,
-    home: DeviceId,
-    guest: DeviceId,
-    package: &str,
-    cfg: &MigrationConfig,
-) -> Result<MigrationReport, FluxError> {
-    let policy = &cfg.retry;
-    preflight(world, home, guest, package)?;
-
-    let pairing_root = world
-        .device(guest)?
-        .pairings
-        .get(&home.0)
-        .map(|p| p.root.clone())
-        .ok_or(MigrationError::NotPaired)?;
-    let ctx = MigCtx {
-        home,
-        guest,
-        package: package.to_owned(),
-        home_name: world.device(home)?.name.clone(),
-        guest_name: world.device(guest)?.name.clone(),
-        home_profile: world.device(home)?.profile.clone(),
-        guest_profile: world.device(guest)?.profile.clone(),
-        home_cost: world.device(home)?.cost.clone(),
-        guest_cost: world.device(guest)?.cost.clone(),
-        spec: world
-            .device(home)?
-            .specs
-            .get(package)
-            .cloned()
-            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?,
-        staged_path: format!("{pairing_root}/.migrate/{package}.image"),
-        precopy_path: format!("{pairing_root}/.migrate/{package}.precopy"),
-        pairing_root,
-        home_lane: world.device(home)?.lane,
-        guest_lane: world.device(guest)?.lane,
-        cfg: *cfg,
-    };
-    let plan = world.fault_plan.clone();
-    let mut prog = Progress::default();
-
-    let mig_span = world
-        .telemetry
-        .enter(LaneId::WORLD, "migration", world.clock.now());
-    // Settles abandoned device-lane stage spans (from `?` early returns)
-    // and accounts the migration-level counters on a terminal path.
-    let settle = |world: &mut FluxWorld, prog: &Progress| {
-        let now = world.clock.now();
-        world.telemetry.finish_lane(ctx.home_lane, now);
-        world.telemetry.finish_lane(ctx.guest_lane, now);
-        world
-            .telemetry
-            .counter_add("flux.migration.attempts", u64::from(prog.attempts));
-        world
-            .telemetry
-            .counter_add("flux.migration.faults", u64::from(prog.faults));
-        world.telemetry.exit(mig_span, now);
-    };
-
-    loop {
-        prog.attempts += 1;
-        match run_attempt(world, &ctx, &plan, &mut prog) {
-            Ok((replay, redrawn)) => {
-                settle(world, &prog);
-                return finalise(world, &ctx, prog, replay, redrawn);
-            }
-            Err(StageFailure::Fatal(e)) => {
-                if let Err(re) = rollback(world, &ctx, &mut prog) {
-                    settle(world, &prog);
-                    return Err(re);
-                }
-                settle(world, &prog);
-                return Err(e);
-            }
-            Err(StageFailure::Fault { stage, detail }) => {
-                prog.faults += 1;
-                let now = world.clock.now();
-                world.telemetry.emit_kind(
-                    now,
-                    TraceKind::Fault,
-                    "migration.fault",
-                    format!("{stage}: {detail}"),
-                );
-                if prog.attempts >= policy.max_attempts {
-                    let attempts = prog.attempts;
-                    if let Err(re) = rollback(world, &ctx, &mut prog) {
-                        settle(world, &prog);
-                        return Err(re);
-                    }
-                    settle(world, &prog);
-                    return Err(MigrationError::FaultAborted {
-                        stage,
-                        attempts,
-                        detail,
-                    }
-                    .into());
-                }
-                let backoff = policy.backoff_after(prog.attempts);
-                let backoff_span =
-                    world
-                        .telemetry
-                        .enter(LaneId::WORLD, "migration.backoff", world.clock.now());
-                world.clock.charge(backoff);
-                world.telemetry.exit(backoff_span, world.clock.now());
-                prog.backoff += backoff;
-                world.telemetry.counter_add("flux.migration.retries", 1);
-                world.telemetry.emit_kind(
-                    world.clock.now(),
-                    TraceKind::Retry,
-                    "migration.retry",
-                    format!(
-                        "attempt {} of {} resumes at {stage} after {backoff} backoff",
-                        prog.attempts + 1,
-                        policy.max_attempts
-                    ),
-                );
-            }
-        }
-    }
-}
-
-/// Runs one attempt, resuming from the first incomplete stage. Returns the
-/// reintegration outputs on success.
-fn run_attempt(
-    world: &mut FluxWorld,
-    ctx: &MigCtx,
-    plan: &FaultPlan,
-    prog: &mut Progress,
-) -> Result<(ReplayStats, usize), StageFailure> {
-    let package = ctx.package.as_str();
-
-    // ---- Stage 0: pre-copy (home device, app still foreground) ----------
-    if ctx.cfg.precopy && !prog.precopy_done {
-        run_precopy(world, ctx, plan, prog)?;
-        prog.precopy_done = true;
-    }
-
-    // ---- Stage 1: preparation (home device) -----------------------------
-    if !prog.prep_done {
-        let t0 = world.clock.now();
-        let span = world
-            .telemetry
-            .enter(ctx.home_lane, "migration.stage.preparation", t0);
-        {
-            let now = world.clock.now();
-            let dev = world.device_mut(ctx.home)?;
-            let mut app = dev
-                .apps
-                .remove(package)
-                .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
-            let prep = (|| -> Result<(), MigrationError> {
-                move_to_background(&mut app, &mut dev.kernel, &mut dev.host, now)
-                    .map_err(|e| MigrationError::Internal(e.to_string()))?;
-                let stats = handle_trim_memory(&mut app, &mut dev.kernel, &mut dev.host, now)
-                    .map_err(|e| MigrationError::Internal(e.to_string()))?;
-                egl_unload(&mut app, &mut dev.kernel)
-                    .map_err(|_| MigrationError::PreservedEglContext)?;
-                let _ = stats;
-                Ok(())
-            })();
-            dev.apps.insert(package.to_owned(), app);
-            prep?;
-            // The unoptimised prototype waits for the task idler (§4).
-            let idle = dev.cost.background_idle_latency;
-            let teardown = SimDuration::from_nanos(
-                dev.cost.gl_teardown_ns_per_resource * (ctx.spec.gl_contexts as u64 + 2),
+    #[test]
+    fn stage_names_match_the_declared_engine_stages() {
+        // Every report stage must be implemented by an engine stage of the
+        // same wire name, so spans/metrics derived from either agree.
+        let engine_names: Vec<&str> = crate::engine::STAGES.iter().map(|s| s.name()).collect();
+        for stage in MigrationStage::ALL {
+            assert!(
+                engine_names.contains(&stage.name()),
+                "report stage {stage} has no engine stage"
             );
-            let binder = dev.cost.binder_transaction * 4;
-            world.clock.charge(idle + teardown + binder);
+            assert_eq!(stage.to_string(), stage.name());
         }
-        let now = world.clock.now();
-        prog.times.preparation += now - t0;
-        world.telemetry.exit(span, now);
-        prog.prep_done = true;
+        // And the telemetry crate's declared report-stage list is the same
+        // five names in the same order.
+        assert_eq!(
+            flux_telemetry::REPORT_STAGES.to_vec(),
+            MigrationStage::ALL.map(|s| s.name()).to_vec()
+        );
     }
 
-    // ---- Stage 2: checkpoint (home device) ------------------------------
-    if prog.image.is_none() {
-        let t1 = world.clock.now();
-        let span = world
-            .telemetry
-            .enter(ctx.home_lane, "migration.stage.checkpoint", t1);
-        let image = {
-            let now = world.clock.now();
-            let dev = world.device_mut(ctx.home)?;
-            let app = dev
-                .apps
-                .get(package)
-                .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
-            let uid = app.uid;
-            let main_pid = app.main_pid;
-            let process = criu::checkpoint(&dev.kernel, main_pid, now)
-                .map_err(|e| MigrationError::Internal(e.to_string()))?;
-            // The log is *cloned* here and only removed from the home
-            // device at finalise, so rollback leaves it untouched.
-            let log: CallLog = dev.records.log(uid).cloned().unwrap_or_default();
-            FluxImage {
-                package: package.to_owned(),
-                home_device: ctx.home_name.clone(),
-                home_profile: ctx.home_profile.clone(),
-                reinit: ReinitSpec {
-                    textures: ByteSize::from_mib_f64(ctx.spec.textures_mib),
-                    gl_contexts: ctx.spec.gl_contexts,
-                    views: ctx.spec.views,
-                    heap: ByteSize::from_mib_f64(ctx.spec.heap_mib),
-                },
-                process,
-                log,
-            }
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_after(1), SimDuration::from_millis(200));
+        assert_eq!(p.backoff_after(2), SimDuration::from_millis(400));
+        assert_eq!(p.backoff_after(3), SimDuration::from_millis(800));
+        assert_eq!(p.backoff_after(30), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn stage_times_of_reads_the_matching_slot() {
+        let times = StageTimes {
+            preparation: SimDuration::from_millis(1),
+            checkpoint: SimDuration::from_millis(2),
+            transfer: SimDuration::from_millis(3),
+            restore: SimDuration::from_millis(4),
+            reintegration: SimDuration::from_millis(5),
+            ..StageTimes::default()
         };
-        let raw = image.raw_bytes();
-        let objects = image.process.object_count();
-        // With pre-copy coverage the frozen dump writes only the pages
-        // dirtied since the last streamed pre-dump (plus metadata), and
-        // only that residue is compressed and shipped.
-        let ship_raw = match &prog.precopy_base {
-            Some(base) => image.process.dirty_delta(base).total_bytes(),
-            None => raw,
-        };
-        let dump_cost = ctx.home_cost.checkpoint_time(ship_raw, objects);
-        let compress_cost = ctx.home_cost.compress_time(ship_raw);
-        // The pipeline defers compression into the transfer stage's fused
-        // window, where it overlaps the radio on a separate lane.
-        let (cost, deferred) = if ctx.cfg.pipeline {
-            (dump_cost, compress_cost)
-        } else {
-            (dump_cost + compress_cost, SimDuration::ZERO)
-        };
-        let charge_start = world.clock.now();
-        let fail = charge_with_stalls(
-            world,
-            plan,
-            cost,
-            MigrationStage::Checkpoint,
-            ctx.home_lane,
-            prog,
-        );
-        // Attribute the lump charge window to per-driver sub-spans,
-        // whether or not a stall aborted the stage afterwards.
-        record_criu_parts(
-            world,
-            ctx.home_lane,
-            "criu.dump",
-            charge_start,
-            dump_cost,
-            &image.process.component_weights(),
-        );
-        if !ctx.cfg.pipeline {
-            world.telemetry.record_complete(
-                ctx.home_lane,
-                "criu.compress",
-                charge_start + dump_cost,
-                charge_start + cost,
-            );
-        }
-        let now = world.clock.now();
-        prog.times.checkpoint += now - t1;
-        world.telemetry.exit(span, now);
-        if let Some(fail) = fail {
-            return Err(fail);
-        }
-        if let Some(base) = &prog.precopy_base {
-            prog.image_to_ship = Some(
-                image
-                    .process
-                    .dirty_delta(base)
-                    .total_bytes()
-                    .scale(IMAGE_COMPRESS_RATIO)
-                    + image.compressed_log_bytes(),
-            );
-        } else if ctx.cfg.image_cache && !prog.cache_checked {
-            // No pre-copy ran, so the cache is consulted here, over the
-            // full frozen image.
-            let p = {
-                let dev = world.device(ctx.guest)?;
-                image_cache::partition(&dev.fs, &ctx.pairing_root, package, &image.process)
-            };
-            record_cache_counters(world, &p);
-            prog.cache_hit = p.hit_bytes;
-            prog.cache_checked = true;
-            prog.image_to_ship = Some(image.compressed_bytes() - p.hit_bytes);
-            prog.cache_missed = p.missed;
-        }
-        prog.compress_pending = deferred;
-        prog.image = Some(image);
+        let sum: SimDuration = MigrationStage::ALL
+            .iter()
+            .map(|s| times.of(*s))
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert_eq!(sum, times.total());
     }
-
-    // ---- Stage 3: transfer ----------------------------------------------
-    if !prog.transfer_done {
-        let t2 = world.clock.now();
-        let span = world
-            .telemetry
-            .enter(LaneId::WORLD, "migration.stage.transfer", t2);
-        // The verification sync is naturally resumable: files delivered by
-        // an earlier attempt classify as up-to-date and ship zero bytes.
-        let verify = verify_app(world, ctx.home, ctx.guest, package)?;
-        prog.data_delta += verify.bytes_shipped;
-        let ledger = ledger_of(prog);
-        let verify_done = world.clock.now();
-        let radio = if ctx.cfg.pipeline {
-            // Fused window: the compression deferred from the checkpoint
-            // stage proceeds on the CPU lane while chunks already go on
-            // the air; the radio starts once the first chunk exists.
-            // (Deferred compression is not stall-checked — the watchdog
-            // guards the dump, which stays in the checkpoint stage.)
-            let mut pipe = Pipeline::begin(verify_done);
-            let cpu = pipe.lane();
-            let radio_lane = pipe.lane();
-            let compress = prog.compress_pending;
-            let chunk_count = ledger
-                .total()
-                .as_u64()
-                .div_ceil(DEFAULT_CHUNK.as_u64())
-                .max(1);
-            let lead = compress / chunk_count;
-            let (c_start, c_end) = pipe.run(cpu, compress);
-            let radio = world.net.transfer_chunked(
-                verify_done + lead,
-                ledger.total(),
-                DEFAULT_CHUNK,
-                &ctx.home_profile.wifi,
-                &ctx.guest_profile.wifi,
-                prog.delivered_chunks,
-                plan,
-            );
-            pipe.run_after(radio_lane, verify_done + lead, radio.duration);
-            world.clock.advance_to(pipe.end());
-            if compress > SimDuration::ZERO {
-                // The deferred compression stays in the checkpoint stage's
-                // busy accounting, where the serial engine charges it.
-                world
-                    .telemetry
-                    .record_complete(ctx.home_lane, "criu.compress", c_start, c_end);
-                prog.times.checkpoint += compress;
-                prog.compress_pending = SimDuration::ZERO;
-            }
-            prog.times.overlap_saved += pipe.overlap_saved();
-            radio
-        } else {
-            let radio = world.net.transfer_chunked(
-                verify_done,
-                ledger.total(),
-                DEFAULT_CHUNK,
-                &ctx.home_profile.wifi,
-                &ctx.guest_profile.wifi,
-                prog.delivered_chunks,
-                plan,
-            );
-            world.clock.charge(radio.duration);
-            radio
-        };
-        prog.delivered_chunks = radio.delivered_chunks;
-        for chunk in &radio.chunks {
-            world.telemetry.instant(
-                LaneId::WORLD,
-                TraceKind::Generic,
-                "net.chunk",
-                chunk.at,
-                format!(
-                    "{} in {}{}",
-                    chunk.bytes,
-                    chunk.duration,
-                    if chunk.congested { " (congested)" } else { "" }
-                ),
-            );
-        }
-        // The flux.net.* counters accumulate per-attempt figures, so over a
-        // resumed transfer they sum to the payload exactly once.
-        world
-            .telemetry
-            .counter_add("flux.net.bytes_transferred", radio.bytes_delivered.as_u64());
-        world
-            .telemetry
-            .counter_add("flux.net.chunks_delivered", radio.attempt_chunks() as u64);
-        if radio.resumed_chunks > 0 {
-            world
-                .telemetry
-                .counter_add("flux.net.chunks_resumed", radio.resumed_chunks as u64);
-        }
-        world
-            .telemetry
-            .counter_add("flux.net.chunks_congested", radio.congested_chunks as u64);
-        world
-            .telemetry
-            .gauge_set("flux.net.goodput_mbps", radio.goodput_mbps);
-        // Each congested chunk is one fault event that hit this migration.
-        prog.faults += radio.congested_chunks as u32;
-        if radio.congested_chunks > 0 {
-            world.telemetry.emit_kind(
-                world.clock.now(),
-                TraceKind::Fault,
-                "net.fault",
-                format!(
-                    "congestion stretched {} of the {} chunks sent this attempt",
-                    radio.congested_chunks,
-                    radio.attempt_chunks()
-                ),
-            );
-        }
-        // Stage what the guest acknowledged so a retry resumes instead of
-        // starting over.
-        stage_chunks(world, ctx, prog)?;
-        let now = world.clock.now();
-        prog.times.transfer += if ctx.cfg.pipeline {
-            // Busy accounting: the air time the radio occupied, not the
-            // fused window's wall span — the hidden part is what
-            // `overlap_saved` carries.
-            verify_done.since(t2) + radio.duration
-        } else {
-            now - t2
-        };
-        world.telemetry.exit(span, now);
-        match radio.outcome {
-            ChunkedOutcome::Complete => {
-                prog.transfer_done = true;
-                // Chunks the cache lacked are now on the guest: remember
-                // them for the next migration of this package.
-                if !prog.cache_missed.is_empty() {
-                    let missed = std::mem::take(&mut prog.cache_missed);
-                    let inserted = {
-                        let dev = world.device_mut(ctx.guest)?;
-                        image_cache::insert(&mut dev.fs, &ctx.pairing_root, package, &missed)
-                    };
-                    if inserted > 0 {
-                        world
-                            .telemetry
-                            .counter_add("flux.cache.insertions", inserted as u64);
-                    }
-                }
-            }
-            ChunkedOutcome::LinkDropped { at } => {
-                return Err(StageFailure::Fault {
-                    stage: MigrationStage::Transfer,
-                    detail: format!(
-                        "link dropped at {at} with {}/{} chunks delivered",
-                        radio.delivered_chunks, radio.total_chunks
-                    ),
-                });
-            }
-        }
-    }
-
-    // ---- Stage 4: restore (guest device) --------------------------------
-    let image = prog.image.as_ref().expect("checkpoint completed").clone();
-    if !prog.restore_done {
-        let t3 = world.clock.now();
-        let span = world
-            .telemetry
-            .enter(ctx.guest_lane, "migration.stage.restore", t3);
-        let (restored, guest_uid) = {
-            let dev = world.device_mut(ctx.guest)?;
-            let pairing_root = dev
-                .pairings
-                .get(&ctx.home.0)
-                .map(|p| p.root.clone())
-                .ok_or(MigrationError::NotPaired)?;
-            let guest_uid = dev
-                .host
-                .service::<PackageManagerService>("package")
-                .and_then(|pm| pm.package(package).map(|r| r.uid))
-                .ok_or(MigrationError::NotPaired)?;
-            let ns = dev.kernel.namespaces.create();
-            let restored = criu::restore(
-                &mut dev.kernel,
-                &image.process,
-                &RestoreOptions {
-                    namespace: ns,
-                    uid: guest_uid,
-                    jail_root: pairing_root,
-                },
-            )
-            .map_err(|e| MigrationError::Internal(e.to_string()))?;
-            (restored, guest_uid)
-        };
-
-        // Rebuild the app-side framework object around the restored process.
-        {
-            let dev = world.device_mut(ctx.guest)?;
-            let heap_vma = dev.kernel.process(restored.real_pid).ok().and_then(|p| {
-                p.mem
-                    .vmas()
-                    .iter()
-                    .filter(|v| matches!(v.kind, VmaKind::Anon))
-                    .max_by_key(|v| v.len.as_u64())
-                    .map(|v| v.id)
-            });
-            let app = App {
-                package: package.to_owned(),
-                uid: guest_uid,
-                main_pid: restored.real_pid,
-                extra_pids: Vec::new(),
-                activities: vec![flux_appfw::Activity {
-                    name: ".MainActivity".into(),
-                    state: flux_appfw::ActivityState::Stopped,
-                    window_token: format!("{package}/.MainActivity"),
-                }],
-                view_root: {
-                    let mut vr = flux_appfw::ViewRoot::build(
-                        image.reinit.views,
-                        (
-                            ctx.home_profile.screen.width,
-                            ctx.home_profile.screen.height,
-                        ),
-                    );
-                    vr.terminate_hardware_resources();
-                    vr.invalidate_all();
-                    vr
-                },
-                gl: flux_appfw::GlState::default(),
-                dalvik: flux_appfw::Dalvik {
-                    heap_vma,
-                    heap_size: image.reinit.heap,
-                    code_cache_vma: None,
-                },
-                handles: BTreeMap::new(),
-                inbox: Vec::new(),
-                data_dir: format!("/data/data/{package}"),
-                min_api: ctx.spec.min_api,
-                in_content_provider_call: false,
-            };
-            dev.apps.insert(package.to_owned(), app);
-        }
-        prog.guest_inserted = true;
-        prog.dropped_connections = restored.dropped_connections.clone();
-
-        let raw = image.raw_bytes();
-        let decompress_cost = ctx.guest_cost.decompress_time(image.compressed_bytes());
-        let undump_cost = ctx
-            .guest_cost
-            .restore_time(raw, image.process.object_count());
-        let cost = decompress_cost + undump_cost;
-        let charge_start = world.clock.now();
-        let fail = charge_with_stalls(
-            world,
-            plan,
-            cost,
-            MigrationStage::Restore,
-            ctx.guest_lane,
-            prog,
-        );
-        world.telemetry.record_complete(
-            ctx.guest_lane,
-            "criu.decompress",
-            charge_start,
-            charge_start + decompress_cost,
-        );
-        record_criu_parts(
-            world,
-            ctx.guest_lane,
-            "criu.undump",
-            charge_start + decompress_cost,
-            undump_cost,
-            &image.process.component_weights(),
-        );
-        if let Some(fail) = fail {
-            // The watchdog killed the half-restored wrapper: tear the
-            // partial guest state down before the retry re-restores it.
-            teardown_guest(world, ctx, prog, false)?;
-            let now = world.clock.now();
-            prog.times.restore += now - t3;
-            world.telemetry.exit(span, now);
-            return Err(fail);
-        }
-        // The staged chunks have been consumed into the restored process.
-        remove_staged_chunks(world, ctx)?;
-        prog.restore_done = true;
-        let now = world.clock.now();
-        prog.times.restore += now - t3;
-        world.telemetry.exit(span, now);
-    }
-
-    // ---- Stage 5: reintegration (guest device) --------------------------
-    let t4 = world.clock.now();
-    let reint_span = world
-        .telemetry
-        .enter(ctx.guest_lane, "migration.stage.reintegration", t4);
-    let replay = replay_log(
-        world,
-        ctx.guest,
-        package,
-        &image.log,
-        image.process.checkpoint_time,
-        &ctx.home_profile,
-    )?;
-    world
-        .clock
-        .charge(ctx.guest_cost.replay_time(image.log.len() as u64));
-
-    // Connectivity interruption: lost, then regained on the guest (§3.1).
-    broadcast_connectivity(world, ctx.guest, false)?;
-    broadcast_connectivity(world, ctx.guest, true)?;
-
-    // Conditional re-initialisation at the guest's resolution.
-    let redrawn = {
-        let now = world.clock.now();
-        let dev = world.device_mut(ctx.guest)?;
-        let vendor = dev.profile.gpu.vendor_lib.clone();
-        let mut app = dev
-            .apps
-            .remove(package)
-            .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
-        let redrawn = conditional_reinit(
-            &mut app,
-            &mut dev.kernel,
-            &mut dev.host,
-            now,
-            &vendor,
-            image.reinit.textures,
-            image.reinit.gl_contexts,
-        )
-        .map_err(|e| MigrationError::Internal(e.to_string()))?;
-        dev.apps.insert(package.to_owned(), app);
-        redrawn
-    };
-    world.clock.charge(SimDuration::from_nanos(
-        ctx.guest_cost.view_reinit_ns_per_view * redrawn as u64,
-    ));
-    let now = world.clock.now();
-    prog.times.reintegration += now - t4;
-    world.telemetry.exit(reint_span, now);
-    Ok((replay, redrawn))
-}
-
-/// The iterative pre-copy loop (stage 0): pre-dump the still-running app,
-/// stream the pages over the radio, repeat on what was dirtied meanwhile,
-/// until the residue is small or the round budget runs out. The final
-/// frozen checkpoint then ships only the [`ProcessImage::dirty_delta`]
-/// against the last streamed pre-dump.
-///
-/// Pre-copy is best effort: a link drop abandons further rounds rather
-/// than failing the migration — coverage simply stays at the last fully
-/// streamed round (possibly none), and the freeze ships the rest.
-fn run_precopy(
-    world: &mut FluxWorld,
-    ctx: &MigCtx,
-    plan: &FaultPlan,
-    prog: &mut Progress,
-) -> Result<(), StageFailure> {
-    let package = ctx.package.as_str();
-    let t0 = world.clock.now();
-    let span = world
-        .telemetry
-        .enter(ctx.home_lane, "migration.precopy", t0);
-    let mut rounds = 0u32;
-    for round in 1..=PRECOPY_MAX_ROUNDS {
-        let round_start = world.clock.now();
-        // Pre-dump the running process — no freeze, device state skipped.
-        let pre = {
-            let dev = world.device(ctx.home)?;
-            let app = dev
-                .apps
-                .get(package)
-                .ok_or_else(|| MigrationError::NoSuchApp(package.to_owned()))?;
-            criu::predump(&dev.kernel, app.main_pid, round_start)
-                .map_err(|e| MigrationError::Internal(e.to_string()))?
-        };
-        // This round streams what earlier rounds have not covered.
-        let round_payload = match &prog.precopy_base {
-            None => pre.payload_bytes(),
-            Some(base) => pre.dirty_delta(base).payload_bytes(),
-        };
-        if prog.precopy_base.is_some() && round_payload <= PRECOPY_STOP {
-            break; // Residue small enough: freeze and ship it.
-        }
-        let mut stream = round_payload.scale(IMAGE_COMPRESS_RATIO);
-        // Round 1 covers the bulk of the image; consult the guest's
-        // content-addressed cache so only absent chunks hit the air.
-        if round == 1 && ctx.cfg.image_cache {
-            let p = {
-                let dev = world.device(ctx.guest)?;
-                image_cache::partition(&dev.fs, &ctx.pairing_root, package, &pre)
-            };
-            record_cache_counters(world, &p);
-            prog.cache_hit += p.hit_bytes;
-            prog.cache_checked = true;
-            prog.cache_missed = p.missed;
-            stream = p.miss_bytes;
-        }
-        // CPU: pre-dump and compress the round's pages on the home device.
-        world.clock.charge(
-            ctx.home_cost
-                .checkpoint_time(round_payload, pre.object_count())
-                + ctx.home_cost.compress_time(round_payload),
-        );
-        // Radio: stream the round into the guest's staging area.
-        let now = world.clock.now();
-        let radio = world.net.transfer_chunked(
-            now,
-            stream,
-            DEFAULT_CHUNK,
-            &ctx.home_profile.wifi,
-            &ctx.guest_profile.wifi,
-            0,
-            plan,
-        );
-        world.clock.charge(radio.duration);
-        if !radio.complete() {
-            prog.faults += 1;
-            world.telemetry.emit_kind(
-                world.clock.now(),
-                TraceKind::Fault,
-                "migration.precopy.abandoned",
-                format!(
-                    "link dropped in round {round}; coverage stays at {} streamed round(s)",
-                    rounds
-                ),
-            );
-            break;
-        }
-        prog.precopy_streamed += stream;
-        prog.precopy_base = Some(pre);
-        rounds += 1;
-        // Chunks the cache lacked arrived with this round's stream.
-        if !prog.cache_missed.is_empty() {
-            let missed = std::mem::take(&mut prog.cache_missed);
-            let inserted = {
-                let dev = world.device_mut(ctx.guest)?;
-                image_cache::insert(&mut dev.fs, &ctx.pairing_root, package, &missed)
-            };
-            if inserted > 0 {
-                world
-                    .telemetry
-                    .counter_add("flux.cache.insertions", inserted as u64);
-            }
-        }
-        // Record the streamed coverage on the guest so teardown and the
-        // rollback invariants can see (and clean) it.
-        {
-            let dev = world.device_mut(ctx.guest)?;
-            dev.fs.write(
-                &ctx.precopy_path,
-                flux_fs::Content::new(
-                    prog.precopy_streamed,
-                    fnv(&format!(
-                        "{}-precopy-{}",
-                        ctx.package,
-                        prog.precopy_streamed.as_u64()
-                    )),
-                ),
-            );
-        }
-        let round_end = world.clock.now();
-        world.telemetry.record_complete(
-            ctx.home_lane,
-            &format!("migration.precopy.round{round}"),
-            round_start,
-            round_end,
-        );
-        // The foreground app kept writing while the round streamed.
-        bump_foreground_dirty(world, ctx, round_end - round_start)?;
-    }
-    world
-        .telemetry
-        .counter_add("flux.migration.precopy_rounds", u64::from(rounds));
-    world.telemetry.counter_add(
-        "flux.migration.precopy_bytes",
-        prog.precopy_streamed.as_u64(),
-    );
-    let now = world.clock.now();
-    prog.times.precopy += now - t0;
-    world.telemetry.exit(span, now);
-    Ok(())
-}
-
-/// Models the foreground app dirtying more of its writable working set
-/// over `window` of virtual time (what pre-copy rounds race against).
-fn bump_foreground_dirty(
-    world: &mut FluxWorld,
-    ctx: &MigCtx,
-    window: SimDuration,
-) -> Result<(), StageFailure> {
-    let frac = PRECOPY_DIRTY_FRACTION_PER_SEC * window.as_secs_f64();
-    let dev = world.device_mut(ctx.home)?;
-    let pid = dev
-        .apps
-        .get(ctx.package.as_str())
-        .ok_or_else(|| MigrationError::NoSuchApp(ctx.package.clone()))?
-        .main_pid;
-    let proc = dev
-        .kernel
-        .process_mut(pid)
-        .map_err(|e| MigrationError::Internal(e.to_string()))?;
-    for v in proc.mem.vmas_mut() {
-        if v.kind.needs_page_dump() {
-            v.dirty = (v.dirty + frac).min(1.0);
-        }
-    }
-    Ok(())
-}
-
-/// Accounts a cache partition to the `flux.cache.*` counters.
-fn record_cache_counters(world: &mut FluxWorld, p: &image_cache::CachePartition) {
-    world
-        .telemetry
-        .counter_add("flux.cache.hits", p.hits as u64);
-    world
-        .telemetry
-        .counter_add("flux.cache.misses", p.misses as u64);
-    world
-        .telemetry
-        .counter_add("flux.cache.bytes_saved", p.hit_bytes.as_u64());
-}
-
-/// Splits a lump-charged CRIU window `[start, start + total]` into
-/// per-driver sub-spans (`<prefix>.mem`, `<prefix>.fds`, ...) proportional
-/// to `weights`. Integer arithmetic; the last part absorbs the rounding
-/// remainder so the parts sum exactly to `total`.
-fn record_criu_parts(
-    world: &mut FluxWorld,
-    lane: LaneId,
-    prefix: &str,
-    start: SimTime,
-    total: SimDuration,
-    weights: &[(&'static str, u64)],
-) {
-    if !world.telemetry.is_enabled() || weights.is_empty() {
-        return;
-    }
-    let weight_sum: u64 = weights.iter().map(|(_, w)| *w).sum::<u64>().max(1);
-    let total_ns = total.as_nanos();
-    let mut cursor = start;
-    let mut spent = 0u64;
-    for (i, (name, w)) in weights.iter().enumerate() {
-        let part_ns = if i == weights.len() - 1 {
-            total_ns - spent
-        } else {
-            total_ns * w / weight_sum
-        };
-        spent += part_ns;
-        let end = cursor + SimDuration::from_nanos(part_ns);
-        world
-            .telemetry
-            .record_complete(lane, &format!("{prefix}.{name}"), cursor, end);
-        cursor = end;
-    }
-}
-
-/// Charges `cost` to the clock, plus any kernel stalls scheduled inside
-/// the charge window. Returns a stage failure if a stall trips the
-/// watchdog.
-fn charge_with_stalls(
-    world: &mut FluxWorld,
-    plan: &FaultPlan,
-    cost: SimDuration,
-    stage: MigrationStage,
-    lane: LaneId,
-    prog: &mut Progress,
-) -> Option<StageFailure> {
-    let start = world.clock.now();
-    world.clock.charge(cost);
-    let stalls: Vec<_> = plan.stalls_in(start, start + cost).cloned().collect();
-    let mut abort: Option<SimDuration> = None;
-    for stall in &stalls {
-        world.clock.charge(stall.duration);
-        prog.faults += 1;
-        world.telemetry.instant(
-            lane,
-            TraceKind::Fault,
-            "kernel.fault",
-            world.clock.now(),
-            format!("stall of {} during {stage}", stall.duration),
-        );
-        if stall.duration >= KERNEL_STALL_WATCHDOG && abort.is_none() {
-            abort = Some(stall.duration);
-        }
-    }
-    abort.map(|d| StageFailure::Fault {
-        stage,
-        detail: format!(
-            "kernel stall of {d} tripped the {} watchdog",
-            KERNEL_STALL_WATCHDOG
-        ),
-    })
-}
-
-/// The byte ledger as currently known (image fixed at checkpoint, data
-/// delta accumulated across verification syncs).
-fn ledger_of(prog: &Progress) -> TransferLedger {
-    let image = prog.image.as_ref().expect("ledger needs a checkpoint");
-    TransferLedger {
-        image_raw: image.raw_bytes(),
-        // Pre-copy and the image cache both shrink the frozen-window ship;
-        // `image_to_ship` carries the already-discounted figure.
-        image_compressed: prog
-            .image_to_ship
-            .unwrap_or_else(|| image.compressed_bytes()),
-        log_compressed: image.compressed_log_bytes(),
-        data_delta: prog.data_delta,
-        precopy_streamed: prog.precopy_streamed,
-        cache_hit: prog.cache_hit,
-    }
-}
-
-/// Records the acknowledged chunk prefix in the guest's staging area.
-fn stage_chunks(world: &mut FluxWorld, ctx: &MigCtx, prog: &Progress) -> Result<(), WorldError> {
-    let total = ledger_of(prog).total().as_u64();
-    let staged = (prog.delivered_chunks as u64 * DEFAULT_CHUNK.as_u64()).min(total);
-    let dev = world.device_mut(ctx.guest)?;
-    if staged == 0 {
-        return Ok(());
-    }
-    dev.fs.write(
-        &ctx.staged_path,
-        flux_fs::Content::new(
-            ByteSize::from_bytes(staged),
-            fnv(&format!("{}-image-{staged}", ctx.package)),
-        ),
-    );
-    Ok(())
-}
-
-/// Removes the staged chunk file (consumed by restore, or torn down).
-fn remove_staged_chunks(world: &mut FluxWorld, ctx: &MigCtx) -> Result<(), WorldError> {
-    let dev = world.device_mut(ctx.guest)?;
-    let _ = dev.fs.remove(&ctx.staged_path);
-    let _ = dev.fs.remove(&ctx.precopy_path);
-    Ok(())
-}
-
-/// Tears down partial guest state: the restored wrapper process (and with
-/// it the injected Binder references), the service-side state it may have
-/// accumulated, and — unless `keep_chunks` — the staged image chunks.
-fn teardown_guest(
-    world: &mut FluxWorld,
-    ctx: &MigCtx,
-    prog: &mut Progress,
-    keep_chunks: bool,
-) -> Result<(), WorldError> {
-    let now = world.clock.now();
-    let dev = world.device_mut(ctx.guest)?;
-    if prog.guest_inserted {
-        if let Some(app) = dev.apps.remove(&ctx.package) {
-            let uid = app.uid;
-            let _ = dev.kernel.kill(app.main_pid);
-            let kernel = &mut dev.kernel;
-            dev.host.notify_uid_death(kernel, now, uid);
-        }
-        prog.guest_inserted = false;
-    }
-    if !keep_chunks {
-        let _ = dev.fs.remove(&ctx.staged_path);
-        let _ = dev.fs.remove(&ctx.precopy_path);
-        prog.delivered_chunks = 0;
-    }
-    Ok(())
-}
-
-/// Rolls the world back to its pre-migration state: guest partial state is
-/// torn down and the home-side app returns to the foreground. Invariant
-/// checks verify the outcome; their failure is the only error.
-fn rollback(world: &mut FluxWorld, ctx: &MigCtx, prog: &mut Progress) -> Result<(), FluxError> {
-    let package = ctx.package.as_str();
-    let now = world.clock.now();
-    // Stage spans abandoned by the failing attempt must not swallow the
-    // rollback work into their duration.
-    world.telemetry.finish_lane(ctx.home_lane, now);
-    world.telemetry.finish_lane(ctx.guest_lane, now);
-    let span = world
-        .telemetry
-        .enter(LaneId::WORLD, "migration.rollback", now);
-    world.telemetry.counter_add("flux.migration.rollbacks", 1);
-    world.telemetry.emit_kind(
-        now,
-        TraceKind::Rollback,
-        "migration.rollback",
-        format!(
-            "{package}: tearing down guest state, resuming on {}",
-            ctx.home_name
-        ),
-    );
-
-    teardown_guest(world, ctx, prog, false).map_err(|e| MigrationError::RollbackFailed {
-        reason: e.to_string(),
-    })?;
-
-    // Resume the home-side app to the foreground (the record log was never
-    // removed, so nothing needs to be reinstated there).
-    if prog.prep_done {
-        let now = world.clock.now();
-        let redrawn = {
-            let dev = world
-                .device_mut(ctx.home)
-                .map_err(|e| MigrationError::RollbackFailed {
-                    reason: e.to_string(),
-                })?;
-            let vendor = dev.profile.gpu.vendor_lib.clone();
-            let mut app =
-                dev.apps
-                    .remove(package)
-                    .ok_or_else(|| MigrationError::RollbackFailed {
-                        reason: format!("home app {package} vanished"),
-                    })?;
-            let redrawn = conditional_reinit(
-                &mut app,
-                &mut dev.kernel,
-                &mut dev.host,
-                now,
-                &vendor,
-                ByteSize::from_mib_f64(ctx.spec.textures_mib),
-                ctx.spec.gl_contexts,
-            )
-            .map_err(|e| MigrationError::RollbackFailed {
-                reason: e.to_string(),
-            });
-            dev.apps.insert(package.to_owned(), app);
-            redrawn?
-        };
-        world.clock.charge(SimDuration::from_nanos(
-            ctx.home_cost.view_reinit_ns_per_view * redrawn as u64,
-        ));
-    }
-
-    // Invariant checks: home app foregrounded and running, no guest residue.
-    let home_dev = world
-        .device(ctx.home)
-        .map_err(|e| MigrationError::RollbackFailed {
-            reason: e.to_string(),
-        })?;
-    let app = home_dev
-        .apps
-        .get(package)
-        .ok_or_else(|| MigrationError::RollbackFailed {
-            reason: "home app missing after rollback".into(),
-        })?;
-    if app.top_state() != Some(flux_appfw::ActivityState::Resumed) {
-        return Err(MigrationError::RollbackFailed {
-            reason: format!("home activity not resumed: {:?}", app.top_state()),
-        }
-        .into());
-    }
-    if home_dev.kernel.process(app.main_pid).is_err() {
-        return Err(MigrationError::RollbackFailed {
-            reason: "home process gone after rollback".into(),
-        }
-        .into());
-    }
-    let guest_dev = world
-        .device(ctx.guest)
-        .map_err(|e| MigrationError::RollbackFailed {
-            reason: e.to_string(),
-        })?;
-    if guest_dev.apps.contains_key(package) {
-        return Err(MigrationError::RollbackFailed {
-            reason: "guest still holds the app after rollback".into(),
-        }
-        .into());
-    }
-    if guest_dev.fs.exists(&ctx.staged_path) {
-        return Err(MigrationError::RollbackFailed {
-            reason: "staged chunks leaked on the guest".into(),
-        }
-        .into());
-    }
-    if guest_dev.fs.exists(&ctx.precopy_path) {
-        return Err(MigrationError::RollbackFailed {
-            reason: "pre-copy data leaked on the guest".into(),
-        }
-        .into());
-    }
-    world.telemetry.emit_kind(
-        world.clock.now(),
-        TraceKind::Rollback,
-        "migration.rollback",
-        format!("{package}: home-side invariants verified"),
-    );
-    let now = world.clock.now();
-    world.telemetry.exit(span, now);
-    Ok(())
-}
-
-/// Success epilogue: the app has left the home device; build the report.
-fn finalise(
-    world: &mut FluxWorld,
-    ctx: &MigCtx,
-    prog: Progress,
-    replay: ReplayStats,
-    redrawn: usize,
-) -> Result<MigrationReport, FluxError> {
-    let package = ctx.package.as_str();
-    {
-        let now = world.clock.now();
-        let dev = world.device_mut(ctx.home)?;
-        if let Some(app) = dev.apps.remove(package) {
-            let uid = app.uid;
-            let _ = dev.kernel.kill(app.main_pid);
-            // The record log leaves with the app (it was cloned into the
-            // image at checkpoint and replayed on the guest).
-            let _ = dev.records.take(uid);
-            // Binder death notifications: services drop the app's state
-            // (wakelocks released, alarms cancelled, notifications gone).
-            let kernel = &mut dev.kernel;
-            dev.host.notify_uid_death(kernel, now, uid);
-        }
-    }
-
-    let ledger = ledger_of(&prog);
-    let stages = prog.times;
-    world.telemetry.counter_add("flux.migration.completed", 1);
-    for (stage, d) in [
-        ("preparation", stages.preparation),
-        ("checkpoint", stages.checkpoint),
-        ("transfer", stages.transfer),
-        ("restore", stages.restore),
-        ("reintegration", stages.reintegration),
-    ] {
-        world
-            .telemetry
-            .observe(&format!("flux.migration.stage_ms.{stage}"), d.as_millis());
-    }
-    // Conditional so the serial path's telemetry snapshot stays byte-
-    // identical: `observe` creates the metric key even at zero.
-    if stages.precopy > SimDuration::ZERO {
-        world.telemetry.observe(
-            "flux.migration.stage_ms.precopy",
-            stages.precopy.as_millis(),
-        );
-    }
-    if stages.overlap_saved > SimDuration::ZERO {
-        world.telemetry.observe(
-            "flux.migration.overlap_saved_ms",
-            stages.overlap_saved.as_millis(),
-        );
-    }
-    world.telemetry.emit(
-        world.clock.now(),
-        "migration.complete",
-        format!(
-            "{package}: {} -> {} in {} ({} over the air)",
-            ctx.home_name,
-            ctx.guest_name,
-            stages.total(),
-            ledger.total()
-        ),
-    );
-    Ok(MigrationReport {
-        package: package.to_owned(),
-        from: ctx.home_name.clone(),
-        to: ctx.guest_name.clone(),
-        stages,
-        ledger,
-        replay,
-        dropped_connections: prog.dropped_connections,
-        redrawn_views: redrawn,
-        attempts: prog.attempts,
-        faults: prog.faults,
-        backoff: prog.backoff,
-    })
-}
-
-/// Delivers a connectivity-change broadcast on `device`, flipping the
-/// ConnectivityManager's active-network state.
-pub fn broadcast_connectivity(
-    world: &mut FluxWorld,
-    device: DeviceId,
-    connected: bool,
-) -> Result<(), FluxError> {
-    let now = world.clock.now();
-    let dev = world.device_mut(device)?;
-    if let Some(conn) = dev
-        .host
-        .service_mut::<ConnectivityManagerService>("connectivity")
-    {
-        conn.set_connected(connected);
-    }
-    let intent = Intent::new(ACTION_CONNECTIVITY_CHANGE)
-        .with_extra("noConnectivity", if connected { "false" } else { "true" });
-    let deliveries = dev
-        .host
-        .with_service_ctx(&mut dev.kernel, now, "activity", |svc, ctx| {
-            let ams = svc
-                .as_any_mut()
-                .downcast_mut::<ActivityManagerService>()
-                .expect("activity service type");
-            ams.broadcast(ctx, &intent)
-        })
-        .map(|(_, d)| d)
-        .unwrap_or_default();
-    world.route_deliveries(device, deliveries)?;
-    // One Binder transaction per broadcast leg.
-    let binder = world.device(device)?.cost.binder_transaction;
-    world.clock.charge(binder);
-    Ok(())
 }

@@ -34,7 +34,7 @@ pub mod wire;
 pub use cost::CostModel;
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use ids::{Pid, Uid};
-pub use pipeline::{PipeLane, Pipeline, Timeline};
+pub use pipeline::{FusedLanes, PipeLane, Pipeline, Timeline};
 pub use rng::SimRng;
 pub use size::ByteSize;
 pub use time::{SimClock, SimDuration, SimTime};

@@ -119,6 +119,83 @@ impl Pipeline {
     }
 }
 
+/// The fused CPU/radio window a pipelined migration stage schedules on:
+/// deferred CPU work (checkpoint compression) overlapping an in-order
+/// radio flow that may only start once the first of `items` equal outputs
+/// exists — a `cpu_work / items` lead after the window opens.
+///
+/// This is the lane arithmetic the transfer stage feeds its chunked radio
+/// flow through; keeping it here makes the
+/// overlap model a scheduler *input* rather than ad-hoc code at the call
+/// site, and keeps it byte-identical across callers.
+///
+/// # Examples
+///
+/// ```
+/// use flux_simcore::pipeline::FusedLanes;
+/// use flux_simcore::{SimDuration, SimTime};
+///
+/// // 4s of compression into 4 chunks: the radio may start after 1s.
+/// let mut w = FusedLanes::begin(SimTime::ZERO, SimDuration::from_secs(4), 4);
+/// assert_eq!(w.radio_ready(), SimTime::from_secs(1));
+/// w.run_radio(SimDuration::from_secs(6));
+/// assert_eq!(w.end(), SimTime::from_secs(7));
+/// assert_eq!(w.overlap_saved(), SimDuration::from_secs(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusedLanes {
+    pipe: Pipeline,
+    radio: PipeLane,
+    radio_ready: SimTime,
+    cpu_window: (SimTime, SimTime),
+}
+
+impl FusedLanes {
+    /// Opens the window at `start`: `cpu_work` charges the CPU lane from
+    /// `start`, and the radio becomes ready one item's worth of CPU time
+    /// later (`start + cpu_work / max(items, 1)`).
+    pub fn begin(start: SimTime, cpu_work: SimDuration, items: u64) -> Self {
+        let mut pipe = Pipeline::begin(start);
+        let cpu = pipe.lane();
+        let radio = pipe.lane();
+        let lead = cpu_work / items.max(1);
+        let cpu_window = pipe.run(cpu, cpu_work);
+        Self {
+            pipe,
+            radio,
+            radio_ready: start + lead,
+            cpu_window,
+        }
+    }
+
+    /// The instant the radio flow may begin (first output available).
+    pub fn radio_ready(&self) -> SimTime {
+        self.radio_ready
+    }
+
+    /// Charges the radio flow's air time to the radio lane, starting no
+    /// earlier than [`radio_ready`](Self::radio_ready).
+    pub fn run_radio(&mut self, work: SimDuration) {
+        self.pipe.run_after(self.radio, self.radio_ready, work);
+    }
+
+    /// The `(start, end)` window the CPU work occupied — what the caller
+    /// records its compression span over.
+    pub fn cpu_window(&self) -> (SimTime, SimTime) {
+        self.cpu_window
+    }
+
+    /// The instant both lanes have drained; advance the clock here.
+    pub fn end(&self) -> SimTime {
+        self.pipe.end()
+    }
+
+    /// Latency the CPU/radio overlap hid (see [`Pipeline::overlap_saved`]).
+    pub fn overlap_saved(&self) -> SimDuration {
+        self.pipe.overlap_saved()
+    }
+}
+
 /// A deterministic discrete-event queue over virtual time.
 ///
 /// [`Pipeline`] handles a *fixed* set of lanes whose work is scheduled
@@ -260,6 +337,37 @@ mod tests {
         assert_eq!(p.end(), SimTime::from_secs(7));
         assert_eq!(p.wall(), SimDuration::ZERO);
         assert_eq!(p.overlap_saved(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fused_lanes_match_a_hand_built_pipeline() {
+        let start = SimTime::from_secs(10);
+        let cpu_work = SimDuration::from_millis(4000);
+        let air = SimDuration::from_millis(9000);
+        let items = 7u64;
+
+        let mut manual = Pipeline::begin(start);
+        let cpu = manual.lane();
+        let radio = manual.lane();
+        let lead = cpu_work / items;
+        let cpu_window = manual.run(cpu, cpu_work);
+        manual.run_after(radio, start + lead, air);
+
+        let mut fused = FusedLanes::begin(start, cpu_work, items);
+        assert_eq!(fused.radio_ready(), start + lead);
+        assert_eq!(fused.cpu_window(), cpu_window);
+        fused.run_radio(air);
+        assert_eq!(fused.end(), manual.end());
+        assert_eq!(fused.overlap_saved(), manual.overlap_saved());
+    }
+
+    #[test]
+    fn fused_lanes_with_no_cpu_work_add_no_lead_and_no_overlap() {
+        let mut w = FusedLanes::begin(SimTime::from_secs(3), SimDuration::ZERO, 0);
+        assert_eq!(w.radio_ready(), SimTime::from_secs(3));
+        w.run_radio(SimDuration::from_secs(2));
+        assert_eq!(w.end(), SimTime::from_secs(5));
+        assert_eq!(w.overlap_saved(), SimDuration::ZERO);
     }
 
     #[test]

@@ -13,6 +13,34 @@ use crate::Telemetry;
 use flux_simcore::{SimDuration, TraceKind};
 use std::fmt::Write as _;
 
+/// Span-name prefix shared by every migration stage span. The suffix is
+/// the engine's declared stage name (`Stage::name()` in `flux-core`), so
+/// span names are derived, never hand-written per call site.
+pub const STAGE_SPAN_PREFIX: &str = "migration.stage.";
+
+/// The stage names that carry a slot in the migration report, in pipeline
+/// order. [`STAGE_SPANS`] is exactly this list run through
+/// [`stage_span_name`]; a unit test pins the correspondence.
+pub const REPORT_STAGES: [&str; 5] = [
+    "preparation",
+    "checkpoint",
+    "transfer",
+    "restore",
+    "reintegration",
+];
+
+/// The span name a stage named `stage` records under:
+/// `migration.stage.<stage>`.
+pub fn stage_span_name(stage: &str) -> String {
+    format!("{STAGE_SPAN_PREFIX}{stage}")
+}
+
+/// The histogram metric a stage's busy milliseconds are observed under:
+/// `flux.migration.stage_ms.<stage>`.
+pub fn stage_metric_name(stage: &str) -> String {
+    format!("flux.migration.stage_ms.{stage}")
+}
+
 /// The canonical stage-span names the migration pipeline emits, in
 /// pipeline order. [`MigrationProfile`] aggregates over exactly these.
 pub const STAGE_SPANS: [&str; 5] = [
@@ -379,5 +407,17 @@ mod tests {
         let mut tele = Telemetry::new();
         tele.emit(SimTime::from_millis(1), "net.chunk", "chunk 0");
         assert_eq!(tele.instants()[0].lane, LaneId::WORLD);
+    }
+
+    #[test]
+    fn stage_spans_derive_from_the_report_stage_names() {
+        for (span, stage) in STAGE_SPANS.iter().zip(REPORT_STAGES) {
+            assert_eq!(*span, stage_span_name(stage));
+            assert_eq!(span.strip_prefix(STAGE_SPAN_PREFIX), Some(stage));
+            assert_eq!(
+                stage_metric_name(stage),
+                format!("flux.migration.stage_ms.{stage}")
+            );
+        }
     }
 }

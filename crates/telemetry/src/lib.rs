@@ -49,7 +49,10 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 
-pub use export::{chrome_trace, json_snapshot, MigrationProfile};
+pub use export::{
+    chrome_trace, json_snapshot, stage_metric_name, stage_span_name, MigrationProfile,
+    REPORT_STAGES, STAGE_SPAN_PREFIX,
+};
 pub use metrics::{Histogram, Metric, MetricsRegistry};
 
 use flux_simcore::{SimDuration, SimTime, Trace, TraceKind};

@@ -4,7 +4,7 @@ mod common;
 
 use common::staged_models as staged;
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, FluxError, MigrationError, WorldBuilder};
+use flux_core::{migrate, pair, FluxError, StageFailure, WorldBuilder};
 use flux_device::{DeviceModel, DeviceProfile};
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::notification::NotificationManagerService;
@@ -181,7 +181,7 @@ fn migration_refusals_match_section_3_4() {
         staged("Facebook", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(FluxError::Migration(MigrationError::MultiProcess {
+        Err(FluxError::Migration(StageFailure::MultiProcess {
             processes: 2
         }))
     ));
@@ -194,7 +194,7 @@ fn migration_refusals_match_section_3_4() {
     );
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(FluxError::Migration(MigrationError::PreservedEglContext))
+        Err(FluxError::Migration(StageFailure::PreservedEglContext))
     ));
 
     // Mid-ContentProvider interaction.
@@ -205,7 +205,7 @@ fn migration_refusals_match_section_3_4() {
         .unwrap();
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(FluxError::Migration(MigrationError::ContentProviderActive))
+        Err(FluxError::Migration(StageFailure::ContentProviderActive))
     ));
     world
         .perform(home, &pkg, &Action::EndProviderQuery)
@@ -226,9 +226,7 @@ fn migration_refusals_match_section_3_4() {
         .unwrap();
     assert!(matches!(
         migrate(&mut world, home, guest, &pkg),
-        Err(FluxError::Migration(
-            MigrationError::CommonSdCardFile { .. }
-        ))
+        Err(FluxError::Migration(StageFailure::CommonSdCardFile { .. }))
     ));
 
     // Unpaired devices.
@@ -243,7 +241,7 @@ fn migration_refusals_match_section_3_4() {
     let (home, guest) = (ids[0], ids[1]);
     assert!(matches!(
         migrate(&mut world, home, guest, &app.package),
-        Err(FluxError::Migration(MigrationError::NotPaired))
+        Err(FluxError::Migration(StageFailure::NotPaired))
     ));
 }
 
@@ -265,7 +263,7 @@ fn api_level_incompatibility_is_refused() {
     let (home, guest) = (ids[0], ids[1]);
     assert!(matches!(
         migrate(&mut world, home, guest, &app.package),
-        Err(FluxError::Migration(MigrationError::ApiLevelIncompatible {
+        Err(FluxError::Migration(StageFailure::ApiLevelIncompatible {
             required: 19,
             guest: 17
         }))

@@ -10,7 +10,7 @@
 mod common;
 
 use flux_appfw::ActivityState;
-use flux_core::{migrate_with, FluxError, MigrationError, RetryPolicy};
+use flux_core::{migrate_with, FluxError, RetryPolicy, StageFailure};
 use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
 use proptest::prelude::*;
 
@@ -61,7 +61,7 @@ proptest! {
             Err(e) => {
                 // Only a fault abort is acceptable under injected faults.
                 match e {
-                    FluxError::Migration(MigrationError::FaultAborted {
+                    FluxError::Migration(StageFailure::FaultAborted {
                         attempts, ..
                     }) => prop_assert_eq!(attempts, policy.max_attempts),
                     other => prop_assert!(false, "unexpected error: {other}"),
