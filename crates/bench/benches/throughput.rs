@@ -1,0 +1,226 @@
+//! Fleet throughput: wall-clock migrations/sec, serial vs parallel.
+//!
+//! Runs identical fleet batches through `SerialExecutor` and
+//! `ParallelExecutor` at several fleet sizes, measuring *real* wall-clock
+//! time for `FleetScheduler::run` (world construction is excluded). The
+//! two runs must produce byte-identical `FleetReport`s — the executors
+//! differ only in wall-clock — and the bench fails loudly if they
+//! diverge. Results land in `BENCH_throughput.json` at the repo root.
+//!
+//! Usage (plain harness, not criterion):
+//!
+//! ```text
+//! cargo bench -p flux-bench --bench throughput            # sizes 1, 100, 10000
+//! cargo bench -p flux-bench --bench throughput -- --smoke # sizes 1, 100
+//! cargo bench -p flux-bench --bench throughput -- --sizes 1,500
+//! ```
+//!
+//! The >1.5x speedup gate on the largest fleet only applies when the
+//! host exposes at least four cores — on smaller machines the parallel
+//! executor cannot be expected to win and the bench only checks
+//! equivalence.
+
+use flux_core::{
+    FleetConfig, FleetReport, FleetScheduler, FluxWorld, MigrationRequest, ParallelExecutor,
+    WorldBuilder,
+};
+use flux_device::DeviceProfile;
+use flux_workloads::spec;
+use std::time::Instant;
+
+/// Migratable Table 3 apps, cycled across the fleet's device pairs.
+const POOL: [&str; 4] = ["WhatsApp", "Twitter", "Instagram", "Netflix"];
+
+/// Fleets larger than this skip the per-app workload scripts: staging
+/// 10k apps through their canned interaction scripts would dwarf the
+/// measured scheduler run, and an empty record log migrates fine.
+const SCRIPT_CEILING: usize = 100;
+
+fn fleet(n: usize, seed: u64) -> (FluxWorld, Vec<MigrationRequest>) {
+    let apps: Vec<_> = (0..n)
+        .map(|i| spec(POOL[i % POOL.len()]).expect("app in Table 3"))
+        .collect();
+    let mut builder = WorldBuilder::new().seed(seed);
+    for (i, app) in apps.iter().enumerate() {
+        builder = builder
+            .device(&format!("h{i:05}"), DeviceProfile::nexus4())
+            .device(&format!("g{i:05}"), DeviceProfile::nexus7_2013())
+            .app(2 * i, app.clone());
+    }
+    let (mut world, ids) = builder.build().expect("fleet world builds");
+    let mut requests = Vec::with_capacity(n);
+    for (i, app) in apps.iter().enumerate() {
+        let (home, guest) = (ids[2 * i], ids[2 * i + 1]);
+        if n <= SCRIPT_CEILING {
+            world
+                .run_script(home, &app.package, &app.actions.clone())
+                .expect("workload script runs");
+        }
+        flux_core::pair(&mut world, home, guest).expect("pairing succeeds");
+        requests.push(MigrationRequest::new(
+            i as u64 + 1,
+            home,
+            guest,
+            &app.package,
+        ));
+    }
+    (world, requests)
+}
+
+struct Run {
+    report: FleetReport,
+    debug: String,
+    secs: f64,
+}
+
+fn run(n: usize, seed: u64, workers: Option<usize>) -> Run {
+    let (mut world, requests) = fleet(n, seed);
+    let mut scheduler = FleetScheduler::new(FleetConfig::default()).expect("valid config");
+    if let Some(w) = workers {
+        scheduler = scheduler.with_executor(ParallelExecutor::new(w));
+    }
+    let started = Instant::now();
+    let report = scheduler
+        .run(&mut world, requests)
+        .expect("fleet run succeeds");
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        report.completed, n,
+        "fleet of {n}: every migration should complete"
+    );
+    Run {
+        debug: format!("{report:?}"),
+        report,
+        secs,
+    }
+}
+
+struct SizeResult {
+    fleet_size: usize,
+    serial_secs: f64,
+    serial_rate: f64,
+    parallel_secs: f64,
+    parallel_rate: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+impl serde::Serialize for SizeResult {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("fleet_size", &(self.fleet_size as u64))
+            .field("serial_secs", &self.serial_secs)
+            .field("serial_migrations_per_sec", &self.serial_rate)
+            .field("parallel_secs", &self.parallel_secs)
+            .field("parallel_migrations_per_sec", &self.parallel_rate)
+            .field("speedup", &self.speedup)
+            .field("identical_reports", &self.identical);
+        obj.end();
+    }
+}
+
+/// Best-of-2 to shed allocator/page-cache warm-up skew; both passes must
+/// agree byte-for-byte (determinism across repeated runs is part of the
+/// contract, not just across executors).
+fn best_of_2(n: usize, seed: u64, workers: Option<usize>) -> Run {
+    let a = run(n, seed, workers);
+    let b = run(n, seed, workers);
+    assert_eq!(a.debug, b.debug, "fleet of {n}: repeated run diverged");
+    if b.secs < a.secs {
+        b
+    } else {
+        a
+    }
+}
+
+fn measure(n: usize, workers: usize) -> SizeResult {
+    let seed = 0x7417 + n as u64;
+    let serial = best_of_2(n, seed, None);
+    let parallel = best_of_2(n, seed, Some(workers));
+    let identical =
+        serial.debug == parallel.debug && serial.report.makespan == parallel.report.makespan;
+    SizeResult {
+        fleet_size: n,
+        serial_secs: serial.secs,
+        serial_rate: n as f64 / serial.secs.max(1e-9),
+        parallel_secs: parallel.secs,
+        parallel_rate: n as f64 / parallel.secs.max(1e-9),
+        speedup: serial.secs / parallel.secs.max(1e-9),
+        identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Cargo's default bench harness flags may leak through; honour only
+    // the ones this harness defines and ignore `--bench`.
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sizes: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.trim().parse().expect("--sizes: integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            if smoke {
+                vec![1, 100]
+            } else {
+                vec![1, 100, 10_000]
+            }
+        });
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let workers = cores.min(8);
+    println!("fleet throughput: sizes {sizes:?}, {cores} cores, {workers} workers");
+
+    let mut results = Vec::with_capacity(sizes.len());
+    for &n in &sizes {
+        let r = measure(n, workers);
+        println!(
+            "  n={:<6} serial {:>8.3}s ({:>9.1}/s)  parallel {:>8.3}s ({:>9.1}/s)  speedup {:>5.2}x  identical={}",
+            r.fleet_size, r.serial_secs, r.serial_rate, r.parallel_secs, r.parallel_rate,
+            r.speedup, r.identical,
+        );
+        assert!(
+            r.identical,
+            "serial and parallel executors diverged at fleet size {n}"
+        );
+        results.push(r);
+    }
+
+    // The headline acceptance gate: on a machine with real parallelism,
+    // the parallel executor must beat serial by >1.5x on the largest
+    // fleet. Single-core CI runners only check equivalence above.
+    if cores >= 4 {
+        if let Some(largest) = results.iter().max_by_key(|r| r.fleet_size) {
+            if largest.fleet_size >= 10_000 {
+                assert!(
+                    largest.speedup > 1.5,
+                    "expected >1.5x parallel speedup at fleet size {} on {} cores, got {:.2}x",
+                    largest.fleet_size,
+                    cores,
+                    largest.speedup
+                );
+            }
+        }
+    }
+
+    let mut out = String::new();
+    {
+        let mut obj = serde::object(&mut out);
+        obj.field("bench", &"fleet_throughput")
+            .field("cores", &(cores as u64))
+            .field("workers", &(workers as u64))
+            .field("smoke", &smoke)
+            .field("results", &results);
+        obj.end();
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, format!("{out}\n")).expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+}

@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release --bin ablation_faults`
 
-use flux_core::{migrate_with, pair, MigrationReport, RetryPolicy, WorldBuilder};
+use flux_core::{migrate, pair, MigrationReport, MigrationSpec, RetryPolicy, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
 use flux_workloads::spec;
@@ -60,7 +60,13 @@ fn run_one(seed: u64, rate: f64, policy: &RetryPolicy) -> Result<MigrationReport
         .run_script(phone, &app.package, &app.actions.clone())
         .map_err(|e| e.to_string())?;
     pair(&mut world, phone, tablet).map_err(|e| e.to_string())?;
-    migrate_with(&mut world, phone, tablet, &app.package, policy).map_err(|e| e.to_string())
+    migrate(
+        &mut world,
+        MigrationSpec::new(&app.package)
+            .between(phone, tablet)
+            .retry(*policy),
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn main() {

@@ -24,7 +24,7 @@
 //! ablation_pipeline [--smoke] [--out DIR]
 //! ```
 
-use flux_core::{migrate_configured, pair, MigrationConfig, MigrationReport, WorldBuilder};
+use flux_core::{migrate, pair, MigrationConfig, MigrationReport, MigrationSpec, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_simcore::{ByteSize, SimDuration};
 use flux_workloads::spec;
@@ -104,13 +104,29 @@ fn run_one(seed: u64, cfg: &MigrationConfig, warm: bool) -> Result<MigrationRepo
         .map_err(|e| e.to_string())?;
     pair(&mut world, phone, tablet).map_err(|e| e.to_string())?;
     if warm {
-        migrate_configured(&mut world, phone, tablet, &app.package, cfg)
-            .map_err(|e| e.to_string())?;
+        migrate(
+            &mut world,
+            MigrationSpec::new(&app.package)
+                .between(phone, tablet)
+                .config(*cfg),
+        )
+        .map_err(|e| e.to_string())?;
         pair(&mut world, tablet, phone).map_err(|e| e.to_string())?;
-        migrate_configured(&mut world, tablet, phone, &app.package, cfg)
-            .map_err(|e| e.to_string())?;
+        migrate(
+            &mut world,
+            MigrationSpec::new(&app.package)
+                .between(tablet, phone)
+                .config(*cfg),
+        )
+        .map_err(|e| e.to_string())?;
     }
-    migrate_configured(&mut world, phone, tablet, &app.package, cfg).map_err(|e| e.to_string())
+    migrate(
+        &mut world,
+        MigrationSpec::new(&app.package)
+            .between(phone, tablet)
+            .config(*cfg),
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn mean_duration(xs: &[SimDuration]) -> SimDuration {

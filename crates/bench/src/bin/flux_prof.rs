@@ -17,7 +17,7 @@
 //! flux-prof [--seed N] [--app NAME] [--faults RATE] [--out DIR]
 //! ```
 
-use flux_core::{migrate, pair, FluxWorld, MigrationReport, WorldBuilder};
+use flux_core::{migrate, pair, FluxWorld, MigrationReport, MigrationSpec, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
 use flux_telemetry::{chrome_trace, json_snapshot, MigrationProfile};
@@ -85,7 +85,11 @@ fn run_scenario(opts: &Options) -> Result<(FluxWorld, MigrationReport), String> 
         .run_script(home, &app.package, &app.actions.clone())
         .map_err(|e| e.to_string())?;
     pair(&mut world, home, guest).map_err(|e| e.to_string())?;
-    let report = migrate(&mut world, home, guest, &app.package).map_err(|e| e.to_string())?;
+    let report = migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(home, guest),
+    )
+    .map_err(|e| e.to_string())?;
     world.harvest_metrics();
     let now = world.clock.now();
     world.telemetry.finish(now);

@@ -1,6 +1,6 @@
 //! The §4 migration evaluation: 18 apps × 4 device pairs.
 
-use flux_core::{migrate, pair, MigrationReport, WorldBuilder};
+use flux_core::{migrate, pair, MigrationReport, MigrationSpec, WorldBuilder};
 use flux_device::{DeviceModel, DeviceProfile};
 use flux_simcore::SimDuration;
 use flux_workloads::{top_apps, AppSpec};
@@ -144,7 +144,11 @@ pub fn run_one(
         .run_script(home, &spec.package, &spec.actions.clone())
         .map_err(|e| e.to_string())?;
     pair(&mut world, home, guest).map_err(|e| e.to_string())?;
-    migrate(&mut world, home, guest, &spec.package).map_err(|e| e.to_string())
+    migrate(
+        &mut world,
+        MigrationSpec::new(&spec.package).between(home, guest),
+    )
+    .map_err(|e| e.to_string())
 }
 
 /// Runs the full 18-app × 4-pair evaluation.

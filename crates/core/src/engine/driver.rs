@@ -1,8 +1,8 @@
 //! The engine driver: the one control loop that owns retry/backoff,
 //! telemetry span emission, ledger accounting and rollback unwinding.
 //!
-//! Every migration entry point — [`migrate`], [`migrate_with`],
-//! [`migrate_configured`] and the fleet scheduler — funnels into
+//! The one public migration entry point, [`migrate`], takes a
+//! [`MigrationSpec`] and funnels — like the fleet executor — into
 //! [`run`], which executes [`ATTEMPT_STAGES`] in order through one
 //! uniform stage wrapper. A retryable fault re-enters the loop with
 //! exponential backoff, resuming from the first incomplete stage; a fatal
@@ -16,13 +16,12 @@ use super::failure::StageFailure;
 use super::finalise::Finalise;
 use super::{preflight, Stage, StageCtx, StageOutcome, ATTEMPT_STAGES};
 use crate::errors::FluxError;
-use crate::migration::{MigrationConfig, MigrationReport, RetryPolicy};
+use crate::migration::{MigrationConfig, MigrationReport, MigrationSpec, RetryPolicy};
 use crate::world::{DeviceId, FluxWorld};
-use flux_simcore::{FaultPlan, TraceKind};
+use flux_simcore::{FaultPlan, SimTime, TraceKind};
 use flux_telemetry::LaneId;
 
-/// Migrates `package` from `home` to `guest` under the default
-/// [`RetryPolicy`].
+/// Migrates an app as described by `spec`.
 ///
 /// In the UI this is the two-finger vertical swipe of Figure 1; here it is
 /// the full §3.1 life cycle. On success the app is gone from the home
@@ -30,16 +29,36 @@ use flux_telemetry::LaneId;
 /// runs on the guest with the same PID, Binder handles, notifications,
 /// alarms and sensor channels it had at home. On failure the world rolls
 /// back to the pre-migration state and the error says why.
-pub fn migrate(
-    world: &mut FluxWorld,
-    home: DeviceId,
-    guest: DeviceId,
-    package: &str,
-) -> Result<MigrationReport, FluxError> {
-    migrate_with(world, home, guest, package, &RetryPolicy::default())
+///
+/// A spec-carried fault schedule is shifted onto the world clock for the
+/// duration of the run, then the ambient plan is restored.
+///
+/// # Errors
+///
+/// [`FluxError::Config`] when the spec has no route; otherwise whatever
+/// [`run`] refuses or fails with.
+pub fn migrate(world: &mut FluxWorld, spec: MigrationSpec) -> Result<MigrationReport, FluxError> {
+    let (home, guest) = spec.route.ok_or_else(|| {
+        FluxError::Config(
+            "migration spec has no route: set MigrationSpec::between(home, guest)".into(),
+        )
+    })?;
+    let ambient = spec.faults.map(|plan| {
+        let shifted = plan.shifted_by(world.clock.now().since(SimTime::ZERO));
+        std::mem::replace(&mut world.fault_plan, shifted)
+    });
+    let result = run(world, home, guest, &spec.package, &spec.cfg);
+    if let Some(plan) = ambient {
+        world.fault_plan = plan;
+    }
+    result
 }
 
-/// [`migrate`] with an explicit retry policy.
+/// Positional-argument ancestor of [`migrate`] with an explicit retry
+/// policy.
+#[deprecated(
+    note = "use `migrate(world, MigrationSpec::new(package).between(home, guest).retry(*policy))`"
+)]
 pub fn migrate_with(
     world: &mut FluxWorld,
     home: DeviceId,
@@ -47,15 +66,19 @@ pub fn migrate_with(
     package: &str,
     policy: &RetryPolicy,
 ) -> Result<MigrationReport, FluxError> {
-    let cfg = MigrationConfig {
-        retry: *policy,
-        ..MigrationConfig::default()
-    };
-    run(world, home, guest, package, &cfg)
+    migrate(
+        world,
+        MigrationSpec::new(package)
+            .between(home, guest)
+            .retry(*policy),
+    )
 }
 
-/// [`migrate`] with explicit feature switches: pre-copy, pipelined stage
-/// overlap and the content-addressed image cache are all opt-in here.
+/// Positional-argument ancestor of [`migrate`] with explicit feature
+/// switches.
+#[deprecated(
+    note = "use `migrate(world, MigrationSpec::new(package).between(home, guest).config(*cfg))`"
+)]
 pub fn migrate_configured(
     world: &mut FluxWorld,
     home: DeviceId,
@@ -63,7 +86,12 @@ pub fn migrate_configured(
     package: &str,
     cfg: &MigrationConfig,
 ) -> Result<MigrationReport, FluxError> {
-    run(world, home, guest, package, cfg)
+    migrate(
+        world,
+        MigrationSpec::new(package)
+            .between(home, guest)
+            .config(*cfg),
+    )
 }
 
 /// The engine entry point: admits the migration, then drives the stage

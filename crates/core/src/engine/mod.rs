@@ -6,10 +6,10 @@
 //! module makes those phases first-class values: each is a [`Stage`]
 //! implementation in its own module, and [`driver::run`] is the single
 //! control loop that owns retry/backoff, telemetry span emission, ledger
-//! accounting and rollback unwinding. All three entry points —
-//! [`migrate`], [`migrate_configured`] and the fleet scheduler — execute
-//! through that one driver; serial, pipelined and fleet execution differ
-//! only in configuration, not in duplicated control flow.
+//! accounting and rollback unwinding. Both entry points — [`migrate`]
+//! with its `MigrationSpec`, and the fleet executor — execute through
+//! that one driver; serial, pipelined and fleet execution differ only in
+//! configuration, not in duplicated control flow.
 //!
 //! Module names follow the paper's phase vocabulary; [`Stage::name`]
 //! returns the report/telemetry vocabulary the repo's figures were
@@ -31,7 +31,9 @@ pub mod transfer;
 pub mod undump;
 
 pub use ctx::StageCtx;
-pub use driver::{migrate, migrate_configured, migrate_with, run};
+pub use driver::{migrate, run};
+#[allow(deprecated)]
+pub use driver::{migrate_configured, migrate_with};
 pub use failure::StageFailure;
 pub use replay_warmup::broadcast_connectivity;
 

@@ -40,6 +40,14 @@ impl fmt::Display for FluxError {
     }
 }
 
+/// Serializes as the [`fmt::Display`] string — reports embed errors as
+/// human-readable reasons, not as a machine-matchable enum tree.
+impl serde::Serialize for FluxError {
+    fn serialize(&self, out: &mut String) {
+        serde::Serialize::serialize(&self.to_string(), out);
+    }
+}
+
 impl Error for FluxError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {

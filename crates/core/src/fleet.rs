@@ -25,24 +25,35 @@
 //!
 //! # Execution model and determinism
 //!
-//! The world owns a single [`SimClock`](flux_simcore::SimClock) and a
-//! single RNG stream per subsystem, so the underlying five-stage engine
-//! cannot literally interleave two migrations. The fleet therefore runs on
-//! two levels. Migrations *execute* serially, at admission, in admission
-//! order — charging the world clock and consuming RNG exactly as a lone
-//! migration would. The fleet then *schedules* the measured phases onto its
-//! own timeline: a CPU-bound span (pre-copy, preparation, checkpoint,
-//! backoff), the shared-medium transfer, and a CPU-bound tail (restore,
-//! reintegration). Per-device exclusivity makes the fleet schedule
-//! serialisable, and admission order is a pure function of (priority,
-//! request id) and completion events — never of submission order — so a
-//! batch produces byte-identical reports however its requests were
-//! permuted. Simultaneous fleet events are interleaved by a
-//! [`Timeline`] keyed on the stable request id.
+//! The fleet runs on two levels, split behind the
+//! [`Executor`] API. An executor *executes*
+//! every request of the batch up front, each inside a private two-device
+//! *world shard* with a clock opened at the batch start, a forked RNG
+//! stream keyed by the request id, and a private telemetry hub — see the
+//! [`executor`](crate::executor) module for the shard construction and the
+//! conflict-group rule that lets [`ParallelExecutor`](crate::ParallelExecutor)
+//! run device-disjoint requests on OS threads. The scheduler then places
+//! the measured phases onto the fleet timeline: a CPU-bound span (pre-copy,
+//! preparation, checkpoint, backoff), the shared-medium transfer, and a
+//! CPU-bound tail (restore, reintegration). At admission, the request's
+//! shard telemetry is absorbed into the world hub shifted to the admission
+//! instant, so spans land where the fleet schedule actually placed them.
+//!
+//! Per-device exclusivity makes the fleet schedule serialisable, admission
+//! order is a pure function of (priority, request id) and completion
+//! events, and RNG streams are keyed by request id — never by submission
+//! or execution order. A batch therefore produces byte-identical reports
+//! and telemetry however its requests were permuted *and whichever
+//! executor runs it*; the executor proptests pin serial/parallel
+//! byte-identity across worker counts. Simultaneous fleet events are
+//! interleaved by a [`Timeline`] keyed on the stable request id. When the
+//! batch drains, the world clock advances to the end of the fleet
+//! schedule (batch start plus makespan).
 //!
 //! Uncontended, a fleet transfer drains in exactly its serial duration, so
-//! a single-request fleet reproduces [`crate::migrate_configured`]'s figures to
-//! the nanosecond — the scenario suite pins this.
+//! a single-request fleet reproduces a lone [`crate::migrate`] run's stage
+//! figures to the nanosecond, provided the lone run uses the same forked
+//! RNG stream — the scenario suite pins this.
 //!
 //! # Examples
 //!
@@ -69,19 +80,21 @@
 //! assert!(report.makespan > flux_simcore::SimDuration::ZERO);
 //! ```
 
-use crate::engine::{self, StageFailure};
 use crate::errors::FluxError;
+use crate::executor::{ExecutedMigration, Executor, SerialExecutor};
 use crate::migration::{MigrationConfig, MigrationReport};
 use crate::world::{DeviceId, FluxWorld};
 use flux_net::{MediumSegment, RadioMedium};
-use flux_simcore::{ByteSize, FaultPlan, SimDuration, SimTime, Timeline};
+use flux_simcore::{FaultPlan, SimDuration, SimTime, Timeline};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One migration the fleet should perform.
 #[derive(Debug, Clone)]
 pub struct MigrationRequest {
-    /// Stable id: the determinism key (event ties, FIFO order) and the name
-    /// of the request's telemetry lane. Unique within a batch.
+    /// Stable id: the determinism key (event ties, FIFO order, RNG stream
+    /// fork) and the name of the request's telemetry lane. Unique within a
+    /// batch.
     pub id: u64,
     /// Source device.
     pub home: DeviceId,
@@ -93,9 +106,10 @@ pub struct MigrationRequest {
     pub priority: u8,
     /// Engine configuration (retry policy, pre-copy, pipelining, cache).
     pub cfg: MigrationConfig,
-    /// Fault schedule relative to this migration's own start; shifted onto
-    /// the world clock at admission. [`FaultPlan::none`] inherits the
-    /// world's ambient plan instead.
+    /// Fault schedule relative to this migration's own start; the
+    /// executor shifts it onto the batch-open instant, where the
+    /// request's shard executes. [`FaultPlan::none`] inherits the world's
+    /// ambient plan instead.
     pub faults: FaultPlan,
 }
 
@@ -171,6 +185,26 @@ pub enum FleetOutcome {
     },
 }
 
+/// Serializes as a tagged object: `{"status": "completed", "report":
+/// {..}}`, or `{"status": "rolled_back" | "refused", "error": "<reason>"}`.
+impl serde::Serialize for FleetOutcome {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        match self {
+            FleetOutcome::Completed(report) => {
+                obj.field("status", &"completed").field("report", report);
+            }
+            FleetOutcome::RolledBack { error } => {
+                obj.field("status", &"rolled_back").field("error", error);
+            }
+            FleetOutcome::Refused { error } => {
+                obj.field("status", &"refused").field("error", error);
+            }
+        }
+        obj.end();
+    }
+}
+
 impl FleetOutcome {
     /// Whether the request completed successfully.
     pub fn is_completed(&self) -> bool {
@@ -216,6 +250,24 @@ pub struct FlightRecord {
     pub outcome: FleetOutcome,
 }
 
+impl serde::Serialize for FlightRecord {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("id", &self.id)
+            .field("package", &self.package)
+            .field("home", &self.home)
+            .field("guest", &self.guest)
+            .field("priority", &self.priority)
+            .field("submitted_at", &self.submitted_at)
+            .field("admitted_at", &self.admitted_at)
+            .field("transfer_start", &self.transfer_start)
+            .field("transfer_end", &self.transfer_end)
+            .field("finished_at", &self.finished_at)
+            .field("outcome", &self.outcome);
+        obj.end();
+    }
+}
+
 impl FlightRecord {
     /// Time spent queued before admission.
     pub fn queue_wait(&self) -> SimDuration {
@@ -252,17 +304,23 @@ pub struct FleetReport {
     pub refused: usize,
 }
 
-/// The measured shape of one executed migration, ready to schedule.
-struct Executed {
-    outcome: FleetOutcome,
-    /// CPU-bound head: pre-copy, preparation, checkpoint, retry backoff —
-    /// minus whatever pipelining overlapped. For rolled-back requests, the
-    /// whole measured span (attempts plus rollback).
-    pre: SimDuration,
-    /// Freeze-time payload for the medium: `(bytes, serial air time)`.
-    flow: Option<(ByteSize, SimDuration)>,
-    /// CPU-bound tail: restore and reintegration.
-    post: SimDuration,
+/// Serializes the whole report tree — flights, timing, medium trace —
+/// compactly; the throughput bench embeds this verbatim in
+/// `BENCH_throughput.json`.
+impl serde::Serialize for FleetReport {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("flights", &self.flights)
+            .field("started_at", &self.started_at)
+            .field("makespan", &self.makespan)
+            .field("serialized_makespan", &self.serialized_makespan)
+            .field("peak_in_flight", &self.peak_in_flight)
+            .field("medium", &self.medium)
+            .field("completed", &self.completed)
+            .field("rolled_back", &self.rolled_back)
+            .field("refused", &self.refused);
+        obj.end();
+    }
 }
 
 /// A request occupying its devices.
@@ -271,7 +329,7 @@ struct Active {
     admitted_at: SimTime,
     transfer_start: SimTime,
     transfer_end: SimTime,
-    exec: Executed,
+    exec: ExecutedMigration,
 }
 
 /// Fleet-timeline events, keyed by request id.
@@ -284,14 +342,19 @@ enum FleetEvent {
 
 /// Drives batches of migrations concurrently over virtual time.
 ///
-/// See the [module docs](self) for the execution model.
+/// Execution is delegated to the configured [`Executor`] —
+/// [`SerialExecutor`] by default, [`ParallelExecutor`](crate::ParallelExecutor)
+/// via [`FleetScheduler::with_executor`] — with byte-identical results
+/// either way. See the [module docs](self) for the execution model.
 #[derive(Debug, Clone)]
 pub struct FleetScheduler {
     cfg: FleetConfig,
+    executor: Arc<dyn Executor>,
 }
 
 impl FleetScheduler {
-    /// Validates `cfg` and builds a scheduler.
+    /// Validates `cfg` and builds a scheduler with the default
+    /// [`SerialExecutor`].
     ///
     /// # Errors
     ///
@@ -309,12 +372,26 @@ impl FleetScheduler {
                 cfg.medium_capacity_mbps
             )));
         }
-        Ok(Self { cfg })
+        Ok(Self {
+            cfg,
+            executor: Arc::new(SerialExecutor),
+        })
+    }
+
+    /// Replaces the executor the scheduler runs batches through.
+    pub fn with_executor(mut self, executor: impl Executor + 'static) -> Self {
+        self.executor = Arc::new(executor);
+        self
     }
 
     /// The scheduler's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.cfg
+    }
+
+    /// The executor batches run through.
+    pub fn executor(&self) -> &dyn Executor {
+        &*self.executor
     }
 
     /// Runs `requests` to completion and returns the fleet report.
@@ -346,8 +423,17 @@ impl FleetScheduler {
             .telemetry
             .counter_add("flux.fleet.submitted", requests.len() as u64);
 
+        // Execute the whole batch up front: one measured shape per request,
+        // in world shards on private clocks (see `crate::executor`).
+        let mut execs: Vec<Option<ExecutedMigration>> = self
+            .executor
+            .execute(world, &requests)
+            .into_iter()
+            .map(Some)
+            .collect();
+        debug_assert_eq!(execs.len(), requests.len());
+
         // Canonical queue order — priority descending, id ascending — is
-        // also the canonical *execution* order modulo backfilling, and is
         // independent of the order `requests` arrived in.
         let mut queue: Vec<usize> = (0..requests.len()).collect();
         queue.sort_by_key(|&i| (std::cmp::Reverse(requests[i].priority), requests[i].id));
@@ -377,7 +463,12 @@ impl FleetScheduler {
                 }
                 busy_source.insert(req.home.0);
                 busy_target.insert(req.guest.0);
-                let exec = execute_underlying(world, req);
+                let exec = execs[idx].take().expect("each request admits once");
+                // Land the shard's telemetry where the fleet schedule
+                // actually placed the request: shard times run from the
+                // batch open, so shifting by the queue wait pins the
+                // spans to the admission instant, in admission order.
+                world.telemetry.absorb(&exec.telemetry, now.since(start));
                 serialized += isolated_span(&exec, self.cfg.medium_capacity_mbps);
                 world.telemetry.counter_add("flux.fleet.admitted", 1);
                 timeline.schedule(now + exec.pre, req.id, FleetEvent::PreDone);
@@ -448,6 +539,9 @@ impl FleetScheduler {
         }
 
         let makespan = now.since(start);
+        // Execution happened on private shard clocks; the world clock owes
+        // the fleet schedule's span.
+        world.clock.advance_to(start + makespan);
         world
             .telemetry
             .observe("flux.fleet.makespan_ms", makespan.as_millis());
@@ -491,63 +585,9 @@ pub fn run_fleet(
     FleetScheduler::new(FleetConfig::default())?.run(world, requests)
 }
 
-/// Executes one migration on the world's serial engine and splits the
-/// measured span into fleet phases.
-fn execute_underlying(world: &mut FluxWorld, req: &MigrationRequest) -> Executed {
-    let t0 = world.clock.now();
-    let ambient = (!req.faults.is_empty()).then(|| {
-        std::mem::replace(
-            &mut world.fault_plan,
-            req.faults.shifted_by(t0.since(SimTime::ZERO)),
-        )
-    });
-    let result = engine::run(world, req.home, req.guest, &req.package, &req.cfg);
-    if let Some(plan) = ambient {
-        world.fault_plan = plan;
-    }
-    let wall = world.clock.now().since(t0);
-    match result {
-        Ok(report) => {
-            let transfer = report.stages.transfer;
-            let post = report.stages.restore + report.stages.reintegration;
-            let pre = wall.saturating_sub(transfer + post);
-            let flow = (transfer > SimDuration::ZERO).then(|| (report.ledger.total(), transfer));
-            Executed {
-                outcome: FleetOutcome::Completed(report),
-                pre,
-                flow,
-                post,
-            }
-        }
-        Err(error) => {
-            let rolled_back = matches!(
-                error,
-                FluxError::Migration(
-                    StageFailure::FaultAborted { .. } | StageFailure::RollbackFailed { .. }
-                )
-            );
-            // A rolled-back request held its devices for however long its
-            // attempts and the rollback took; its partial transfers are not
-            // charged to the medium (a modelling simplification). A refusal
-            // is pre-flight and free.
-            let outcome = if rolled_back {
-                FleetOutcome::RolledBack { error }
-            } else {
-                FleetOutcome::Refused { error }
-            };
-            Executed {
-                outcome,
-                pre: wall,
-                flow: None,
-                post: SimDuration::ZERO,
-            }
-        }
-    }
-}
-
 /// A flight's span had it run alone under `capacity_mbps` — exactly the
 /// slice a `max_in_flight = 1` schedule would give it.
-fn isolated_span(exec: &Executed, capacity_mbps: f64) -> SimDuration {
+fn isolated_span(exec: &ExecutedMigration, capacity_mbps: f64) -> SimDuration {
     let air = match exec.flow {
         Some((bytes, air)) => {
             let nominal = bytes.as_u64() as f64 * 8.0 / air.as_secs_f64() / 1e6;

@@ -24,7 +24,7 @@
 //! # Examples
 //!
 //! ```
-//! use flux_core::{migrate, pair, WorldBuilder};
+//! use flux_core::{migrate, pair, MigrationSpec, WorldBuilder};
 //! use flux_device::DeviceProfile;
 //! use flux_workloads::spec;
 //!
@@ -40,7 +40,8 @@
 //! let (phone, tablet) = (ids[0], ids[1]);
 //! world.run_script(phone, &app.package.clone(), &app.actions.clone()).unwrap();
 //!
-//! let report = migrate(&mut world, phone, tablet, &app.package).unwrap();
+//! let spec = MigrationSpec::new(&app.package).between(phone, tablet);
+//! let report = migrate(&mut world, spec).unwrap();
 //! assert!(report.stages.total().as_secs_f64() > 0.0);
 //! ```
 
@@ -48,6 +49,7 @@ pub mod builder;
 pub mod cria;
 pub mod engine;
 pub mod errors;
+pub mod executor;
 pub mod fleet;
 pub mod image_cache;
 pub mod migration;
@@ -58,18 +60,22 @@ pub mod world;
 
 pub use builder::WorldBuilder;
 pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
-pub use engine::{broadcast_connectivity, migrate, migrate_configured, migrate_with, StageFailure};
+pub use engine::{broadcast_connectivity, migrate, StageFailure};
+#[allow(deprecated)]
+pub use engine::{migrate_configured, migrate_with};
 pub use errors::FluxError;
+pub use executor::{
+    ExecutedMigration, Executor, ParallelExecutor, SerialExecutor, FLEET_RNG_STREAM,
+};
 pub use fleet::{
     run_fleet, FleetConfig, FleetOutcome, FleetReport, FleetScheduler, FlightRecord,
     MigrationRequest,
 };
 pub use image_cache::CachePartition;
-#[allow(deprecated)]
-pub use migration::MigrationError;
 pub use migration::{
-    MigrationConfig, MigrationReport, MigrationStage, RetryPolicy, StageTimes, TransferLedger,
-    KERNEL_STALL_WATCHDOG, PRECOPY_DIRTY_FRACTION_PER_SEC, PRECOPY_MAX_ROUNDS, PRECOPY_STOP,
+    MigrationConfig, MigrationReport, MigrationSpec, MigrationStage, RetryPolicy, StageTimes,
+    TransferLedger, KERNEL_STALL_WATCHDOG, PRECOPY_DIRTY_FRACTION_PER_SEC, PRECOPY_MAX_ROUNDS,
+    PRECOPY_STOP,
 };
 pub use pairing::{pair, verify_app, PairingReport};
 pub use record::{CallLog, CallRecord, RecordOutcome, RecordStore};

@@ -10,7 +10,7 @@
 //! `flux_core::migration::migrate` keeps working.
 //!
 //! Unsupported cases are detected up front and refused with a
-//! [`StageFailure`], matching §3.3–3.4: multi-process apps, preserved EGL
+//! [`crate::engine::StageFailure`], matching §3.3–3.4: multi-process apps, preserved EGL
 //! contexts, in-flight ContentProvider interactions, open common SD-card
 //! files, incompatible API levels and non-system Binder connections.
 //!
@@ -27,12 +27,14 @@
 //! by invariant checks. A migration therefore either fully completes or
 //! leaves the world as if it had never started (plus the time it wasted).
 
-use crate::engine::StageFailure;
 use crate::replay::ReplayStats;
-use flux_simcore::{ByteSize, SimDuration};
+use crate::world::DeviceId;
+use flux_simcore::{ByteSize, FaultPlan, SimDuration};
 use std::fmt;
 
-pub use crate::engine::{broadcast_connectivity, migrate, migrate_configured, migrate_with};
+pub use crate::engine::{broadcast_connectivity, migrate, run};
+#[allow(deprecated)]
+pub use crate::engine::{migrate_configured, migrate_with};
 
 /// A kernel stall at least this long trips the checkpoint/restore watchdog
 /// and aborts the stage (shorter stalls only add latency).
@@ -131,10 +133,79 @@ impl fmt::Display for MigrationStage {
     }
 }
 
-/// Why a migration was refused or failed.
-#[deprecated(note = "use `flux_core::engine::StageFailure`; the engine \
-                     refactor unified the error types into one")]
-pub type MigrationError = StageFailure;
+/// Everything one migration needs, built fluently and handed to
+/// [`migrate`]: the package, the device route, the engine configuration
+/// and an optional fault schedule.
+///
+/// The spec replaces the old `migrate` / `migrate_with` /
+/// `migrate_configured` entry-point trio — one function, one growable
+/// argument, instead of a new function per knob:
+///
+/// ```no_run
+/// # use flux_core::{migrate, MigrationSpec, RetryPolicy};
+/// # use flux_core::world::{DeviceId, FluxWorld};
+/// # fn demo(world: &mut FluxWorld, phone: DeviceId, tablet: DeviceId) {
+/// let report = migrate(
+///     world,
+///     MigrationSpec::new("com.whatsapp")
+///         .between(phone, tablet)
+///         .retry(RetryPolicy::default()),
+/// );
+/// # let _ = report;
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MigrationSpec {
+    /// Package to migrate.
+    pub package: String,
+    /// `(home, guest)` device route; [`migrate`] refuses a spec without
+    /// one.
+    pub route: Option<(DeviceId, DeviceId)>,
+    /// Engine configuration (retry policy, pre-copy, pipelining, cache).
+    pub cfg: MigrationConfig,
+    /// Fault schedule relative to the migration's start; `None` inherits
+    /// the world's ambient [`FaultPlan`].
+    pub faults: Option<FaultPlan>,
+}
+
+impl MigrationSpec {
+    /// A spec for `package` with the default engine configuration. Set the
+    /// route with [`MigrationSpec::between`] before calling [`migrate`].
+    pub fn new(package: &str) -> Self {
+        Self {
+            package: package.to_owned(),
+            route: None,
+            cfg: MigrationConfig::default(),
+            faults: None,
+        }
+    }
+
+    /// Sets the device route: migrate from `home` to `guest`.
+    pub fn between(mut self, home: DeviceId, guest: DeviceId) -> Self {
+        self.route = Some((home, guest));
+        self
+    }
+
+    /// Replaces the whole engine configuration.
+    pub fn config(mut self, cfg: MigrationConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets just the retry policy, keeping the rest of the configuration.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.retry = policy;
+        self
+    }
+
+    /// Sets a fault schedule, expressed relative to the migration's own
+    /// start; [`migrate`] shifts it onto the world clock and restores the
+    /// ambient plan afterwards.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
 
 /// How often and how patiently failed stages are retried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +275,21 @@ pub struct StageTimes {
     pub overlap_saved: SimDuration,
 }
 
+/// Serializes as an object of per-stage nanosecond durations.
+impl serde::Serialize for StageTimes {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("precopy", &self.precopy)
+            .field("preparation", &self.preparation)
+            .field("checkpoint", &self.checkpoint)
+            .field("transfer", &self.transfer)
+            .field("restore", &self.restore)
+            .field("reintegration", &self.reintegration)
+            .field("overlap_saved", &self.overlap_saved);
+        obj.end();
+    }
+}
+
 impl StageTimes {
     /// The busy time recorded for one report stage.
     pub fn of(&self, stage: MigrationStage) -> SimDuration {
@@ -269,6 +355,20 @@ pub struct TransferLedger {
     pub cache_hit: ByteSize,
 }
 
+/// Serializes as an object of raw byte counts.
+impl serde::Serialize for TransferLedger {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("image_raw", &self.image_raw)
+            .field("image_compressed", &self.image_compressed)
+            .field("log_compressed", &self.log_compressed)
+            .field("data_delta", &self.data_delta)
+            .field("precopy_streamed", &self.precopy_streamed)
+            .field("cache_hit", &self.cache_hit);
+        obj.end();
+    }
+}
+
 impl TransferLedger {
     /// Bytes the post-freeze transfer stage puts over the air.
     pub fn total(&self) -> ByteSize {
@@ -307,6 +407,24 @@ pub struct MigrationReport {
     pub faults: u32,
     /// Retry backoff charged to virtual time, outside the stage times.
     pub backoff: SimDuration,
+}
+
+impl serde::Serialize for MigrationReport {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("package", &self.package)
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("stages", &self.stages)
+            .field("ledger", &self.ledger)
+            .field("replay", &self.replay)
+            .field("dropped_connections", &self.dropped_connections)
+            .field("redrawn_views", &self.redrawn_views)
+            .field("attempts", &self.attempts)
+            .field("faults", &self.faults)
+            .field("backoff", &self.backoff);
+        obj.end();
+    }
 }
 
 #[cfg(test)]

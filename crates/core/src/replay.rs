@@ -31,6 +31,17 @@ pub struct ReplayStats {
     pub notes: Vec<String>,
 }
 
+impl serde::Serialize for ReplayStats {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("replayed", &self.replayed)
+            .field("proxied", &self.proxied)
+            .field("skipped", &self.skipped)
+            .field("notes", &self.notes);
+        obj.end();
+    }
+}
+
 impl ReplayStats {
     /// Total log entries visited.
     pub fn total(&self) -> u64 {

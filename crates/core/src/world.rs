@@ -28,6 +28,13 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
+/// Serializes as the raw device index.
+impl serde::Serialize for DeviceId {
+    fn serialize(&self, out: &mut String) {
+        serde::Serialize::serialize(&self.0, out);
+    }
+}
+
 /// Pairing state a guest holds for one home device (§3.1).
 #[derive(Debug, Clone, Default)]
 pub struct Pairing {

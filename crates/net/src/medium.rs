@@ -55,6 +55,16 @@ pub struct MediumSegment {
     pub flows: Vec<(u64, f64)>,
 }
 
+impl serde::Serialize for MediumSegment {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("from", &self.from)
+            .field("to", &self.to)
+            .field("flows", &self.flows);
+        obj.end();
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Flow {
     /// Serial air time still owed, in nanoseconds at multiplier 1.0.

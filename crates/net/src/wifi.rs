@@ -107,6 +107,31 @@ impl NetworkEnv {
         }
     }
 
+    /// Derives a child RNG from the environment's jitter stream, labelled
+    /// by `stream` — the [`SimRng::fork`] discipline. Consumes exactly one
+    /// draw from the environment regardless of how many children are later
+    /// derived from the fork, which is what lets a fleet executor hand
+    /// every request an independent stream while perturbing the world's
+    /// stream by a fixed, batch-size-independent amount.
+    pub fn fork_rng(&mut self, stream: u64) -> SimRng {
+        self.rng.fork(stream)
+    }
+
+    /// Replaces the environment's jitter stream. Used to build per-request
+    /// shard environments (and, in tests, reference worlds that must draw
+    /// the same jitter a shard would).
+    pub fn set_rng(&mut self, rng: SimRng) {
+        self.rng = rng;
+    }
+
+    /// A clone of this environment drawing from `rng` instead of the
+    /// shared stream.
+    pub fn with_rng(&self, rng: SimRng) -> Self {
+        let mut env = self.clone();
+        env.rng = rng;
+        env
+    }
+
     /// The effective one-way rate of `adapter` in this environment, in
     /// Mbit/s, before jitter.
     pub fn endpoint_mbps(&self, adapter: &WifiAdapter) -> f64 {

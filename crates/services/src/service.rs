@@ -70,7 +70,7 @@ impl ServiceCtx<'_> {
 /// Services are dispatched *by method name* at the AIDL level — the same
 /// level Selective Record interposes on — rather than by raw transaction
 /// code; the compiled interface provides the name↔code mapping.
-pub trait SystemService: std::fmt::Debug {
+pub trait SystemService: std::fmt::Debug + Send {
     /// AIDL interface descriptor, e.g. `"INotificationManager"`.
     fn descriptor(&self) -> &'static str;
 

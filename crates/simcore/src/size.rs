@@ -25,6 +25,13 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 )]
 pub struct ByteSize(u64);
 
+/// Serializes as raw bytes.
+impl serde::Serialize for ByteSize {
+    fn serialize(&self, out: &mut String) {
+        serde::Serialize::serialize(&self.0, out);
+    }
+}
+
 impl ByteSize {
     /// Zero bytes.
     pub const ZERO: ByteSize = ByteSize(0);

@@ -21,6 +21,20 @@ pub struct SimTime(u64);
 )]
 pub struct SimDuration(u64);
 
+/// Serializes as raw nanoseconds since the epoch.
+impl serde::Serialize for SimTime {
+    fn serialize(&self, out: &mut String) {
+        serde::Serialize::serialize(&self.0, out);
+    }
+}
+
+/// Serializes as raw nanoseconds.
+impl serde::Serialize for SimDuration {
+    fn serialize(&self, out: &mut String) {
+        serde::Serialize::serialize(&self.0, out);
+    }
+}
+
 impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);

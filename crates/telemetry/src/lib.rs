@@ -312,6 +312,51 @@ impl Telemetry {
         }
     }
 
+    /// Folds another hub's record into this one, displacing every
+    /// timestamp `shift` later.
+    ///
+    /// `other`'s lanes are matched **by name** (and interned here when
+    /// missing — `other`'s world lane merges into this world lane); its
+    /// spans are appended in creation order with parent links remapped, so
+    /// the span *tree* arrives intact; its instant events are re-emitted
+    /// through [`Telemetry::instant`], so this hub's event capacity
+    /// applies; its metrics merge by kind (counters add, gauges
+    /// last-write-wins, histograms bucket-wise). Absorbing the same hub
+    /// into two hubs in the same order produces byte-identical state,
+    /// which is what lets serial and parallel fleet executors share one
+    /// merge path.
+    ///
+    /// Spans still open in `other` stay open here (and are *not* pushed on
+    /// any open-stack, so [`Telemetry::finish`] will not close them);
+    /// callers should finish the absorbed hub first. No-op when this hub
+    /// is disabled.
+    pub fn absorb(&mut self, other: &Telemetry, shift: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        let lane_map: Vec<LaneId> = other.lanes.iter().map(|n| self.lane(n)).collect();
+        let base = self.spans.len() as u32;
+        for span in &other.spans {
+            self.spans.push(Span {
+                name: span.name.clone(),
+                lane: lane_map[span.lane.0 as usize],
+                parent: span.parent.map(|p| SpanId(base + p.0)),
+                start: span.start + shift,
+                end: span.end.map(|e| e + shift),
+            });
+        }
+        for ev in &other.instants {
+            self.instant(
+                lane_map[ev.lane.0 as usize],
+                ev.kind,
+                &ev.name,
+                ev.at + shift,
+                ev.detail.clone(),
+            );
+        }
+        self.metrics.merge_from(&other.metrics);
+    }
+
     /// All spans recorded so far, in creation order.
     pub fn spans(&self) -> &[Span] {
         &self.spans

@@ -54,6 +54,21 @@ impl Histogram {
         self.sum += value;
     }
 
+    /// Folds `other`'s observations into this histogram. Returns `false`
+    /// (and merges nothing) when the bucket bounds differ — merged
+    /// histograms must share a bucketing scheme to stay meaningful.
+    pub fn merge_from(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (slot, n) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        true
+    }
+
     /// Bucket upper bounds.
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
@@ -153,6 +168,28 @@ impl MetricsRegistry {
         }
         if let Some(Metric::Histogram(h)) = self.metrics.get_mut(name) {
             h.observe(value);
+        }
+    }
+
+    /// Folds every metric of `other` into this registry, by kind:
+    /// counters add, gauges take `other`'s value (last-write-wins, with the
+    /// absorbed registry as the later writer), histograms merge bucket-wise
+    /// when the bounds agree. On a kind mismatch — or a histogram bounds
+    /// mismatch — `other`'s value replaces this one, mirroring what
+    /// replaying `other`'s writes against this registry would do.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, theirs) in &other.metrics {
+            let merged = match (self.metrics.get_mut(name), theirs) {
+                (Some(Metric::Counter(mine)), Metric::Counter(v)) => {
+                    *mine += v;
+                    true
+                }
+                (Some(Metric::Histogram(mine)), Metric::Histogram(h)) => mine.merge_from(h),
+                _ => false,
+            };
+            if !merged {
+                self.metrics.insert(name.clone(), theirs.clone());
+            }
         }
     }
 

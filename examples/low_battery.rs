@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example low_battery`
 
-use flux_core::{migrate, pair, WorldBuilder};
+use flux_core::{migrate, pair, MigrationSpec, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::Event;
 use flux_simcore::SimDuration;
@@ -77,7 +77,11 @@ fn main() {
 
     // Battery low -> migrate to the phone.
     pair(&mut world, tablet, phone).expect("pairing");
-    let report = migrate(&mut world, tablet, phone, &skype.package).expect("migration");
+    let report = migrate(
+        &mut world,
+        MigrationSpec::new(&skype.package).between(tablet, phone),
+    )
+    .expect("migration");
     println!(
         "migrated in {} — replay skipped {} call(s):",
         report.stages.total(),

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example meeting_share`
 
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, WorldBuilder};
+use flux_core::{migrate, pair, MigrationSpec, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::svc::clipboard::ClipboardService;
 use flux_workloads::spec;
@@ -42,7 +42,11 @@ fn main() {
             Parcel::new().with_blob(b"owner: see board 3".to_vec()),
         )
         .expect("owner note");
-    let hop1 = migrate(&mut world, owner, alice, &app.package).expect("hop to alice");
+    let hop1 = migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(owner, alice),
+    )
+    .expect("hop to alice");
     println!("owner-phone -> alice-tablet: {}", hop1.stages.total());
 
     // Alice adds her note and passes it on to Bob. The hop out of Alice's
@@ -57,7 +61,11 @@ fn main() {
             Parcel::new().with_blob(b"alice: budget approved".to_vec()),
         )
         .expect("alice note");
-    let hop2 = migrate(&mut world, alice, bob, &app.package).expect("hop to bob");
+    let hop2 = migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(alice, bob),
+    )
+    .expect("hop to bob");
     println!("alice-tablet -> bob-tablet: {}", hop2.stages.total());
 
     // Bob's device sees Alice's latest note — the clipboard followed the
@@ -76,7 +84,11 @@ fn main() {
 
     // And back to the owner to wrap up the meeting.
     pair(&mut world, bob, owner).expect("bob->owner pairing");
-    let hop3 = migrate(&mut world, bob, owner, &app.package).expect("hop home");
+    let hop3 = migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(bob, owner),
+    )
+    .expect("hop home");
     println!("bob-tablet -> owner-phone: {}", hop3.stages.total());
     assert!(world.device(owner).unwrap().apps.contains_key(&app.package));
     println!(

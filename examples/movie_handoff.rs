@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example movie_handoff`
 
-use flux_core::{migrate, pair, WorldBuilder};
+use flux_core::{migrate, pair, MigrationSpec, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::svc::audio::{AudioService, STREAM_MUSIC};
 use flux_services::Event;
@@ -45,7 +45,11 @@ fn main() {
     println!("On the phone: music volume {phone_volume}/{phone_max}, audio focus held.");
 
     pair(&mut world, phone, tablet).expect("pairing");
-    let report = migrate(&mut world, phone, tablet, &netflix.package).expect("handoff");
+    let report = migrate(
+        &mut world,
+        MigrationSpec::new(&netflix.package).between(phone, tablet),
+    )
+    .expect("handoff");
     println!(
         "\nHandoff took {} ({} over the air); user-perceived {}.",
         report.stages.total(),

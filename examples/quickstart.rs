@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, WorldBuilder};
+use flux_core::{migrate, pair, MigrationSpec, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_services::svc::notification::NotificationManagerService;
 use flux_workloads::spec;
@@ -48,7 +48,11 @@ fn main() {
         pairing.system_sync.files_hard_linked
     );
 
-    let report = migrate(&mut world, phone, tablet, &app.package).expect("migration succeeds");
+    let report = migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(phone, tablet),
+    )
+    .expect("migration succeeds");
 
     println!(
         "\nMigrated {} from {} to {}:",

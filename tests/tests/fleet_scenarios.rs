@@ -8,16 +8,17 @@
 //! device byte-identical and their guest residue-free.
 //!
 //! The suite also pins the fleet path's fidelity: a single-request fleet
-//! must reproduce `migrate_configured`'s report *exactly* (same Debug
-//! rendering, same stage times), with the fleet makespan equal to the
-//! report's wall total.
+//! must reproduce a direct `migrate` run's report *exactly* (same Debug
+//! rendering, same stage times) once the direct run is handed the same
+//! forked RNG stream the executor assigns request 1, with the fleet
+//! makespan equal to the report's wall total.
 
 mod common;
 
 use flux_appfw::ActivityState;
 use flux_core::{
-    migrate_configured, FleetConfig, FleetOutcome, FleetScheduler, MigrationConfig,
-    MigrationRequest, RetryPolicy,
+    migrate, FleetConfig, FleetOutcome, FleetScheduler, MigrationConfig, MigrationRequest,
+    MigrationSpec, RetryPolicy, FLEET_RNG_STREAM,
 };
 use flux_simcore::SimDuration;
 
@@ -215,7 +216,7 @@ fn scenarios_preserve_per_app_state_under_contention() {
 }
 
 #[test]
-fn single_request_fleet_matches_migrate_configured_exactly() {
+fn single_request_fleet_matches_direct_migrate_exactly() {
     // Two identically-seeded worlds: one migrates directly, one through
     // the fleet path. The underlying engine must be indistinguishable.
     let (mut direct, pairs_d) = common::fleet_world(&["WhatsApp"], 4242);
@@ -223,12 +224,16 @@ fn single_request_fleet_matches_migrate_configured_exactly() {
     let (home_d, guest_d, pkg) = pairs_d[0].clone();
     let (home_f, guest_f, _) = pairs_f[0].clone();
 
-    let reference = migrate_configured(
+    // The executor forks one RNG root off the world's network stream per
+    // batch, then gives each request the root's id-keyed fork; hand the
+    // direct world request 1's exact stream.
+    let mut root = direct.net.fork_rng(FLEET_RNG_STREAM);
+    direct.net.set_rng(root.fork(1));
+    let reference = migrate(
         &mut direct,
-        home_d,
-        guest_d,
-        &pkg,
-        &MigrationConfig::default(),
+        MigrationSpec::new(&pkg)
+            .between(home_d, guest_d)
+            .config(MigrationConfig::default()),
     )
     .unwrap();
     let report = FleetScheduler::new(FleetConfig::default())

@@ -11,7 +11,7 @@
 
 mod common;
 
-use flux_core::migrate;
+use flux_core::{migrate, MigrationSpec};
 
 struct Golden {
     app: &'static str,
@@ -74,7 +74,7 @@ const GOLDEN: [Golden; 2] = [
 fn default_single_pair_migrate_matches_the_seed_figures() {
     for g in &GOLDEN {
         let (mut world, home, guest, pkg) = common::staged(g.app, common::SEED);
-        let r = migrate(&mut world, home, guest, &pkg).unwrap();
+        let r = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
         let ctx = g.app;
 
         // Stage times, to the nanosecond. The default engine has no

@@ -4,7 +4,7 @@ mod common;
 
 use common::staged_models as staged;
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, FluxError, StageFailure, WorldBuilder};
+use flux_core::{migrate, pair, FluxError, MigrationSpec, StageFailure, WorldBuilder};
 use flux_device::{DeviceModel, DeviceProfile};
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::notification::NotificationManagerService;
@@ -32,7 +32,7 @@ fn notification_state_follows_the_app() {
         .perform(home, &pkg, &Action::CancelNotification { id: 50 })
         .unwrap();
 
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
 
     let guest_dev = world.device(guest).unwrap();
     let uid = guest_dev.app_uid(&pkg).unwrap();
@@ -61,7 +61,7 @@ fn notification_state_follows_the_app() {
 fn pending_alarms_migrate_and_fire_on_guest() {
     let (mut world, home, guest, pkg) =
         staged("eBay", DeviceModel::Nexus7_2013, DeviceModel::Nexus7_2013);
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
 
     // The auction-ending alarm (420 s) is pending on the guest.
     let guest_dev = world.device(guest).unwrap();
@@ -116,7 +116,7 @@ fn sensor_connection_keeps_handle_and_descriptor() {
         )
     };
 
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
 
     let dev = world.device(guest).unwrap();
     let app = dev.apps.get(&pkg).unwrap();
@@ -157,7 +157,7 @@ fn virt_pid_is_stable_across_migration() {
         .unwrap()
         .virt_pid;
 
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
 
     let dev = world.device(guest).unwrap();
     let app = dev.apps.get(&pkg).unwrap();
@@ -180,7 +180,7 @@ fn migration_refusals_match_section_3_4() {
     let (mut world, home, guest, pkg) =
         staged("Facebook", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
     assert!(matches!(
-        migrate(&mut world, home, guest, &pkg),
+        migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)),
         Err(FluxError::Migration(StageFailure::MultiProcess {
             processes: 2
         }))
@@ -193,7 +193,7 @@ fn migration_refusals_match_section_3_4() {
         DeviceModel::Nexus7_2013,
     );
     assert!(matches!(
-        migrate(&mut world, home, guest, &pkg),
+        migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)),
         Err(FluxError::Migration(StageFailure::PreservedEglContext))
     ));
 
@@ -204,13 +204,13 @@ fn migration_refusals_match_section_3_4() {
         .perform(home, &pkg, &Action::BeginProviderQuery)
         .unwrap();
     assert!(matches!(
-        migrate(&mut world, home, guest, &pkg),
+        migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)),
         Err(FluxError::Migration(StageFailure::ContentProviderActive))
     ));
     world
         .perform(home, &pkg, &Action::EndProviderQuery)
         .unwrap();
-    assert!(migrate(&mut world, home, guest, &pkg).is_ok());
+    assert!(migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).is_ok());
 
     // Open common SD-card file.
     let (mut world, home, guest, pkg) =
@@ -225,7 +225,7 @@ fn migration_refusals_match_section_3_4() {
         )
         .unwrap();
     assert!(matches!(
-        migrate(&mut world, home, guest, &pkg),
+        migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)),
         Err(FluxError::Migration(StageFailure::CommonSdCardFile { .. }))
     ));
 
@@ -240,7 +240,10 @@ fn migration_refusals_match_section_3_4() {
         .unwrap();
     let (home, guest) = (ids[0], ids[1]);
     assert!(matches!(
-        migrate(&mut world, home, guest, &app.package),
+        migrate(
+            &mut world,
+            MigrationSpec::new(&app.package).between(home, guest)
+        ),
         Err(FluxError::Migration(StageFailure::NotPaired))
     ));
 }
@@ -262,7 +265,10 @@ fn api_level_incompatibility_is_refused() {
         .unwrap();
     let (home, guest) = (ids[0], ids[1]);
     assert!(matches!(
-        migrate(&mut world, home, guest, &app.package),
+        migrate(
+            &mut world,
+            MigrationSpec::new(&app.package).between(home, guest)
+        ),
         Err(FluxError::Migration(StageFailure::ApiLevelIncompatible {
             required: 19,
             guest: 17
@@ -274,7 +280,7 @@ fn api_level_incompatibility_is_refused() {
 fn dropped_network_connections_are_reported() {
     let (mut world, home, guest, pkg) =
         staged("Netflix", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
-    let report = migrate(&mut world, home, guest, &pkg).unwrap();
+    let report = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
     assert_eq!(report.dropped_connections.len(), 1);
     assert!(report.dropped_connections[0].contains(":443"));
 }
@@ -283,7 +289,7 @@ fn dropped_network_connections_are_reported() {
 fn receivers_get_connectivity_change_after_migration() {
     let (mut world, home, guest, pkg) =
         staged("Skype", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
     // Skype registered a CONNECTIVITY_CHANGE receiver; replay re-registered
     // it, so the disconnect + reconnect broadcasts reached the app.
     let events = world
@@ -311,9 +317,10 @@ fn all_sixteen_migratable_apps_succeed_on_the_hardest_pair() {
         }
         let (mut world, home, guest, pkg) =
             staged(&app.name, DeviceModel::Nexus7_2012, DeviceModel::Nexus4);
-        let report = migrate(&mut world, home, guest, &pkg).unwrap_or_else(|e| {
-            panic!("{} failed: {e}", app.name);
-        });
+        let report = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest))
+            .unwrap_or_else(|e| {
+                panic!("{} failed: {e}", app.name);
+            });
         // The vendor GL library was swapped to the guest's.
         let dev = world.device(guest).unwrap();
         let a = dev.apps.get(&pkg).unwrap();
@@ -333,7 +340,7 @@ fn all_sixteen_migratable_apps_succeed_on_the_hardest_pair() {
 fn migrate_back_home_round_trip() {
     let (mut world, home, guest, pkg) =
         staged("Bible", DeviceModel::Nexus4, DeviceModel::Nexus7_2013);
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
 
     // Add state on the guest, then bring the app home.
     world
@@ -347,7 +354,7 @@ fn migrate_back_home_round_trip() {
         )
         .unwrap();
     pair(&mut world, guest, home).unwrap();
-    migrate(&mut world, guest, home, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(guest, home)).unwrap();
 
     let home_dev = world.device(home).unwrap();
     let uid = home_dev.app_uid(&pkg).unwrap();
@@ -379,7 +386,11 @@ fn recording_disabled_blocks_nothing_but_replays_nothing() {
         .run_script(home, &app.package, &app.actions.clone())
         .unwrap();
     pair(&mut world, home, guest).unwrap();
-    let report = migrate(&mut world, home, guest, &app.package).unwrap();
+    let report = migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(home, guest),
+    )
+    .unwrap();
     // Vanilla AOSP mode: nothing recorded, so nothing to replay — the
     // notification does NOT follow the app.
     assert_eq!(report.replay.total(), 0);
@@ -426,7 +437,7 @@ fn clipboard_call_with_replay_keeps_only_latest_clip() {
         .count();
     assert_eq!(clip_entries, 1);
 
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
     let clip = world
         .device(guest)
         .unwrap()

@@ -6,7 +6,7 @@ mod common;
 
 use common::staged;
 use flux_appfw::ActivityState;
-use flux_core::{migrate, migrate_configured, pair, MigrationConfig, RetryPolicy};
+use flux_core::{migrate, pair, MigrationConfig, MigrationSpec, RetryPolicy};
 use flux_simcore::{ByteSize, FaultConfig, FaultPlan, SimDuration};
 
 #[test]
@@ -15,8 +15,14 @@ fn serial_config_is_bit_identical_to_default_migrate() {
     // virtual clock, telemetry snapshot.
     let (mut base, h1, g1, pkg) = staged("WhatsApp", 77);
     let (mut cfgd, h2, g2, _) = staged("WhatsApp", 77);
-    let r1 = migrate(&mut base, h1, g1, &pkg).unwrap();
-    let r2 = migrate_configured(&mut cfgd, h2, g2, &pkg, &MigrationConfig::default()).unwrap();
+    let r1 = migrate(&mut base, MigrationSpec::new(&pkg).between(h1, g1)).unwrap();
+    let r2 = migrate(
+        &mut cfgd,
+        MigrationSpec::new(&pkg)
+            .between(h2, g2)
+            .config(MigrationConfig::default()),
+    )
+    .unwrap();
     assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
     assert_eq!(base.clock.now(), cfgd.clock.now());
     for w in [&mut base, &mut cfgd] {
@@ -45,8 +51,12 @@ fn stage_overlap_hides_compression_behind_the_radio() {
     };
     let (mut serial, h1, g1, pkg) = staged("Candy Crush Saga", 42);
     let (mut piped, h2, g2, _) = staged("Candy Crush Saga", 42);
-    let rs = migrate(&mut serial, h1, g1, &pkg).unwrap();
-    let rp = migrate_configured(&mut piped, h2, g2, &pkg, &cfg).unwrap();
+    let rs = migrate(&mut serial, MigrationSpec::new(&pkg).between(h1, g1)).unwrap();
+    let rp = migrate(
+        &mut piped,
+        MigrationSpec::new(&pkg).between(h2, g2).config(cfg),
+    )
+    .unwrap();
 
     // Same bytes over the air — the pipeline only reorders the work.
     assert_eq!(rp.ledger, rs.ledger);
@@ -65,8 +75,14 @@ fn stage_overlap_hides_compression_behind_the_radio() {
 fn precopy_shrinks_the_frozen_ship_and_the_user_wait() {
     let (mut serial, h1, g1, pkg) = staged("Candy Crush Saga", 42);
     let (mut piped, h2, g2, _) = staged("Candy Crush Saga", 42);
-    let rs = migrate(&mut serial, h1, g1, &pkg).unwrap();
-    let rp = migrate_configured(&mut piped, h2, g2, &pkg, &MigrationConfig::pipelined()).unwrap();
+    let rs = migrate(&mut serial, MigrationSpec::new(&pkg).between(h1, g1)).unwrap();
+    let rp = migrate(
+        &mut piped,
+        MigrationSpec::new(&pkg)
+            .between(h2, g2)
+            .config(MigrationConfig::pipelined()),
+    )
+    .unwrap();
 
     // Pre-copy streamed pages before the freeze, shrinking the frozen ship.
     assert!(rp.ledger.precopy_streamed > ByteSize::ZERO);
@@ -86,8 +102,13 @@ fn precopy_shrinks_the_frozen_ship_and_the_user_wait() {
 fn pipelined_wall_accounting_matches_the_clock() {
     let (mut world, home, guest, pkg) = staged("Candy Crush Saga", 9);
     let t0 = world.clock.now();
-    let r =
-        migrate_configured(&mut world, home, guest, &pkg, &MigrationConfig::pipelined()).unwrap();
+    let r = migrate(
+        &mut world,
+        MigrationSpec::new(&pkg)
+            .between(home, guest)
+            .config(MigrationConfig::pipelined()),
+    )
+    .unwrap();
     assert_eq!(r.attempts, 1);
     // busy − overlap = wall: the stage accounting reproduces the virtual
     // clock exactly, with nothing double-counted or lost.
@@ -98,8 +119,13 @@ fn pipelined_wall_accounting_matches_the_clock() {
 fn pipelined_migration_is_deterministic() {
     let run = || {
         let (mut world, home, guest, pkg) = staged("Netflix", 1234);
-        let r = migrate_configured(&mut world, home, guest, &pkg, &MigrationConfig::pipelined())
-            .unwrap();
+        let r = migrate(
+            &mut world,
+            MigrationSpec::new(&pkg)
+                .between(home, guest)
+                .config(MigrationConfig::pipelined()),
+        )
+        .unwrap();
         (format!("{r:?}"), world.clock.now())
     };
     assert_eq!(run(), run());
@@ -114,13 +140,25 @@ fn warm_cache_ships_fewer_bytes_on_a_repeat_migration() {
     let (mut world, home, guest, pkg) = staged("Bible", 31);
 
     // Cold: everything misses; delivery populates the guest's cache.
-    let cold = migrate_configured(&mut world, home, guest, &pkg, &cfg).unwrap();
+    let cold = migrate(
+        &mut world,
+        MigrationSpec::new(&pkg).between(home, guest).config(cfg),
+    )
+    .unwrap();
     assert_eq!(cold.ledger.cache_hit, ByteSize::ZERO);
 
     // Round-trip the app home, then repeat the original migration.
     pair(&mut world, guest, home).unwrap();
-    migrate_configured(&mut world, guest, home, &pkg, &cfg).unwrap();
-    let warm = migrate_configured(&mut world, home, guest, &pkg, &cfg).unwrap();
+    migrate(
+        &mut world,
+        MigrationSpec::new(&pkg).between(guest, home).config(cfg),
+    )
+    .unwrap();
+    let warm = migrate(
+        &mut world,
+        MigrationSpec::new(&pkg).between(home, guest).config(cfg),
+    )
+    .unwrap();
 
     // Restore preserves VMA content identity, so the re-checkpointed image
     // addresses the same chunks the guest already holds.
@@ -150,7 +188,12 @@ fn faulted_pipelined_migration_is_still_transactional() {
             retry: RetryPolicy::none(),
             ..MigrationConfig::pipelined()
         };
-        if migrate_configured(&mut world, home, guest, &pkg, &cfg).is_err() {
+        if migrate(
+            &mut world,
+            MigrationSpec::new(&pkg).between(home, guest).config(cfg),
+        )
+        .is_err()
+        {
             saw_rollback = true;
             let home_dev = world.device(home).unwrap();
             let happ = home_dev.apps.get(&pkg).expect("app back home");

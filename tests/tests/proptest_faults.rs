@@ -10,7 +10,7 @@
 mod common;
 
 use flux_appfw::ActivityState;
-use flux_core::{migrate_with, FluxError, RetryPolicy, StageFailure};
+use flux_core::{migrate, FluxError, MigrationSpec, RetryPolicy, StageFailure};
 use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
 use proptest::prelude::*;
 
@@ -48,7 +48,7 @@ proptest! {
         } else {
             RetryPolicy::default()
         };
-        match migrate_with(&mut world, home, guest, &pkg, &policy) {
+        match migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest).retry(policy)) {
             Ok(report) => {
                 // Full success: the app lives on the guest, gone from home.
                 prop_assert!(world.device(guest).unwrap().apps.contains_key(&pkg));
@@ -97,12 +97,12 @@ proptest! {
         );
         let (mut world, home, guest, pkg) = common::staged_faulty("WhatsApp", seed, plan);
 
-        let first = migrate_with(&mut world, home, guest, &pkg, &RetryPolicy::none());
+        let first = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest).retry(RetryPolicy::none()));
         if first.is_err() {
             // Clear the faults (e.g. the user walked back into range) and
             // migrate again: the rolled-back world must behave like new.
             world.fault_plan = FaultPlan::none();
-            let second = migrate_with(&mut world, home, guest, &pkg, &RetryPolicy::none());
+            let second = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest).retry(RetryPolicy::none()));
             prop_assert!(second.is_ok(), "post-rollback migration failed: {:?}", second.err());
             prop_assert!(world.device(guest).unwrap().apps.contains_key(&pkg));
         }

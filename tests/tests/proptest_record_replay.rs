@@ -8,7 +8,7 @@
 mod common;
 
 use flux_binder::Parcel;
-use flux_core::{migrate, pair, DeviceId, FluxWorld};
+use flux_core::{migrate, pair, DeviceId, FluxWorld, MigrationSpec};
 use flux_services::svc::alarm::AlarmManagerService;
 use flux_services::svc::notification::NotificationManagerService;
 use flux_simcore::Uid;
@@ -157,7 +157,7 @@ proptest! {
         let before = observe(&world, home, home_uid);
 
         pair(&mut world, home, guest).unwrap();
-        migrate(&mut world, home, guest, &app.package).unwrap();
+        migrate(&mut world, MigrationSpec::new(&app.package).between(home, guest)).unwrap();
 
         let guest_uid = world.device(guest).unwrap().app_uid(&app.package).unwrap();
         let after = observe(&world, guest, guest_uid);
@@ -210,7 +210,11 @@ fn unmatched_remove_then_set_keeps_the_alarm_across_migration() {
     assert_eq!(before.1.len(), 1, "op0 is pending on the home device");
 
     pair(&mut world, home, guest).unwrap();
-    migrate(&mut world, home, guest, &app.package).unwrap();
+    migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(home, guest),
+    )
+    .unwrap();
 
     let guest_uid = world.device(guest).unwrap().app_uid(&app.package).unwrap();
     let after = observe(&world, guest, guest_uid);

@@ -16,8 +16,8 @@ mod common;
 
 use flux_appfw::ActivityState;
 use flux_core::{
-    migrate, migrate_configured, migrate_with, FleetConfig, FleetScheduler, FluxError,
-    MigrationConfig, MigrationRequest, MigrationStage, RetryPolicy, StageFailure,
+    migrate, FleetConfig, FleetScheduler, FluxError, MigrationConfig, MigrationRequest,
+    MigrationSpec, MigrationStage, RetryPolicy, StageFailure,
 };
 use flux_simcore::{FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime};
 use flux_telemetry::{stage_span_name, REPORT_STAGES, STAGE_SPAN_PREFIX};
@@ -31,7 +31,11 @@ const APP: &str = "WhatsApp";
 /// blanketed stage consults the plan.
 fn probe_span_window(cfg: &MigrationConfig, span: &str) -> (SimTime, SimTime) {
     let (mut world, home, guest, pkg) = common::staged(APP, SEED);
-    migrate_configured(&mut world, home, guest, &pkg, cfg).expect("probe migration succeeds");
+    migrate(
+        &mut world,
+        MigrationSpec::new(&pkg).between(home, guest).config(*cfg),
+    )
+    .expect("probe migration succeeds");
     let s = world
         .telemetry
         .spans()
@@ -82,8 +86,13 @@ fn assert_aborts_at(plan: FaultPlan, expected: MigrationStage) {
         .cloned()
         .unwrap_or_default();
 
-    let err = migrate_with(&mut world, home, guest, &pkg, &RetryPolicy::none())
-        .expect_err("blanketed stage must abort the migration");
+    let err = migrate(
+        &mut world,
+        MigrationSpec::new(&pkg)
+            .between(home, guest)
+            .retry(RetryPolicy::none()),
+    )
+    .expect_err("blanketed stage must abort the migration");
     match err {
         FluxError::Migration(StageFailure::FaultAborted {
             stage, attempts, ..
@@ -159,7 +168,7 @@ fn faults_outside_consulting_stages_do_not_perturb_the_migration() {
             // so it cannot leak into a consulting stage.
             let plan = blanket(kind, from, to, SimDuration::ZERO);
             let (mut world, home, guest, pkg) = common::staged_faulty(APP, SEED, plan);
-            let report = migrate(&mut world, home, guest, &pkg)
+            let report = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest))
                 .expect("fault-isolated stage must not abort");
             assert_eq!(report.faults, 0, "{stage} consumed a fault it must ignore");
             assert_eq!(report.attempts, 1);
@@ -178,7 +187,11 @@ fn faulted_precopy_is_abandoned_not_fatal() {
         ..MigrationConfig::default()
     };
     let (mut probe, home, guest, pkg) = common::staged(APP, SEED);
-    migrate_configured(&mut probe, home, guest, &pkg, &cfg).expect("probe succeeds");
+    migrate(
+        &mut probe,
+        MigrationSpec::new(&pkg).between(home, guest).config(cfg),
+    )
+    .expect("probe succeeds");
     let span = probe
         .telemetry
         .spans()
@@ -194,7 +207,10 @@ fn faulted_precopy_is_abandoned_not_fatal() {
         SimDuration::ZERO,
     );
     let (mut world, home, guest, pkg) = common::staged_faulty(APP, SEED, plan);
-    let outcome = migrate_configured(&mut world, home, guest, &pkg, &cfg);
+    let outcome = migrate(
+        &mut world,
+        MigrationSpec::new(&pkg).between(home, guest).config(cfg),
+    );
 
     // The abandonment event must have fired — the blanket hit pre-copy.
     assert!(
@@ -231,8 +247,13 @@ fn faulted_precopy_is_abandoned_not_fatal() {
 #[test]
 fn emitted_stage_spans_match_the_declared_stages() {
     let (mut world, home, guest, pkg) = common::staged(APP, SEED);
-    migrate_configured(&mut world, home, guest, &pkg, &MigrationConfig::pipelined())
-        .expect("pipelined migration succeeds");
+    migrate(
+        &mut world,
+        MigrationSpec::new(&pkg)
+            .between(home, guest)
+            .config(MigrationConfig::pipelined()),
+    )
+    .expect("pipelined migration succeeds");
 
     let declared: Vec<String> = REPORT_STAGES.iter().map(|s| stage_span_name(s)).collect();
     let mut seen = Vec::new();
@@ -254,8 +275,8 @@ fn emitted_stage_spans_match_the_declared_stages() {
     }
 }
 
-/// All three public entry points — `migrate`, `migrate_configured` and
-/// the fleet scheduler — execute through `engine::run`, observable as
+/// Every public entry point — `migrate` under any `MigrationSpec` and
+/// the fleet scheduler — executes through `engine::run`, observable as
 /// one `flux.engine.runs` tick per migration.
 #[test]
 fn every_entry_point_runs_through_the_engine() {
@@ -266,15 +287,27 @@ fn every_entry_point_runs_through_the_engine() {
     };
 
     let (mut world, home, guest, pkg) = common::staged(APP, SEED);
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
     assert_eq!(engine_runs(&mut world), 1);
 
     let (mut world, home, guest, pkg) = common::staged(APP, SEED);
-    migrate_configured(&mut world, home, guest, &pkg, &MigrationConfig::pipelined()).unwrap();
+    migrate(
+        &mut world,
+        MigrationSpec::new(&pkg)
+            .between(home, guest)
+            .config(MigrationConfig::pipelined()),
+    )
+    .unwrap();
     assert_eq!(engine_runs(&mut world), 1);
 
     let (mut world, home, guest, pkg) = common::staged(APP, SEED);
-    migrate_with(&mut world, home, guest, &pkg, &RetryPolicy::default()).unwrap();
+    migrate(
+        &mut world,
+        MigrationSpec::new(&pkg)
+            .between(home, guest)
+            .retry(RetryPolicy::default()),
+    )
+    .unwrap();
     assert_eq!(engine_runs(&mut world), 1);
 
     let (mut world, pairs) = common::fleet_world(&["WhatsApp", "Facebook"], SEED);
@@ -295,7 +328,11 @@ fn every_entry_point_runs_through_the_engine() {
 
     // Even a refused migration (preflight) enters the engine first.
     let (mut world, home, guest, pkg) = common::staged(APP, SEED);
-    assert!(migrate(&mut world, home, guest, "not.a.package").is_err());
-    migrate(&mut world, home, guest, &pkg).unwrap();
+    assert!(migrate(
+        &mut world,
+        MigrationSpec::new("not.a.package").between(home, guest)
+    )
+    .is_err());
+    migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
     assert_eq!(engine_runs(&mut world), 2);
 }

@@ -6,7 +6,7 @@
 
 mod common;
 
-use flux_core::{migrate, pair, FluxWorld, MigrationReport, WorldBuilder};
+use flux_core::{migrate, pair, FluxWorld, MigrationReport, MigrationSpec, WorldBuilder};
 use flux_device::DeviceProfile;
 use flux_simcore::{FaultConfig, FaultPlan, SimDuration};
 use flux_telemetry::{chrome_trace, json, json_snapshot, MigrationProfile};
@@ -16,7 +16,8 @@ use flux_workloads::spec;
 /// (2013), with telemetry finished and harvested at the end.
 fn run_scenario(seed: u64, plan: FaultPlan) -> (FluxWorld, MigrationReport) {
     let (mut world, home, guest, pkg) = common::staged_faulty("WhatsApp", seed, plan);
-    let report = migrate(&mut world, home, guest, &pkg).expect("migrate");
+    let report =
+        migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).expect("migrate");
     world.harvest_metrics();
     let now = world.clock.now();
     world.telemetry.finish(now);
@@ -133,7 +134,11 @@ fn event_capacity_caps_the_log_and_counts_drops() {
         .run_script(home, &app.package, &app.actions.clone())
         .expect("script");
     pair(&mut world, home, guest).expect("pair");
-    migrate(&mut world, home, guest, &app.package).expect("migrate");
+    migrate(
+        &mut world,
+        MigrationSpec::new(&app.package).between(home, guest),
+    )
+    .expect("migrate");
     world.harvest_metrics();
     assert!(world.trace().len() <= 4);
     assert!(world.telemetry.dropped_events() > 0);

@@ -1,15 +1,191 @@
-//! Offline stub of `serde`.
+//! Offline stand-in for `serde`.
 //!
-//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
-//! no-op derive macros so `#[derive(Serialize, Deserialize)]` and
-//! `#[derive(serde::Serialize, serde::Deserialize)]` compile unchanged.
-//! Nothing in the flux workspace actually serialises through serde (no
-//! serde_json / bincode in the tree), so empty expansions are sufficient.
+//! Re-exports the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! and `#[derive(serde::Serialize, serde::Deserialize)]` keep compiling
+//! unchanged (the derives expand to nothing, so derived types carry no
+//! impl). Unlike the original marker-only stub, [`Serialize`] is a real —
+//! if deliberately small — trait: a type that implements it can append its
+//! compact JSON encoding to a buffer, and [`to_json`] turns any such value
+//! into a `String`. That is all the flux workspace needs to write bench
+//! artifacts like `BENCH_throughput.json` without a hand-rolled formatter,
+//! while staying entirely offline (no serde_json / bincode in the tree).
+//!
+//! The encoding is canonical: no whitespace, object fields in the order the
+//! implementor writes them, `\u{XXXX}` escapes only where JSON requires
+//! them. Equal values therefore serialize to byte-identical documents,
+//! which the determinism suites rely on.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
+/// A value that can append its compact JSON encoding to a buffer.
+///
+/// Stand-in for `serde::Serialize`; the single required method replaces
+/// the serializer plumbing of the real crate.
+pub trait Serialize {
+    /// Appends the compact JSON encoding of `self` to `out`.
+    fn serialize(&self, out: &mut String);
+}
 
 /// Marker trait standing in for `serde::Deserialize`.
 pub trait Deserialize<'de>: Sized {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    out
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as JSON: shortest round-trip form, with a `.0` suffix
+/// for integral values so numbers stay visibly floating-point. Non-finite
+/// values (which JSON cannot represent) render as `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+/// Incremental writer for a JSON object: `object(out)` opens `{`, each
+/// [`field`](ObjectWriter::field) emits `"name":value` with commas managed,
+/// and [`end`](ObjectWriter::end) closes `}`.
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+/// Opens a JSON object on `out`.
+pub fn object(out: &mut String) -> ObjectWriter<'_> {
+    out.push('{');
+    ObjectWriter { out, first: true }
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Writes one `"name": value` member.
+    pub fn field<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) -> &mut Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, name);
+        self.out.push(':');
+        value.serialize(self.out);
+        self
+    }
+
+    /// Closes the object.
+    pub fn end(self) {
+        self.out.push('}');
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        write_f64(out, *self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        write_f64(out, f64::from(*self));
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+/// Pairs render as two-element arrays (the shape the medium's per-flow
+/// allocation lists use).
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize(out);
+        out.push(',');
+        self.1.serialize(out);
+        out.push(']');
+    }
+}
