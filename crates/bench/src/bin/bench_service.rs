@@ -1,0 +1,293 @@
+//! Service journal benchmarks and the kill-at-offset recovery matrix.
+//!
+//! Two parts, results in `BENCH_service.json` at the repo root:
+//!
+//! 1. **Replay throughput** — writes a synthetic journal of N events, then
+//!    measures cold `Journal::open` (CRC scan of every segment) plus
+//!    `WorldEvent::decode` of every payload. Gate: ≥ 10k events/sec.
+//! 2. **Kill-at-offset matrix** — runs a scripted service session to a
+//!    baseline state, then for a sweep of byte offsets across the journal
+//!    stream: truncates a copy at that offset (simulating a crash that
+//!    lost everything after it), recovers, re-drives the same command
+//!    script (the client retry path), and requires the final durable
+//!    state to be **byte-identical** to the baseline. Also checks that
+//!    every request whose submission survived the cut is still
+//!    acknowledged after recovery.
+//!
+//! ```text
+//! cargo run --release -p flux-bench --bin bench-service            # full
+//! cargo run --release -p flux-bench --bin bench-service -- --smoke # quick
+//! ```
+
+use flux_journal::{
+    Journal, JournalConfig, RequestSpec, ScenarioSpec, ServiceConfig, ServiceCore, WorldEvent,
+};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flux-bench-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create copy target");
+    for entry in std::fs::read_dir(from).expect("read source dir") {
+        let entry = entry.expect("dir entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).expect("copy file");
+        }
+    }
+}
+
+/// Part 1: cold-open + decode throughput over a synthetic journal.
+fn replay_throughput(events: u64) -> (f64, f64) {
+    let dir = tmp_dir("replay");
+    {
+        let mut journal = Journal::open(
+            &dir,
+            JournalConfig {
+                segment_bytes: 1 << 20,
+                sync_on_append: false,
+            },
+        )
+        .expect("journal opens")
+        .journal;
+        for id in 0..events {
+            let event = WorldEvent::RequestSubmitted {
+                req: RequestSpec {
+                    id,
+                    pair: id % 7,
+                    package: format!("com.example.app{}", id % 23),
+                    priority: (id % 5) as u8,
+                },
+            };
+            journal.append(&event.encode()).expect("append");
+        }
+        journal.sync().expect("sync");
+    }
+    // Best of three cold scans: open recovers every frame, then every
+    // payload decodes back into a WorldEvent.
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let recovered = Journal::open(&dir, JournalConfig::default()).expect("reopen");
+        let mut decoded = 0u64;
+        for payload in &recovered.events {
+            let event = WorldEvent::decode(payload).expect("decodes");
+            if !event.is_audit() {
+                decoded += 1;
+            }
+        }
+        assert_eq!(decoded, events, "every event survives the round trip");
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    (best, events as f64 / best.max(1e-9))
+}
+
+fn script_req(id: u64, pair: u64, priority: u8) -> RequestSpec {
+    RequestSpec {
+        id,
+        pair,
+        package: flux_workloads::spec(ScenarioSpec::app_for(pair))
+            .expect("pool app exists")
+            .package,
+        priority,
+    }
+}
+
+/// The scripted session that builds the baseline journal.
+fn drive_script(core: &mut ServiceCore) {
+    core.submit(script_req(1, 0, 0)).expect("submit 1");
+    core.submit(script_req(2, 1, 3)).expect("submit 2");
+    core.step_batch().expect("batch 0 runs");
+    core.submit(script_req(3, 0, 0)).expect("submit 3");
+    core.submit(script_req(4, 1, 0)).expect("submit 4");
+    core.submit(script_req(5, 0, 1)).expect("submit 5");
+    core.step_batch().expect("batch 1 runs");
+}
+
+/// The client retry path after a crash: resubmit everything (idempotent)
+/// and step until the service drains.
+fn drive_retry(core: &mut ServiceCore) {
+    for (id, pair, priority) in [(1, 0, 0), (2, 1, 3), (3, 0, 0), (4, 1, 0), (5, 0, 1)] {
+        core.submit(script_req(id, pair, priority))
+            .expect("resubmit");
+    }
+    while core.step_batch().expect("drain batch").is_some() {}
+}
+
+struct KillMatrix {
+    offsets_checked: u64,
+    stream_bytes: u64,
+    all_identical: bool,
+    acked_preserved: bool,
+    worst_recovery_secs: f64,
+}
+
+/// Part 2: truncate the journal stream at a sweep of offsets. For every
+/// cut, recovery (newest valid snapshot + suffix replay) must be
+/// byte-identical to an *uninterrupted reference service* that processed
+/// exactly the surviving input events — and stay identical after both
+/// handle the same client retry traffic.
+fn kill_matrix(offsets: u64) -> KillMatrix {
+    let spec = ScenarioSpec {
+        seed: 0x7417,
+        pairs: 2,
+        scripted: false,
+        max_in_flight: 2,
+    };
+    let cfg = ServiceConfig {
+        snapshot_every: 5,
+        journal: JournalConfig {
+            segment_bytes: 2048,
+            sync_on_append: false,
+        },
+    };
+    let root = tmp_dir("baseline");
+    {
+        let mut core = ServiceCore::open(&root, spec.clone(), cfg).expect("service opens");
+        drive_script(&mut core);
+    }
+    let journal_dir = root.join("journal");
+    let total = flux_journal::journal::stream_len(&journal_dir).expect("stream length");
+
+    let mut matrix = KillMatrix {
+        offsets_checked: 0,
+        stream_bytes: total,
+        all_identical: true,
+        acked_preserved: true,
+        worst_recovery_secs: 0.0,
+    };
+    let step = (total / offsets.max(1)).max(1);
+    let mut cut = 0;
+    while cut <= total {
+        let work = tmp_dir("kill");
+        copy_tree(&root, &work);
+        flux_journal::journal::truncate_stream_at(&work.join("journal"), cut).expect("truncate");
+
+        // The surviving input events define what an uninterrupted service
+        // would have processed; submissions among them were acknowledged
+        // pre-crash and must never be lost.
+        let surviving = Journal::open(work.join("journal"), JournalConfig::default())
+            .expect("peek surviving prefix");
+        let inputs: Vec<WorldEvent> = surviving
+            .events
+            .iter()
+            .map(|p| WorldEvent::decode(p).expect("decodes"))
+            .collect();
+        drop(surviving);
+        let surviving_ids: Vec<u64> = inputs
+            .iter()
+            .filter_map(|e| match e {
+                WorldEvent::RequestSubmitted { req } => Some(req.id),
+                _ => None,
+            })
+            .collect();
+
+        // Recover the cut copy: snapshot + suffix replay.
+        let started = Instant::now();
+        let mut recovered = ServiceCore::open(&work, spec.clone(), cfg).expect("recovery succeeds");
+        matrix.worst_recovery_secs = matrix
+            .worst_recovery_secs
+            .max(started.elapsed().as_secs_f64());
+
+        // The reference: a fresh service fed the same inputs through the
+        // public API, no crash, no snapshot shortcut.
+        let ref_root = tmp_dir("reference");
+        let mut reference =
+            ServiceCore::open(&ref_root, spec.clone(), cfg).expect("reference opens");
+        for event in &inputs {
+            match event {
+                WorldEvent::RequestSubmitted { req } => {
+                    reference.submit(req.clone()).expect("reference submit");
+                }
+                WorldEvent::BatchAdmitted { .. } => {
+                    reference.step_batch().expect("reference step");
+                }
+                _ => {}
+            }
+        }
+
+        if !surviving_ids.iter().all(|id| recovered.is_acked(*id)) {
+            eprintln!("cut {cut}: an acknowledged request was lost");
+            matrix.acked_preserved = false;
+        }
+        if recovered.state_json() != reference.state_json() {
+            eprintln!("cut {cut}: recovered state diverged from the uninterrupted reference");
+            matrix.all_identical = false;
+        }
+        // Recovery must also be transparent going forward: identical
+        // behaviour under identical retry traffic.
+        drive_retry(&mut recovered);
+        drive_retry(&mut reference);
+        if recovered.state_json() != reference.state_json() {
+            eprintln!("cut {cut}: post-recovery traffic diverged from the reference");
+            matrix.all_identical = false;
+        }
+        matrix.offsets_checked += 1;
+        std::fs::remove_dir_all(&work).expect("cleanup work dir");
+        std::fs::remove_dir_all(&ref_root).expect("cleanup reference dir");
+        cut += step;
+    }
+    std::fs::remove_dir_all(&root).expect("cleanup baseline");
+    matrix
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let events: u64 = if smoke { 5_000 } else { 50_000 };
+    let offsets: u64 = if smoke { 8 } else { 48 };
+
+    println!("service bench: {events} replay events, ~{offsets} kill offsets");
+
+    let (replay_secs, events_per_sec) = replay_throughput(events);
+    println!("  replay: {events} events in {replay_secs:.3}s = {events_per_sec:.0} events/sec");
+    assert!(
+        events_per_sec >= 10_000.0,
+        "replay throughput gate: {events_per_sec:.0} events/sec < 10k"
+    );
+
+    let matrix = kill_matrix(offsets);
+    println!(
+        "  kill matrix: {} offsets over {} bytes, identical={}, acked_preserved={}, \
+         worst recovery {:.3}s",
+        matrix.offsets_checked,
+        matrix.stream_bytes,
+        matrix.all_identical,
+        matrix.acked_preserved,
+        matrix.worst_recovery_secs,
+    );
+    assert!(
+        matrix.all_identical,
+        "a kill offset produced divergent recovered state"
+    );
+    assert!(
+        matrix.acked_preserved,
+        "a kill offset lost an acknowledged request"
+    );
+
+    let mut out = String::new();
+    {
+        let mut obj = serde::object(&mut out);
+        obj.field("bench", &"service_recovery")
+            .field("smoke", &smoke)
+            .field("replay_events", &events)
+            .field("replay_secs", &replay_secs)
+            .field("replay_events_per_sec", &events_per_sec)
+            .field("kill_offsets_checked", &matrix.offsets_checked)
+            .field("journal_stream_bytes", &matrix.stream_bytes)
+            .field("kill_matrix_identical", &matrix.all_identical)
+            .field("acked_preserved", &matrix.acked_preserved)
+            .field("worst_recovery_secs", &matrix.worst_recovery_secs);
+        obj.end();
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, format!("{out}\n")).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

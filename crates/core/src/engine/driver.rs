@@ -16,7 +16,7 @@ use super::failure::StageFailure;
 use super::finalise::Finalise;
 use super::{preflight, Stage, StageCtx, StageOutcome, ATTEMPT_STAGES};
 use crate::errors::FluxError;
-use crate::migration::{MigrationConfig, MigrationReport, MigrationSpec, RetryPolicy};
+use crate::migration::{MigrationConfig, MigrationReport, MigrationSpec};
 use crate::world::{DeviceId, FluxWorld};
 use flux_simcore::{FaultPlan, SimTime, TraceKind};
 use flux_telemetry::LaneId;
@@ -52,46 +52,6 @@ pub fn migrate(world: &mut FluxWorld, spec: MigrationSpec) -> Result<MigrationRe
         world.fault_plan = plan;
     }
     result
-}
-
-/// Positional-argument ancestor of [`migrate`] with an explicit retry
-/// policy.
-#[deprecated(
-    note = "use `migrate(world, MigrationSpec::new(package).between(home, guest).retry(*policy))`"
-)]
-pub fn migrate_with(
-    world: &mut FluxWorld,
-    home: DeviceId,
-    guest: DeviceId,
-    package: &str,
-    policy: &RetryPolicy,
-) -> Result<MigrationReport, FluxError> {
-    migrate(
-        world,
-        MigrationSpec::new(package)
-            .between(home, guest)
-            .retry(*policy),
-    )
-}
-
-/// Positional-argument ancestor of [`migrate`] with explicit feature
-/// switches.
-#[deprecated(
-    note = "use `migrate(world, MigrationSpec::new(package).between(home, guest).config(*cfg))`"
-)]
-pub fn migrate_configured(
-    world: &mut FluxWorld,
-    home: DeviceId,
-    guest: DeviceId,
-    package: &str,
-    cfg: &MigrationConfig,
-) -> Result<MigrationReport, FluxError> {
-    migrate(
-        world,
-        MigrationSpec::new(package)
-            .between(home, guest)
-            .config(*cfg),
-    )
 }
 
 /// The engine entry point: admits the migration, then drives the stage

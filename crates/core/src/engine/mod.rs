@@ -32,8 +32,6 @@ pub mod undump;
 
 pub use ctx::StageCtx;
 pub use driver::{migrate, run};
-#[allow(deprecated)]
-pub use driver::{migrate_configured, migrate_with};
 pub use failure::StageFailure;
 pub use replay_warmup::broadcast_connectivity;
 

@@ -27,6 +27,11 @@ pub enum FluxError {
     Binder(BinderError),
     /// A world was configured inconsistently (builder validation).
     Config(String),
+    /// An error read back from a serialized report (journal recovery,
+    /// snapshot restore). Errors serialize as their [`fmt::Display`]
+    /// string, so the enum structure is not recoverable; the raw string is
+    /// carried verbatim, and re-serializing reproduces the original bytes.
+    Recovered(String),
 }
 
 impl fmt::Display for FluxError {
@@ -36,6 +41,7 @@ impl fmt::Display for FluxError {
             FluxError::Migration(e) => write!(f, "{e}"),
             FluxError::Binder(e) => write!(f, "binder: {e}"),
             FluxError::Config(m) => write!(f, "world configuration: {m}"),
+            FluxError::Recovered(m) => f.write_str(m),
         }
     }
 }
@@ -48,13 +54,22 @@ impl serde::Serialize for FluxError {
     }
 }
 
+/// Deserializes from the Display string into [`FluxError::Recovered`]; the
+/// round-trip back to JSON is byte-identical even though the original
+/// variant is gone.
+impl<'de> serde::Deserialize<'de> for FluxError {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        String::deserialize(v).map(FluxError::Recovered)
+    }
+}
+
 impl Error for FluxError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FluxError::World(e) => Some(e),
             FluxError::Migration(e) => Some(e),
             FluxError::Binder(e) => Some(e),
-            FluxError::Config(_) => None,
+            FluxError::Config(_) | FluxError::Recovered(_) => None,
         }
     }
 }
@@ -116,5 +131,14 @@ mod tests {
     fn display_forwards_the_inner_message() {
         let e: FluxError = StageFailure::MultiProcess { processes: 2 }.into();
         assert!(e.to_string().contains("multi-process"));
+    }
+
+    #[test]
+    fn serialized_error_round_trips_byte_identically() {
+        let original: FluxError = StageFailure::NotPaired.into();
+        let json = serde::to_json(&original);
+        let back: FluxError = serde::from_json(&json).expect("parses");
+        assert_eq!(back, FluxError::Recovered(original.to_string()));
+        assert_eq!(serde::to_json(&back), json);
     }
 }

@@ -205,6 +205,27 @@ impl serde::Serialize for FleetOutcome {
     }
 }
 
+/// Deserializes the tagged object written by the [`serde::Serialize`]
+/// impl. Errors come back as [`FluxError::Recovered`] carrying the
+/// serialized reason verbatim.
+impl<'de> serde::Deserialize<'de> for FleetOutcome {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        let status: String = v.read("status")?;
+        match status.as_str() {
+            "completed" => Ok(FleetOutcome::Completed(v.read("report")?)),
+            "rolled_back" => Ok(FleetOutcome::RolledBack {
+                error: v.read("error")?,
+            }),
+            "refused" => Ok(FleetOutcome::Refused {
+                error: v.read("error")?,
+            }),
+            other => Err(serde::DeError::msg(format!(
+                "unknown fleet outcome status `{other}`"
+            ))),
+        }
+    }
+}
+
 impl FleetOutcome {
     /// Whether the request completed successfully.
     pub fn is_completed(&self) -> bool {
@@ -268,6 +289,24 @@ impl serde::Serialize for FlightRecord {
     }
 }
 
+impl<'de> serde::Deserialize<'de> for FlightRecord {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            id: v.read("id")?,
+            package: v.read("package")?,
+            home: v.read("home")?,
+            guest: v.read("guest")?,
+            priority: v.read("priority")?,
+            submitted_at: v.read("submitted_at")?,
+            admitted_at: v.read("admitted_at")?,
+            transfer_start: v.read("transfer_start")?,
+            transfer_end: v.read("transfer_end")?,
+            finished_at: v.read("finished_at")?,
+            outcome: v.read("outcome")?,
+        })
+    }
+}
+
 impl FlightRecord {
     /// Time spent queued before admission.
     pub fn queue_wait(&self) -> SimDuration {
@@ -320,6 +359,24 @@ impl serde::Serialize for FleetReport {
             .field("rolled_back", &self.rolled_back)
             .field("refused", &self.refused);
         obj.end();
+    }
+}
+
+/// Deserializes the report tree; with [`serde::Serialize`] this gives the
+/// byte-identical JSON round-trip that snapshot recovery depends on.
+impl<'de> serde::Deserialize<'de> for FleetReport {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            flights: v.read("flights")?,
+            started_at: v.read("started_at")?,
+            makespan: v.read("makespan")?,
+            serialized_makespan: v.read("serialized_makespan")?,
+            peak_in_flight: v.read("peak_in_flight")?,
+            medium: v.read("medium")?,
+            completed: v.read("completed")?,
+            rolled_back: v.read("rolled_back")?,
+            refused: v.read("refused")?,
+        })
     }
 }
 

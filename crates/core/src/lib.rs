@@ -61,8 +61,6 @@ pub mod world;
 pub use builder::WorldBuilder;
 pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
 pub use engine::{broadcast_connectivity, migrate, StageFailure};
-#[allow(deprecated)]
-pub use engine::{migrate_configured, migrate_with};
 pub use errors::FluxError;
 pub use executor::{
     ExecutedMigration, Executor, ParallelExecutor, SerialExecutor, FLEET_RNG_STREAM,

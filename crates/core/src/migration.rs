@@ -33,8 +33,6 @@ use flux_simcore::{ByteSize, FaultPlan, SimDuration};
 use std::fmt;
 
 pub use crate::engine::{broadcast_connectivity, migrate, run};
-#[allow(deprecated)]
-pub use crate::engine::{migrate_configured, migrate_with};
 
 /// A kernel stall at least this long trips the checkpoint/restore watchdog
 /// and aborts the stage (shorter stalls only add latency).
@@ -137,9 +135,8 @@ impl fmt::Display for MigrationStage {
 /// [`migrate`]: the package, the device route, the engine configuration
 /// and an optional fault schedule.
 ///
-/// The spec replaces the old `migrate` / `migrate_with` /
-/// `migrate_configured` entry-point trio — one function, one growable
-/// argument, instead of a new function per knob:
+/// The spec replaces the old positional entry-point trio — one function,
+/// one growable argument, instead of a new function per knob:
 ///
 /// ```no_run
 /// # use flux_core::{migrate, MigrationSpec, RetryPolicy};
@@ -290,6 +287,22 @@ impl serde::Serialize for StageTimes {
     }
 }
 
+/// Deserializes the per-stage duration object written by the
+/// [`serde::Serialize`] impl above, field for field.
+impl<'de> serde::Deserialize<'de> for StageTimes {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            precopy: v.read("precopy")?,
+            preparation: v.read("preparation")?,
+            checkpoint: v.read("checkpoint")?,
+            transfer: v.read("transfer")?,
+            restore: v.read("restore")?,
+            reintegration: v.read("reintegration")?,
+            overlap_saved: v.read("overlap_saved")?,
+        })
+    }
+}
+
 impl StageTimes {
     /// The busy time recorded for one report stage.
     pub fn of(&self, stage: MigrationStage) -> SimDuration {
@@ -369,6 +382,19 @@ impl serde::Serialize for TransferLedger {
     }
 }
 
+impl<'de> serde::Deserialize<'de> for TransferLedger {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            image_raw: v.read("image_raw")?,
+            image_compressed: v.read("image_compressed")?,
+            log_compressed: v.read("log_compressed")?,
+            data_delta: v.read("data_delta")?,
+            precopy_streamed: v.read("precopy_streamed")?,
+            cache_hit: v.read("cache_hit")?,
+        })
+    }
+}
+
 impl TransferLedger {
     /// Bytes the post-freeze transfer stage puts over the air.
     pub fn total(&self) -> ByteSize {
@@ -424,6 +450,24 @@ impl serde::Serialize for MigrationReport {
             .field("faults", &self.faults)
             .field("backoff", &self.backoff);
         obj.end();
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for MigrationReport {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            package: v.read("package")?,
+            from: v.read("from")?,
+            to: v.read("to")?,
+            stages: v.read("stages")?,
+            ledger: v.read("ledger")?,
+            replay: v.read("replay")?,
+            dropped_connections: v.read("dropped_connections")?,
+            redrawn_views: v.read("redrawn_views")?,
+            attempts: v.read("attempts")?,
+            faults: v.read("faults")?,
+            backoff: v.read("backoff")?,
+        })
     }
 }
 

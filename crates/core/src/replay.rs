@@ -42,6 +42,17 @@ impl serde::Serialize for ReplayStats {
     }
 }
 
+impl<'de> serde::Deserialize<'de> for ReplayStats {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            replayed: v.read("replayed")?,
+            proxied: v.read("proxied")?,
+            skipped: v.read("skipped")?,
+            notes: v.read("notes")?,
+        })
+    }
+}
+
 impl ReplayStats {
     /// Total log entries visited.
     pub fn total(&self) -> u64 {

@@ -35,6 +35,13 @@ impl serde::Serialize for DeviceId {
     }
 }
 
+/// Deserializes from the raw device index.
+impl<'de> serde::Deserialize<'de> for DeviceId {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        usize::deserialize(v).map(DeviceId)
+    }
+}
+
 /// Pairing state a guest holds for one home device (§3.1).
 #[derive(Debug, Clone, Default)]
 pub struct Pairing {

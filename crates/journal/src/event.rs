@@ -1,0 +1,309 @@
+//! The journal's event vocabulary.
+//!
+//! Two kinds of event share the log:
+//!
+//! * **Input facts** ([`WorldEvent::Initialized`],
+//!   [`WorldEvent::RequestSubmitted`], [`WorldEvent::BatchAdmitted`]) —
+//!   the things the outside world told the service. Replaying the input
+//!   facts alone reconstructs the full service state, because everything
+//!   downstream of them is deterministic.
+//! * **Audit facts** ([`WorldEvent::MigrationCompleted`],
+//!   [`WorldEvent::RolledBack`], [`WorldEvent::SnapshotTaken`]) — outcomes
+//!   the service *derived* and journaled for observability. Recovery does
+//!   not apply them; it recomputes the outcomes from the input facts and
+//!   *verifies* the audit trail against what it recomputed, which turns
+//!   the journal into a self-checking record.
+//!
+//! Events serialize as tagged JSON objects (`{"type":"...",...}`) through
+//! the vendored serde, wrapped in CRC frames by the journal layer.
+
+use serde::{DeError, JsonValue};
+
+/// The world a service instance simulates: everything needed to rebuild
+/// the fleet deterministically, keyed by a seed.
+///
+/// Batch execution provisions a fresh world from this spec every time (see
+/// [`ServiceCore`](crate::ServiceCore)), so the spec *is* the world state
+/// as far as the journal is concerned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// World seed: device RNG streams, workload noise, radio jitter.
+    pub seed: u64,
+    /// Number of home/guest device pairs (`h{i:05}` Nexus 4 paired with
+    /// `g{i:05}` Nexus 7).
+    pub pairs: u64,
+    /// Whether per-app interaction scripts run before migration (builds a
+    /// record log to replay; costs world-build time on large fleets).
+    pub scripted: bool,
+    /// Maximum concurrently in-flight migrations per batch.
+    pub max_in_flight: u64,
+}
+
+impl ScenarioSpec {
+    /// Migratable Table 3 apps, cycled across the scenario's device pairs
+    /// by [`ScenarioSpec::app_for`] — the same pool the throughput bench
+    /// provisions.
+    pub const APP_POOL: [&'static str; 4] = ["WhatsApp", "Twitter", "Instagram", "Netflix"];
+
+    /// The app staged on `pair`'s home device. Submissions must name its
+    /// package or the fleet engine refuses them pre-flight.
+    pub fn app_for(pair: u64) -> &'static str {
+        Self::APP_POOL[(pair % Self::APP_POOL.len() as u64) as usize]
+    }
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0x7417,
+            pairs: 4,
+            scripted: true,
+            max_in_flight: 4,
+        }
+    }
+}
+
+impl serde::Serialize for ScenarioSpec {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("seed", &self.seed)
+            .field("pairs", &self.pairs)
+            .field("scripted", &self.scripted)
+            .field("max_in_flight", &self.max_in_flight);
+        obj.end();
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ScenarioSpec {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        Ok(Self {
+            seed: v.read("seed")?,
+            pairs: v.read("pairs")?,
+            scripted: v.read("scripted")?,
+            max_in_flight: v.read("max_in_flight")?,
+        })
+    }
+}
+
+/// One migration request as submitted to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// Caller-chosen stable id; the idempotency key for resubmission.
+    pub id: u64,
+    /// Which device pair migrates (`0..spec.pairs`), home → guest.
+    pub pair: u64,
+    /// Package to migrate; must be the app staged on that pair's home.
+    pub package: String,
+    /// Admission priority (higher first).
+    pub priority: u8,
+}
+
+impl serde::Serialize for RequestSpec {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("id", &self.id)
+            .field("pair", &self.pair)
+            .field("package", &self.package)
+            .field("priority", &self.priority);
+        obj.end();
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for RequestSpec {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        Ok(Self {
+            id: v.read("id")?,
+            pair: v.read("pair")?,
+            package: v.read("package")?,
+            priority: v.read("priority")?,
+        })
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorldEvent {
+    /// The service was created over a scenario. Always the first event.
+    Initialized {
+        /// The world definition.
+        spec: ScenarioSpec,
+    },
+    /// A request entered the system. Journaled (and synced) *before* the
+    /// submitter is acknowledged — the write-ahead contract.
+    RequestSubmitted {
+        /// The request.
+        req: RequestSpec,
+    },
+    /// The service closed a batch: the listed requests left the pending
+    /// queue and executed on a freshly provisioned world. Everything the
+    /// batch produced (reports, telemetry, clock, RNG advance) is a
+    /// deterministic function of the state at this point.
+    BatchAdmitted {
+        /// Batch sequence number (0-based).
+        batch: u64,
+        /// Ids admitted, ascending.
+        request_ids: Vec<u64>,
+    },
+    /// Audit: a request in `batch` completed.
+    MigrationCompleted {
+        /// The batch it ran in.
+        batch: u64,
+        /// The request id.
+        id: u64,
+    },
+    /// Audit: a request in `batch` rolled back or was refused.
+    RolledBack {
+        /// The batch it ran in.
+        batch: u64,
+        /// The request id.
+        id: u64,
+    },
+    /// Audit: a snapshot covering the first `events_applied` journal
+    /// events was written.
+    SnapshotTaken {
+        /// How many events the snapshot folds in.
+        events_applied: u64,
+    },
+}
+
+impl WorldEvent {
+    /// The wire tag identifying this variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WorldEvent::Initialized { .. } => "initialized",
+            WorldEvent::RequestSubmitted { .. } => "request_submitted",
+            WorldEvent::BatchAdmitted { .. } => "batch_admitted",
+            WorldEvent::MigrationCompleted { .. } => "migration_completed",
+            WorldEvent::RolledBack { .. } => "rolled_back",
+            WorldEvent::SnapshotTaken { .. } => "snapshot_taken",
+        }
+    }
+
+    /// Whether this is an audit fact (derived, verified on replay) rather
+    /// than an input fact (applied on replay).
+    pub fn is_audit(&self) -> bool {
+        matches!(
+            self,
+            WorldEvent::MigrationCompleted { .. }
+                | WorldEvent::RolledBack { .. }
+                | WorldEvent::SnapshotTaken { .. }
+        )
+    }
+
+    /// Encodes the event to its journal payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        serde::to_json(self).into_bytes()
+    }
+
+    /// Decodes an event from journal payload bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, DeError> {
+        let text =
+            std::str::from_utf8(payload).map_err(|_| DeError::msg("event payload is not UTF-8"))?;
+        serde::from_json(text)
+    }
+}
+
+impl serde::Serialize for WorldEvent {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("type", &self.tag());
+        match self {
+            WorldEvent::Initialized { spec } => {
+                obj.field("spec", spec);
+            }
+            WorldEvent::RequestSubmitted { req } => {
+                obj.field("req", req);
+            }
+            WorldEvent::BatchAdmitted { batch, request_ids } => {
+                obj.field("batch", batch).field("request_ids", request_ids);
+            }
+            WorldEvent::MigrationCompleted { batch, id } | WorldEvent::RolledBack { batch, id } => {
+                obj.field("batch", batch).field("id", id);
+            }
+            WorldEvent::SnapshotTaken { events_applied } => {
+                obj.field("events_applied", events_applied);
+            }
+        }
+        obj.end();
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for WorldEvent {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        let tag: String = v.read("type")?;
+        match tag.as_str() {
+            "initialized" => Ok(WorldEvent::Initialized {
+                spec: v.read("spec")?,
+            }),
+            "request_submitted" => Ok(WorldEvent::RequestSubmitted {
+                req: v.read("req")?,
+            }),
+            "batch_admitted" => Ok(WorldEvent::BatchAdmitted {
+                batch: v.read("batch")?,
+                request_ids: v.read("request_ids")?,
+            }),
+            "migration_completed" => Ok(WorldEvent::MigrationCompleted {
+                batch: v.read("batch")?,
+                id: v.read("id")?,
+            }),
+            "rolled_back" => Ok(WorldEvent::RolledBack {
+                batch: v.read("batch")?,
+                id: v.read("id")?,
+            }),
+            "snapshot_taken" => Ok(WorldEvent::SnapshotTaken {
+                events_applied: v.read("events_applied")?,
+            }),
+            other => Err(DeError::msg(format!("unknown event type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WorldEvent> {
+        vec![
+            WorldEvent::Initialized {
+                spec: ScenarioSpec::default(),
+            },
+            WorldEvent::RequestSubmitted {
+                req: RequestSpec {
+                    id: 9,
+                    pair: 1,
+                    package: "com.whatsapp".into(),
+                    priority: 3,
+                },
+            },
+            WorldEvent::BatchAdmitted {
+                batch: 2,
+                request_ids: vec![4, 9],
+            },
+            WorldEvent::MigrationCompleted { batch: 2, id: 4 },
+            WorldEvent::RolledBack { batch: 2, id: 9 },
+            WorldEvent::SnapshotTaken { events_applied: 17 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_byte_identically() {
+        for event in samples() {
+            let bytes = event.encode();
+            let back = WorldEvent::decode(&bytes).expect("decodes");
+            assert_eq!(back, event);
+            assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn audit_classification_is_stable() {
+        let audits: Vec<bool> = samples().iter().map(WorldEvent::is_audit).collect();
+        assert_eq!(audits, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(WorldEvent::decode(br#"{"type":"warp_core_breach"}"#).is_err());
+        assert!(WorldEvent::decode(&[0xFF, 0xFE]).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! The observer/command line protocol `flux-served` speaks.
+//!
+//! Plain `std` text over any byte stream (the binary serves it on TCP and
+//! stdin): one command per line, one response per command. Single-line
+//! responses start `OK ` or `ERR `; bulk responses are framed by byte
+//! count —
+//!
+//! ```text
+//! > REPORT 0
+//! < OK 4211
+//! < {"flights":[...]}          (exactly 4211 bytes, then a newline)
+//! ```
+//!
+//! so a client never has to guess where a JSON blob ends. The protocol
+//! layer is a pure function from `(service, line)` to [`Response`], which
+//! keeps it testable without sockets.
+//!
+//! Commands:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `STATUS` | one-line counters: pending, acked, batches, clock, events |
+//! | `SUBMIT <id> <pair> <package> [priority]` | write-ahead ack a request |
+//! | `STEP` | admit all pending requests as one batch and execute it |
+//! | `REPORT <seq>` | bulk: the batch's `FleetReport` JSON |
+//! | `TRACE <seq>` | bulk: the batch's `chrome://tracing` export |
+//! | `TELEMETRY <seq>` | bulk: the batch's telemetry JSON export |
+//! | `STATE` | bulk: the full durable state (the byte-identity probe) |
+//! | `QUIT` | close this connection |
+
+use crate::service::{ServiceCore, ServiceError, SubmitAck};
+use crate::RequestSpec;
+use std::io::{self, Write};
+
+/// One protocol response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A single `OK ...` or `ERR ...` line.
+    Line(String),
+    /// `OK <len>` followed by exactly `len` body bytes and a newline.
+    Blob(Vec<u8>),
+    /// `OK bye`; the server should close the connection afterwards.
+    Quit,
+}
+
+impl Response {
+    fn err(msg: impl std::fmt::Display) -> Self {
+        Response::Line(format!("ERR {msg}"))
+    }
+
+    /// Whether this response asks the server to hang up.
+    pub fn is_quit(&self) -> bool {
+        matches!(self, Response::Quit)
+    }
+
+    /// Writes the response in wire form.
+    pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        match self {
+            Response::Line(line) => writeln!(out, "{line}"),
+            Response::Blob(body) => {
+                writeln!(out, "OK {}", body.len())?;
+                out.write_all(body)?;
+                writeln!(out)
+            }
+            Response::Quit => writeln!(out, "OK bye"),
+        }
+    }
+}
+
+fn batch_blob(
+    core: &ServiceCore,
+    arg: Option<&str>,
+    pick: impl Fn(&crate::BatchRecord) -> Vec<u8>,
+) -> Response {
+    let Some(seq) = arg.and_then(|a| a.parse::<u64>().ok()) else {
+        return Response::err("expected a batch sequence number");
+    };
+    match core.batch(seq) {
+        Some(record) => Response::Blob(pick(record)),
+        None => Response::err(format!("no batch {seq}")),
+    }
+}
+
+/// Executes one protocol line against the service.
+pub fn handle_line(core: &mut ServiceCore, line: &str) -> Response {
+    let mut words = line.split_whitespace();
+    let Some(cmd) = words.next() else {
+        return Response::err("empty command");
+    };
+    let args: Vec<&str> = words.collect();
+    match (cmd.to_ascii_uppercase().as_str(), args.as_slice()) {
+        ("STATUS", []) => Response::Line(format!(
+            "OK pending={} acked={} batches={} next_batch={} clock_ns={} events={}",
+            core.pending_ids().len(),
+            core.acked_count(),
+            core.batches().len(),
+            core.next_batch(),
+            core.service_clock().as_nanos(),
+            core.journaled_events(),
+        )),
+        ("SUBMIT", [id, pair, package]) | ("SUBMIT", [id, pair, package, _]) => {
+            let (Ok(id), Ok(pair)) = (id.parse::<u64>(), pair.parse::<u64>()) else {
+                return Response::err("SUBMIT <id> <pair> <package> [priority]");
+            };
+            let priority = match args.get(3) {
+                Some(p) => match p.parse::<u8>() {
+                    Ok(p) => p,
+                    Err(_) => return Response::err("priority must be 0-255"),
+                },
+                None => 0,
+            };
+            let req = RequestSpec {
+                id,
+                pair,
+                package: (*package).to_owned(),
+                priority,
+            };
+            match core.submit(req) {
+                Ok(SubmitAck::Acked) => Response::Line("OK acked".into()),
+                Ok(SubmitAck::Duplicate) => Response::Line("OK duplicate".into()),
+                Err(e) => Response::err(e),
+            }
+        }
+        ("STEP", []) => match core.step_batch() {
+            Ok(Some(record)) => Response::Line(format!(
+                "OK batch {} completed={} rolled_back={} refused={}",
+                record.seq,
+                record.report.completed,
+                record.report.rolled_back,
+                record.report.refused,
+            )),
+            Ok(None) => Response::Line("OK idle".into()),
+            Err(e @ ServiceError::Invalid(_)) => Response::err(e),
+            Err(e) => Response::err(e),
+        },
+        ("REPORT", [_]) => batch_blob(core, args.first().copied(), |r| {
+            serde::to_json(&r.report).into_bytes()
+        }),
+        ("TRACE", [_]) => batch_blob(core, args.first().copied(), |r| {
+            r.chrome_trace.clone().into_bytes()
+        }),
+        ("TELEMETRY", [_]) => batch_blob(core, args.first().copied(), |r| {
+            r.telemetry_json.clone().into_bytes()
+        }),
+        ("STATE", []) => Response::Blob(core.state_json().into_bytes()),
+        ("QUIT", []) => Response::Quit,
+        _ => Response::err(format!("unknown or malformed command `{line}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalConfig;
+    use crate::{ScenarioSpec, ServiceConfig};
+
+    fn svc(tag: &str) -> (ServiceCore, std::path::PathBuf) {
+        let root =
+            std::env::temp_dir().join(format!("flux-protocol-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let spec = ScenarioSpec {
+            seed: 0xAB,
+            pairs: 1,
+            scripted: false,
+            max_in_flight: 1,
+        };
+        let cfg = ServiceConfig {
+            snapshot_every: 0,
+            journal: JournalConfig {
+                segment_bytes: 1 << 20,
+                sync_on_append: false,
+            },
+        };
+        (ServiceCore::open(&root, spec, cfg).unwrap(), root)
+    }
+
+    #[test]
+    fn full_session_flows() {
+        let (mut core, root) = svc("session");
+        assert_eq!(
+            handle_line(&mut core, "SUBMIT 1 0 WhatsApp"),
+            Response::Line("OK acked".into())
+        );
+        assert_eq!(
+            handle_line(&mut core, "submit 1 0 WhatsApp"),
+            Response::Line("OK duplicate".into())
+        );
+        let step = handle_line(&mut core, "STEP");
+        assert!(matches!(&step, Response::Line(l) if l.starts_with("OK batch 0")));
+        assert_eq!(
+            handle_line(&mut core, "STEP"),
+            Response::Line("OK idle".into())
+        );
+        let status = handle_line(&mut core, "STATUS");
+        assert!(matches!(&status, Response::Line(l) if l.contains("batches=1")));
+        let report = handle_line(&mut core, "REPORT 0");
+        assert!(matches!(&report, Response::Blob(b) if b.starts_with(b"{\"flights\"")));
+        assert!(matches!(
+            handle_line(&mut core, "TRACE 0"),
+            Response::Blob(_)
+        ));
+        assert!(matches!(
+            handle_line(&mut core, "TELEMETRY 0"),
+            Response::Blob(_)
+        ));
+        assert!(matches!(handle_line(&mut core, "STATE"), Response::Blob(_)));
+        assert!(handle_line(&mut core, "QUIT").is_quit());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn malformed_commands_are_errors_not_panics() {
+        let (mut core, root) = svc("malformed");
+        for bad in [
+            "",
+            "NOPE",
+            "SUBMIT",
+            "SUBMIT x y z",
+            "SUBMIT 1 0 WhatsApp 900",
+            "REPORT notanumber",
+            "REPORT 7",
+            "STEP now",
+        ] {
+            let resp = handle_line(&mut core, bad);
+            assert!(
+                matches!(&resp, Response::Line(l) if l.starts_with("ERR ")),
+                "{bad:?} should be an ERR, got {resp:?}"
+            );
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn blob_wire_format_is_length_prefixed() {
+        let (mut core, root) = svc("wire");
+        handle_line(&mut core, "SUBMIT 1 0 WhatsApp");
+        handle_line(&mut core, "STEP");
+        let resp = handle_line(&mut core, "REPORT 0");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let (header, rest) = text.split_once('\n').unwrap();
+        let len: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
+        assert_eq!(rest.len(), len + 1, "body plus trailing newline");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

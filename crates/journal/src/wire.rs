@@ -1,0 +1,223 @@
+//! The on-disk frame format shared by journal segments and snapshots.
+//!
+//! Every durable record is one *frame*:
+//!
+//! ```text
+//! +----------+----------+------------------+
+//! | len: u32 | crc: u32 | payload [len]    |   (little-endian header)
+//! +----------+----------+------------------+
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE, reflected — the zlib/PNG polynomial) of the
+//! payload bytes. The combination gives torn-write detection without any
+//! external dependency: a frame whose header or body was cut short, or
+//! whose payload no longer matches its checksum, reads back as
+//! [`FrameError::Torn`] and the reader reports the exact byte offset where
+//! the valid prefix ends — which is what tolerant tail truncation and
+//! snapshot validation are built on.
+
+use std::fmt;
+
+/// Frame header size: `len` + `crc`.
+pub const FRAME_HEADER: usize = 8;
+
+/// Frames larger than this are rejected as corrupt rather than allocated.
+/// Generous for journal events (a few KB of JSON) and snapshots (MBs for
+/// big batch histories), tiny next to a wild length from a bit flip.
+pub const MAX_FRAME_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The bytes end inside a header or payload, or the checksum does not
+    /// match: the tail of the stream was torn by an interrupted write.
+    /// `valid_up_to` is the offset where the last fully-valid frame ended.
+    Torn {
+        /// Byte offset of the end of the valid prefix.
+        valid_up_to: usize,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// Offset of the offending frame header.
+        at: usize,
+        /// The declared length.
+        declared: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Torn { valid_up_to } => {
+                write!(f, "torn frame after byte {valid_up_to}")
+            }
+            FrameError::Oversized { at, declared } => {
+                write!(f, "frame at byte {at} declares absurd length {declared}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` — the zlib/PNG checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Tableless bitwise implementation; journal frames are small and the
+    // replay bench shows this is nowhere near the critical path.
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends one frame wrapping `payload` to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// The result of reading one frame.
+#[derive(Debug)]
+pub struct Frame<'a> {
+    /// The validated payload.
+    pub payload: &'a [u8],
+    /// Offset of the first byte after this frame.
+    pub end: usize,
+}
+
+/// Reads the frame starting at `offset`, validating length and checksum.
+///
+/// `Ok(None)` means `offset` is exactly the end of the buffer (a clean
+/// end-of-stream); any partial or corrupt frame is an error carrying the
+/// offset of the valid prefix.
+pub fn read_frame(bytes: &[u8], offset: usize) -> Result<Option<Frame<'_>>, FrameError> {
+    if offset == bytes.len() {
+        return Ok(None);
+    }
+    let torn = FrameError::Torn {
+        valid_up_to: offset,
+    };
+    if offset + FRAME_HEADER > bytes.len() {
+        return Err(torn);
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized {
+            at: offset,
+            declared: len,
+        });
+    }
+    let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    let start = offset + FRAME_HEADER;
+    let end = start + len as usize;
+    if end > bytes.len() {
+        return Err(torn);
+    }
+    let payload = &bytes[start..end];
+    if crc32(payload) != crc {
+        return Err(torn);
+    }
+    Ok(Some(Frame { payload, end }))
+}
+
+/// Walks every frame in `bytes`, returning the payload slices and the
+/// offset where the valid prefix ends.
+///
+/// A torn tail is *not* an error here — the caller decides whether to
+/// truncate (journal tail) or reject (snapshot). An [`Oversized`]
+/// declaration is folded into the same "valid prefix ends here" shape:
+/// recovery treats any undecodable suffix the same way.
+///
+/// [`Oversized`]: FrameError::Oversized
+pub fn scan_frames(bytes: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut payloads = Vec::new();
+    let mut offset = 0;
+    loop {
+        match read_frame(bytes, offset) {
+            Ok(Some(frame)) => {
+                payloads.push(frame.payload);
+                offset = frame.end;
+            }
+            Ok(None) => return (payloads, offset),
+            Err(FrameError::Torn { valid_up_to }) => return (payloads, valid_up_to),
+            Err(FrameError::Oversized { at, .. }) => return (payloads, at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, b"third payload");
+        let (payloads, end) = scan_frames(&buf);
+        assert_eq!(
+            payloads,
+            vec![&b"first"[..], &b""[..], &b"third payload"[..]]
+        );
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_valid_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha");
+        write_frame(&mut buf, b"beta");
+        let frame1_end = FRAME_HEADER + 5;
+        for cut in 0..buf.len() {
+            let (payloads, end) = scan_frames(&buf[..cut]);
+            // The valid prefix is exactly the frames wholly before the cut.
+            let expect = usize::from(cut >= frame1_end) + usize::from(cut >= buf.len());
+            assert_eq!(payloads.len(), expect, "cut at {cut}");
+            assert!(end <= cut);
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_torn_at_frame_start() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha");
+        write_frame(&mut buf, b"beta");
+        let frame1_end = FRAME_HEADER + 5;
+        // Flip a bit inside the second payload.
+        buf[frame1_end + FRAME_HEADER] ^= 0x40;
+        let (payloads, end) = scan_frames(&buf);
+        assert_eq!(payloads, vec![&b"alpha"[..]]);
+        assert_eq!(end, frame1_end);
+    }
+
+    #[test]
+    fn absurd_length_declaration_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        match read_frame(&buf, 0) {
+            Err(FrameError::Oversized { at: 0, declared }) => {
+                assert_eq!(declared, u32::MAX);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}

@@ -65,6 +65,16 @@ impl serde::Serialize for MediumSegment {
     }
 }
 
+impl<'de> serde::Deserialize<'de> for MediumSegment {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            from: v.read("from")?,
+            to: v.read("to")?,
+            flows: v.read("flows")?,
+        })
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Flow {
     /// Serial air time still owed, in nanoseconds at multiplier 1.0.

@@ -35,7 +35,7 @@ pub use cost::CostModel;
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use ids::{Pid, Uid};
 pub use pipeline::{FusedLanes, PipeLane, Pipeline, Timeline};
-pub use rng::SimRng;
+pub use rng::{SimRng, SimRngState};
 pub use size::ByteSize;
 pub use time::{SimClock, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};

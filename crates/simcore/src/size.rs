@@ -32,6 +32,13 @@ impl serde::Serialize for ByteSize {
     }
 }
 
+/// Deserializes from a raw byte count.
+impl<'de> serde::Deserialize<'de> for ByteSize {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        u64::deserialize(v).map(ByteSize)
+    }
+}
+
 impl ByteSize {
     /// Zero bytes.
     pub const ZERO: ByteSize = ByteSize(0);

@@ -35,6 +35,20 @@ impl serde::Serialize for SimDuration {
     }
 }
 
+/// Deserializes from raw nanoseconds since the epoch.
+impl<'de> serde::Deserialize<'de> for SimTime {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        u64::deserialize(v).map(SimTime)
+    }
+}
+
+/// Deserializes from raw nanoseconds.
+impl<'de> serde::Deserialize<'de> for SimDuration {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        u64::deserialize(v).map(SimDuration)
+    }
+}
+
 impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
@@ -233,6 +247,26 @@ impl SimClock {
         if t > self.now {
             self.now = t;
         }
+    }
+
+    /// Creates a clock already advanced to `t` — the restore half of clock
+    /// persistence (the save half is just `clock.now()`).
+    pub fn at(t: SimTime) -> Self {
+        Self { now: t }
+    }
+}
+
+/// Serializes as the current instant in raw nanoseconds.
+impl serde::Serialize for SimClock {
+    fn serialize(&self, out: &mut String) {
+        serde::Serialize::serialize(&self.now, out);
+    }
+}
+
+/// Deserializes from raw nanoseconds, yielding a clock at that instant.
+impl<'de> serde::Deserialize<'de> for SimClock {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        SimTime::deserialize(v).map(SimClock::at)
     }
 }
 

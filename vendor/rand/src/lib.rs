@@ -179,6 +179,28 @@ pub mod rngs {
             self.index = 0;
         }
 
+        /// Captures the complete generator state as plain words:
+        /// `(chacha input block, output buffer, next-word index)`.
+        ///
+        /// Together with [`StdRng::from_state`] this lets a caller persist
+        /// a generator mid-stream and resume it later with an identical
+        /// output sequence — the buffered-but-unread words matter, so the
+        /// buffer is part of the state, not just the 16-word input block.
+        pub fn state_words(&self) -> ([u32; 16], [u32; BUF_WORDS], usize) {
+            (self.state, self.buf, self.index)
+        }
+
+        /// Rebuilds a generator from words captured by
+        /// [`StdRng::state_words`]. `index` is clamped to the buffer length
+        /// (any larger value just means "exhausted, refill on next draw").
+        pub fn from_state(state: [u32; 16], buf: [u32; BUF_WORDS], index: usize) -> Self {
+            Self {
+                state,
+                buf,
+                index: index.min(BUF_WORDS),
+            }
+        }
+
         fn from_seed(key: [u8; 32]) -> Self {
             let mut state = [0u32; 16];
             // "expand 32-byte k"
@@ -250,7 +272,7 @@ pub mod rngs {
 #[cfg(test)]
 mod tests {
     use super::rngs::StdRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_per_seed() {
@@ -278,6 +300,21 @@ mod tests {
             assert!((10..20).contains(&v));
             let f = r.gen_range(0.25f64..0.75);
             assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_stream() {
+        let mut r = StdRng::seed_from_u64(11);
+        // Burn an odd number of u32 draws so the saved index sits inside a
+        // buffer, not on a refill boundary.
+        for _ in 0..33 {
+            let _ = r.next_u32();
+        }
+        let (state, buf, index) = r.state_words();
+        let mut resumed = StdRng::from_state(state, buf, index);
+        for _ in 0..200 {
+            assert_eq!(r.next_u64(), resumed.next_u64());
         }
     }
 

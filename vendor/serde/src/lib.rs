@@ -17,6 +17,10 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
+pub mod de;
+
+pub use de::{from_json, parse, DeError, JsonValue};
+
 /// A value that can append its compact JSON encoding to a buffer.
 ///
 /// Stand-in for `serde::Serialize`; the single required method replaces
@@ -26,8 +30,17 @@ pub trait Serialize {
     fn serialize(&self, out: &mut String);
 }
 
-/// Marker trait standing in for `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+/// A value that can be reconstructed from a parsed [`JsonValue`].
+///
+/// Stand-in for `serde::Deserialize`; the single required method replaces
+/// the deserializer plumbing of the real crate. The lifetime parameter is
+/// kept so `for<'de> Deserialize<'de>` bounds written against real serde
+/// keep compiling, but borrowed deserialization is not supported — every
+/// impl produces an owned value.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a parsed JSON value.
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError>;
+}
 
 /// Serializes `value` to a compact JSON string.
 pub fn to_json<T: Serialize + ?Sized>(value: &T) -> String {
@@ -187,5 +200,83 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
         out.push(',');
         self.1.serialize(out);
         out.push(']');
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected a bool")),
+        }
+    }
+}
+
+macro_rules! int_de_impl {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Num(s) => s.parse().map_err(|_| {
+                        DeError::msg(concat!("expected a ", stringify!($t)))
+                    }),
+                    _ => Err(DeError::msg(concat!("expected a ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+int_de_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        // `write_f64` renders non-finite values as `null`; accept that back.
+        match v {
+            JsonValue::Num(s) => s.parse().map_err(|_| DeError::msg("expected an f64")),
+            JsonValue::Null => Ok(f64::NAN),
+            _ => Err(DeError::msg("expected an f64")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::msg("expected a string"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::msg("expected an array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize(v: &JsonValue) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            _ => Err(DeError::msg("expected a two-element array")),
+        }
     }
 }
