@@ -25,7 +25,7 @@
 //! < {"flights":[ ... ]}
 //! ```
 
-use flux_journal::{handle_line, ScenarioSpec, ServiceConfig, ServiceCore};
+use flux_journal::{handle_line_shared, ScenarioSpec, ServiceConfig, ServiceCore};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
@@ -90,11 +90,10 @@ fn serve_connection(core: &Arc<Mutex<ServiceCore>>, stream: TcpStream) {
     let mut writer = BufWriter::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
-        // One command executes at a time; observers see consistent state.
-        let response = {
-            let mut core = core.lock().expect("service mutex");
-            handle_line(&mut core, &line)
-        };
+        // The shared handler keeps the core lock brief: a STEP executes
+        // its batch with the lock released, so observers on other
+        // connections get answers while it is in flight.
+        let response = handle_line_shared(core, &line);
         if response
             .write_to(&mut writer)
             .and_then(|()| writer.flush())
@@ -156,10 +155,7 @@ fn main() {
     let mut stdout = std::io::stdout();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
-        let response = {
-            let mut core = core.lock().expect("service mutex");
-            handle_line(&mut core, &line)
-        };
+        let response = handle_line_shared(&core, &line);
         if response
             .write_to(&mut stdout)
             .and_then(|()| stdout.flush())

@@ -28,6 +28,7 @@
 
 use crate::errors::FluxError;
 use crate::pairing::pair;
+use crate::probe::ExecProbe;
 use crate::world::{DeviceId, FluxWorld, ReplayPolicy};
 use flux_device::DeviceProfile;
 use flux_net::NetworkEnv;
@@ -160,6 +161,7 @@ impl WorldBuilder {
             policy: self.policy,
             recording: self.recording,
             fault_plan: self.fault_plan,
+            probe: ExecProbe::disabled(),
             devices: Vec::new(),
         };
         let mut ids = Vec::with_capacity(self.devices.len());
@@ -238,6 +240,7 @@ mod tests {
             policy: ReplayPolicy::default(),
             recording: true,
             fault_plan: FaultPlan::none(),
+            probe: ExecProbe::disabled(),
             devices: Vec::new(),
         };
         let phone = legacy.add_device("phone", DeviceProfile::nexus4()).unwrap();

@@ -125,11 +125,15 @@ pub fn run(
                     .into());
                 }
                 let backoff = policy.backoff_after(prog.attempts);
+                let backoff_from = world.clock.now();
                 let backoff_span =
                     world
                         .telemetry
-                        .enter(LaneId::WORLD, "migration.backoff", world.clock.now());
+                        .enter(LaneId::WORLD, "migration.backoff", backoff_from);
                 world.clock.charge(backoff);
+                world
+                    .probe
+                    .record_stage("backoff", backoff_from, world.clock.now());
                 world.telemetry.exit(backoff_span, world.clock.now());
                 prog.backoff += backoff;
                 world.telemetry.counter_add("flux.migration.retries", 1);
@@ -188,6 +192,12 @@ fn run_stage(
     let lane = stage.lane(&cx);
     let span = cx.world.telemetry.enter(lane, &stage.span_name(), t0);
     let result = stage.run(&mut cx);
+    // Whatever the outcome, the stage owned the clock over [t0, now]; the
+    // probe (a no-op outside executor shards) learns the bracket so the
+    // fleet scheduler can replay the pipeline stage by stage.
+    cx.world
+        .probe
+        .record_stage(stage.name(), t0, cx.world.clock.now());
     match &result {
         Ok(outcome) => {
             let now = cx.world.clock.now();
@@ -309,8 +319,9 @@ fn unwind(
         "migration.rollback",
         format!("{package}: home-side invariants verified"),
     );
-    let now = world.clock.now();
-    world.telemetry.exit(span, now);
+    let done = world.clock.now();
+    world.probe.record_stage("rollback", now, done);
+    world.telemetry.exit(span, done);
     Ok(())
 }
 

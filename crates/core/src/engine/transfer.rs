@@ -60,8 +60,9 @@ impl Stage for Transfer {
                 .div_ceil(DEFAULT_CHUNK.as_u64())
                 .max(1);
             let mut fused = FusedLanes::begin(verify_done, compress, chunk_count);
+            let radio_start = fused.radio_ready();
             let radio = cx.world.net.transfer_chunked(
-                fused.radio_ready(),
+                radio_start,
                 ledger.total(),
                 DEFAULT_CHUNK,
                 &cx.mig.home_profile.wifi,
@@ -71,6 +72,9 @@ impl Stage for Transfer {
             );
             fused.run_radio(radio.duration);
             cx.world.clock.advance_to(fused.end());
+            cx.world
+                .probe
+                .record_radio(radio_start, radio.duration, radio.bytes_delivered);
             if compress > SimDuration::ZERO {
                 // The deferred compression stays in the checkpoint stage's
                 // busy accounting, where the serial engine charges it.
@@ -97,6 +101,9 @@ impl Stage for Transfer {
                 cx.plan,
             );
             cx.world.clock.charge(radio.duration);
+            cx.world
+                .probe
+                .record_radio(verify_done, radio.duration, radio.bytes_delivered);
             radio
         };
         cx.prog.delivered_chunks = radio.delivered_chunks;

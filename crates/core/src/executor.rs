@@ -4,9 +4,13 @@
 //! # The execute/schedule split
 //!
 //! A fleet run has two halves. *Execution* runs the five-stage engine for
-//! every admitted request and measures its shape — CPU-bound head, medium
-//! payload, CPU-bound tail. *Scheduling* places those shapes on the fleet
-//! timeline under admission control and medium contention. The
+//! every admitted request and measures its shape — not three coarse
+//! phases, but the full stage-level [`Slice`] schedule: every pre-copy
+//! round, freeze-phase residue ship and record-log transfer is its own
+//! slice, cut from the [`ExecProbe`] windows the
+//! engine recorded while running. *Scheduling* places those slices on the
+//! fleet timeline under admission control and medium contention, admitting
+//! each transfer-bearing slice onto the radio individually. The
 //! [`FleetScheduler`](crate::FleetScheduler) owns scheduling; it delegates
 //! execution to an [`Executor`], which runs every request **up front**, in
 //! the canonical order (priority descending, request id ascending), each
@@ -52,6 +56,7 @@
 use crate::engine::{self, StageFailure};
 use crate::errors::FluxError;
 use crate::fleet::{FleetOutcome, MigrationRequest};
+use crate::probe::{ExecProbe, RadioWindow, StageWindow};
 use crate::record::RecordStore;
 use crate::world::{Device, DeviceId, FluxWorld};
 use flux_device::DeviceProfile;
@@ -68,19 +73,51 @@ use std::fmt;
 /// [`SimRng::fork`] with the request id.
 pub const FLEET_RNG_STREAM: u64 = 0xf1ee7;
 
+/// What one schedulable stretch of an executed migration occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceKind {
+    /// Device-local work: holds the migration's devices, not the air.
+    Cpu,
+    /// A radio payload: `bytes` the serial transfer model priced at the
+    /// slice's duration of air time. The scheduler admits it onto the
+    /// medium, where contention may stretch it.
+    Transfer {
+        /// Payload bytes delivered in this window.
+        bytes: ByteSize,
+    },
+}
+
+/// One stage-level stretch of an executed migration — the unit the fleet
+/// scheduler re-times. Consecutive slices run back to back; `Transfer`
+/// slices contend for the air individually (a pre-copy round and another
+/// request's freeze-phase residue genuinely interleave on the medium).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slice {
+    /// The engine stage the stretch belongs to (`Stage::name`, or a
+    /// driver label like `"backoff"`/`"rollback"`; `""` between stages).
+    pub stage: &'static str,
+    /// What the stretch occupies.
+    pub kind: SliceKind,
+    /// Isolated duration (for `Transfer` slices, the serial air time —
+    /// medium contention not yet applied).
+    pub dur: SimDuration,
+}
+
 /// The measured shape of one executed migration, ready for the scheduler
 /// to place on the fleet timeline.
 #[derive(Debug)]
 pub struct ExecutedMigration {
     pub(crate) outcome: FleetOutcome,
-    /// CPU-bound head: pre-copy, preparation, checkpoint, retry backoff —
-    /// minus whatever pipelining overlapped. For rolled-back requests, the
-    /// whole measured span (attempts plus rollback).
-    pub(crate) pre: SimDuration,
-    /// Freeze-time payload for the medium: `(bytes, serial air time)`.
-    pub(crate) flow: Option<(ByteSize, SimDuration)>,
-    /// CPU-bound tail: restore and reintegration.
-    pub(crate) post: SimDuration,
+    /// The stage-level slice schedule covering the full measured wall
+    /// time, in order. Empty for pre-flight refusals (which are free).
+    pub(crate) schedule: Vec<Slice>,
+    /// The measured wall-clock (virtual) span; always the exact sum of
+    /// `schedule` durations.
+    pub(crate) wall: SimDuration,
+    /// Accounting-invariant violations the slice builder detected (probe
+    /// windows escaping the measured wall, or overlapping). Zero on every
+    /// healthy run; surfaced as `flux.fleet.accounting_violations`.
+    pub(crate) violations: u32,
     /// The shard's telemetry record, timed from batch open; the scheduler
     /// absorbs it into the world hub shifted to the admission instant.
     pub(crate) telemetry: Telemetry,
@@ -92,11 +129,15 @@ impl ExecutedMigration {
         &self.outcome
     }
 
+    /// The stage-level slice schedule, in execution order.
+    pub fn schedule(&self) -> &[Slice] {
+        &self.schedule
+    }
+
     /// Wall-clock (virtual) span of the execution, medium contention not
     /// yet applied.
     pub fn wall(&self) -> SimDuration {
-        let air = self.flow.map(|(_, d)| d).unwrap_or(SimDuration::ZERO);
-        self.pre + air + self.post
+        self.wall
     }
 }
 
@@ -251,9 +292,9 @@ struct ShardSlot {
 /// The measured shape, telemetry still attached to the shard.
 struct ExecParts {
     outcome: FleetOutcome,
-    pre: SimDuration,
-    flow: Option<(ByteSize, SimDuration)>,
-    post: SimDuration,
+    schedule: Vec<Slice>,
+    wall: SimDuration,
+    violations: u32,
 }
 
 /// The shared execute pipeline: canonical order, conflict groups, shard
@@ -321,9 +362,9 @@ fn execute_batch(
             let telemetry = reattach(world, slot);
             results[idx] = Some(ExecutedMigration {
                 outcome: parts.outcome,
-                pre: parts.pre,
-                flow: parts.flow,
-                post: parts.post,
+                schedule: parts.schedule,
+                wall: parts.wall,
+                violations: parts.violations,
                 telemetry,
             });
         }
@@ -378,6 +419,9 @@ fn detach(
         policy: world.policy,
         recording: world.recording,
         fault_plan: plan,
+        // The probe is what turns the run into a stage-level schedule:
+        // the engine records its windows here as it executes.
+        probe: ExecProbe::enabled(),
         devices: vec![home_dev, guest_dev],
     };
     ShardSlot {
@@ -413,14 +457,15 @@ fn reattach(world: &mut FluxWorld, slot: ShardSlot) -> Telemetry {
     shard.telemetry
 }
 
-/// Runs the engine inside a shard (home = 0, guest = 1) and splits the
-/// measured span into fleet phases. The shard clock opened at `start`, so
-/// the wall time is the clock's progress past it.
+/// Runs the engine inside a shard (home = 0, guest = 1) and cuts the
+/// measured span into the stage-level slice schedule. The shard clock
+/// opened at `start`, so the wall time is the clock's progress past it.
 fn run_in_shard(shard: &mut FluxWorld, req: &MigrationRequest, start: SimTime) -> ExecParts {
     let result = engine::run(shard, DeviceId(0), DeviceId(1), &req.package, &req.cfg);
     let now = shard.clock.now();
     shard.telemetry.finish(now);
-    split_phases(result, now.since(start))
+    let (stages, radios) = shard.probe.take();
+    assemble(result, &stages, &radios, start, now.since(start))
 }
 
 /// Executes a request that cannot be sharded (unknown device, home ==
@@ -428,33 +473,44 @@ fn run_in_shard(shard: &mut FluxWorld, req: &MigrationRequest, start: SimTime) -
 /// pre-flight, before consuming virtual time or randomness.
 fn execute_direct(world: &mut FluxWorld, req: &MigrationRequest) -> ExecutedMigration {
     let t0 = world.clock.now();
+    let ambient = std::mem::replace(&mut world.probe, ExecProbe::enabled());
     let result = engine::run(world, req.home, req.guest, &req.package, &req.cfg);
-    let parts = split_phases(result, world.clock.now().since(t0));
+    let (stages, radios) = world.probe.take();
+    world.probe = ambient;
+    let parts = assemble(result, &stages, &radios, t0, world.clock.now().since(t0));
     ExecutedMigration {
         outcome: parts.outcome,
-        pre: parts.pre,
-        flow: parts.flow,
-        post: parts.post,
+        schedule: parts.schedule,
+        wall: parts.wall,
+        violations: parts.violations,
         telemetry: Telemetry::disabled(),
     }
 }
 
-/// Splits one engine result plus its measured wall time into the fleet's
-/// three phases.
-fn split_phases(result: Result<crate::MigrationReport, FluxError>, wall: SimDuration) -> ExecParts {
-    match result {
-        Ok(report) => {
-            let transfer = report.stages.transfer;
-            let post = report.stages.restore + report.stages.reintegration;
-            let pre = wall.saturating_sub(transfer + post);
-            let flow = (transfer > SimDuration::ZERO).then(|| (report.ledger.total(), transfer));
-            ExecParts {
-                outcome: FleetOutcome::Completed(report),
-                pre,
-                flow,
-                post,
-            }
-        }
+/// Classifies one engine result and cuts the probe windows into the slice
+/// schedule covering its measured wall time.
+///
+/// A rolled-back request holds its devices for its whole measured span
+/// (attempts, backoff, rollback), and any air time its partial transfers
+/// actually consumed is charged to the medium slice by slice. A refusal is
+/// pre-flight and free (empty schedule).
+fn assemble(
+    result: Result<crate::MigrationReport, FluxError>,
+    stages: &[StageWindow],
+    radios: &[RadioWindow],
+    start: SimTime,
+    wall: SimDuration,
+) -> ExecParts {
+    let (schedule, violations) = build_schedule(stages, radios, start, wall);
+    // The schedule must tile the wall exactly; a violation means the
+    // engine's probe windows escaped the measured span — accounting
+    // corruption that used to be clamped silently.
+    debug_assert_eq!(
+        violations, 0,
+        "probe windows violated the wall-coverage invariant"
+    );
+    let outcome = match result {
+        Ok(report) => FleetOutcome::Completed(report),
         Err(error) => {
             let rolled_back = matches!(
                 error,
@@ -462,23 +518,106 @@ fn split_phases(result: Result<crate::MigrationReport, FluxError>, wall: SimDura
                     StageFailure::FaultAborted { .. } | StageFailure::RollbackFailed { .. }
                 )
             );
-            // A rolled-back request held its devices for however long its
-            // attempts and the rollback took; its partial transfers are not
-            // charged to the medium (a modelling simplification). A refusal
-            // is pre-flight and free.
-            let outcome = if rolled_back {
+            if rolled_back {
                 FleetOutcome::RolledBack { error }
             } else {
                 FleetOutcome::Refused { error }
-            };
-            ExecParts {
-                outcome,
-                pre: wall,
-                flow: None,
-                post: SimDuration::ZERO,
             }
         }
+    };
+    ExecParts {
+        outcome,
+        schedule,
+        wall,
+        violations,
     }
+}
+
+/// Cuts `[start, start + wall]` into [`Slice`]s at every stage and radio
+/// window boundary: stretches inside a radio window become `Transfer`
+/// slices carrying that window's payload, everything else is `Cpu`, and
+/// each slice is labeled with the stage that owned the clock there.
+///
+/// The builder checks — rather than trusts — the probe invariants: radio
+/// windows must be chronological, non-overlapping and inside the wall.
+/// Every violation is counted and the offending window clamped, so the
+/// returned schedule always tiles the wall exactly; callers surface the
+/// count (`flux.fleet.accounting_violations`) instead of masking it.
+pub(crate) fn build_schedule(
+    stages: &[StageWindow],
+    radios: &[RadioWindow],
+    start: SimTime,
+    wall: SimDuration,
+) -> (Vec<Slice>, u32) {
+    let end = start + wall;
+    let mut violations = 0u32;
+    let label_at = |t: SimTime| -> &'static str {
+        stages
+            .iter()
+            .find(|w| w.from <= t && t < w.to)
+            .map(|w| w.stage)
+            .unwrap_or("")
+    };
+    // Emits the CPU stretch `[from, to)`, split at stage boundaries so a
+    // slice never spans two stages (the scheduler brackets the transfer
+    // stage by its labeled slices).
+    let emit_cpu = |slices: &mut Vec<Slice>, from: SimTime, to: SimTime| {
+        let mut at = from;
+        while at < to {
+            let mut next = to;
+            for w in stages {
+                for b in [w.from, w.to] {
+                    if b > at && b < next {
+                        next = b;
+                    }
+                }
+            }
+            slices.push(Slice {
+                stage: label_at(at),
+                kind: SliceKind::Cpu,
+                dur: next.since(at),
+            });
+            at = next;
+        }
+    };
+    let mut slices = Vec::new();
+    let mut cursor = start;
+    for r in radios {
+        let (mut from, mut to) = (r.from, r.from + r.duration);
+        if from < cursor || to > end {
+            violations += 1;
+            from = from.max(cursor).min(end);
+            to = to.max(from).min(end);
+        }
+        if to <= from {
+            continue; // clamped away entirely
+        }
+        emit_cpu(&mut slices, cursor, from);
+        // A window that delivered nothing (handshake drop) held the
+        // devices but never got a payload onto the air: schedule it as
+        // CPU time rather than admitting a zero-byte flow.
+        let kind = if r.bytes.as_u64() > 0 {
+            SliceKind::Transfer { bytes: r.bytes }
+        } else {
+            SliceKind::Cpu
+        };
+        slices.push(Slice {
+            stage: label_at(from),
+            kind,
+            dur: to.since(from),
+        });
+        cursor = to;
+    }
+    emit_cpu(&mut slices, cursor, end);
+    debug_assert_eq!(
+        slices
+            .iter()
+            .map(|s| s.dur)
+            .fold(SimDuration::ZERO, |a, d| a + d),
+        wall,
+        "slice schedule must tile the wall exactly"
+    );
+    (slices, violations)
 }
 
 /// A hollow stand-in occupying a detached device's slot so indices stay
@@ -550,5 +689,112 @@ mod tests {
         let order = canonical_order(&requests);
         let groups = conflict_groups(&requests, &order);
         assert_eq!(groups.len(), 2);
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn stage_w(stage: &'static str, from: u64, to: u64) -> StageWindow {
+        StageWindow {
+            stage,
+            from: t(from),
+            to: t(to),
+        }
+    }
+
+    fn radio_w(from: u64, dur: u64, mib: u64) -> RadioWindow {
+        RadioWindow {
+            from: t(from),
+            duration: SimDuration::from_secs(dur),
+            bytes: ByteSize::from_mib(mib),
+        }
+    }
+
+    #[test]
+    fn schedule_tiles_the_wall_and_labels_stages() {
+        // precopy [0,4) with a radio round [1,3); transfer [5,9) with its
+        // verify head [5,6) and radio [6,9); a bare gap [4,5).
+        let stages = vec![stage_w("precopy", 0, 4), stage_w("transfer", 5, 9)];
+        let radios = vec![radio_w(1, 2, 8), radio_w(6, 3, 64)];
+        let (slices, violations) =
+            build_schedule(&stages, &radios, t(0), SimDuration::from_secs(9));
+        assert_eq!(violations, 0);
+        let shape: Vec<(&str, bool, u64)> = slices
+            .iter()
+            .map(|s| {
+                (
+                    s.stage,
+                    matches!(s.kind, SliceKind::Transfer { .. }),
+                    s.dur.as_nanos() / 1_000_000_000,
+                )
+            })
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("precopy", false, 1),
+                ("precopy", true, 2),
+                ("precopy", false, 1),
+                ("", false, 1),
+                ("transfer", false, 1),
+                ("transfer", true, 3),
+            ]
+        );
+        let total = slices
+            .iter()
+            .map(|s| s.dur)
+            .fold(SimDuration::ZERO, |a, d| a + d);
+        assert_eq!(total, SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn zero_byte_radio_windows_become_cpu_slices() {
+        // A handshake drop held the devices but shipped nothing: it must
+        // not become a zero-byte medium flow.
+        let stages = vec![stage_w("transfer", 0, 3)];
+        let radios = vec![radio_w(1, 1, 0)];
+        let (slices, violations) =
+            build_schedule(&stages, &radios, t(0), SimDuration::from_secs(3));
+        assert_eq!(violations, 0);
+        assert!(slices.iter().all(|s| matches!(s.kind, SliceKind::Cpu)));
+    }
+
+    #[test]
+    fn escaping_radio_windows_are_counted_not_masked() {
+        // Regression for the silent `pre = wall.saturating_sub(transfer +
+        // post)` clamp: a probe window past the measured wall used to
+        // vanish into a zero pre-phase. Now it is clamped *and counted*.
+        let stages = vec![stage_w("transfer", 0, 4)];
+        let radios = vec![radio_w(2, 10, 64)]; // escapes a 4 s wall
+        let (slices, violations) =
+            build_schedule(&stages, &radios, t(0), SimDuration::from_secs(4));
+        assert_eq!(violations, 1);
+        let total = slices
+            .iter()
+            .map(|s| s.dur)
+            .fold(SimDuration::ZERO, |a, d| a + d);
+        assert_eq!(total, SimDuration::from_secs(4), "still tiles the wall");
+        // Overlapping windows are the other corruption shape.
+        let radios = vec![radio_w(0, 3, 8), radio_w(2, 1, 8)];
+        let (_, violations) = build_schedule(&stages, &radios, t(0), SimDuration::from_secs(4));
+        assert_eq!(violations, 1);
+    }
+
+    #[test]
+    fn empty_probe_yields_one_cpu_slice_or_nothing() {
+        let (slices, v) = build_schedule(&[], &[], t(0), SimDuration::from_secs(2));
+        assert_eq!(v, 0);
+        assert_eq!(
+            slices,
+            vec![Slice {
+                stage: "",
+                kind: SliceKind::Cpu,
+                dur: SimDuration::from_secs(2)
+            }]
+        );
+        let (slices, v) = build_schedule(&[], &[], t(0), SimDuration::ZERO);
+        assert_eq!(v, 0);
+        assert!(slices.is_empty());
     }
 }

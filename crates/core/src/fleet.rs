@@ -14,9 +14,16 @@
 //!   [`MigrationRequest::priority`], FIFO (ascending request id) within a
 //!   class. A request whose devices are busy is skipped, not head-of-line
 //!   blocking: later requests backfill the air.
-//! * **Shared medium** — the freeze-time transfer of every in-flight
-//!   migration drains a [`RadioMedium`], so K concurrent transfers see
-//!   ~1/K goodput each and concurrency is never free.
+//! * **Shared medium over a cell topology** — every radio window of every
+//!   in-flight migration drains a [`RadioMedium`]: a pre-copy round, the
+//!   freeze-phase residue and a failed attempt's partial transfer each
+//!   contend for the air individually, so K concurrent transfers in one
+//!   cell see ~1/K goodput and concurrency is never free. A
+//!   [`RadioTopology`] installed via [`FleetScheduler::with_topology`]
+//!   splits the air into named cells with per-cell capacity, per-device
+//!   association and deterministic mid-transfer roaming; the default is
+//!   the original single-cell medium at
+//!   [`FleetConfig::medium_capacity_mbps`].
 //! * **Retry/rollback composition** — each request carries its own
 //!   [`MigrationConfig`] (hence [`RetryPolicy`](crate::RetryPolicy)) and an
 //!   optional [`FaultPlan`] expressed *relative to its own start*; a
@@ -25,19 +32,27 @@
 //!
 //! # Execution model and determinism
 //!
-//! The fleet runs on two levels, split behind the
-//! [`Executor`] API. An executor *executes*
-//! every request of the batch up front, each inside a private two-device
-//! *world shard* with a clock opened at the batch start, a forked RNG
-//! stream keyed by the request id, and a private telemetry hub — see the
-//! [`executor`](crate::executor) module for the shard construction and the
-//! conflict-group rule that lets [`ParallelExecutor`](crate::ParallelExecutor)
-//! run device-disjoint requests on OS threads. The scheduler then places
-//! the measured phases onto the fleet timeline: a CPU-bound span (pre-copy,
-//! preparation, checkpoint, backoff), the shared-medium transfer, and a
-//! CPU-bound tail (restore, reintegration). At admission, the request's
-//! shard telemetry is absorbed into the world hub shifted to the admission
-//! instant, so spans land where the fleet schedule actually placed them.
+//! The fleet runs on two levels, split behind the [`Executor`] API. An
+//! executor *executes* every request of the batch up front, each inside a
+//! private two-device *world shard* with a clock opened at the batch
+//! start, a forked RNG stream keyed by the request id, and a private
+//! telemetry hub — see the [`executor`](crate::executor) module for the
+//! shard construction and the conflict-group rule that lets
+//! [`ParallelExecutor`](crate::ParallelExecutor) run device-disjoint
+//! requests on OS threads. Execution yields a stage-level
+//! [slice schedule](crate::Slice) per request: every engine stage the
+//! probe observed, cut into CPU stretches and radio windows.
+//!
+//! The scheduler then re-times that schedule on the shared fleet
+//! [`Timeline`] with a per-request *stage cursor*: each CPU slice is an
+//! event on the timeline, and each radio window is admitted onto the
+//! medium individually, in the cell the request's home device is
+//! associated with at that instant. Tens of thousands of migrations
+//! therefore interleave on one event queue at stage granularity, rather
+//! than as monolithic pre/transfer/post blocks. At admission, the
+//! request's shard telemetry is absorbed into the world hub shifted to the
+//! admission instant, so spans land where the fleet schedule actually
+//! placed them.
 //!
 //! Per-device exclusivity makes the fleet schedule serialisable, admission
 //! order is a pure function of (priority, request id) and completion
@@ -46,14 +61,15 @@
 //! and telemetry however its requests were permuted *and whichever
 //! executor runs it*; the executor proptests pin serial/parallel
 //! byte-identity across worker counts. Simultaneous fleet events are
-//! interleaved by a [`Timeline`] keyed on the stable request id. When the
-//! batch drains, the world clock advances to the end of the fleet
-//! schedule (batch start plus makespan).
+//! interleaved by a [`Timeline`] keyed on the stable request id (planned
+//! roams fire after request events at the same instant, keyed from
+//! `u64::MAX` downward). When the batch drains, the world clock advances
+//! to the end of the fleet schedule (batch start plus makespan).
 //!
-//! Uncontended, a fleet transfer drains in exactly its serial duration, so
-//! a single-request fleet reproduces a lone [`crate::migrate`] run's stage
-//! figures to the nanosecond, provided the lone run uses the same forked
-//! RNG stream — the scenario suite pins this.
+//! Uncontended, a fleet radio window drains in exactly its serial air
+//! time, so a single-request fleet reproduces a lone [`crate::migrate`]
+//! run's stage figures to the nanosecond, provided the lone run uses the
+//! same forked RNG stream — the scenario suite pins this.
 //!
 //! # Examples
 //!
@@ -81,10 +97,10 @@
 //! ```
 
 use crate::errors::FluxError;
-use crate::executor::{ExecutedMigration, Executor, SerialExecutor};
+use crate::executor::{ExecutedMigration, Executor, SerialExecutor, SliceKind};
 use crate::migration::{MigrationConfig, MigrationReport};
 use crate::world::{DeviceId, FluxWorld};
-use flux_net::{MediumSegment, RadioMedium};
+use flux_net::{CellTrace, MediumSegment, RadioMedium, RadioTopology};
 use flux_simcore::{FaultPlan, SimDuration, SimTime, Timeline};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -151,9 +167,12 @@ impl MigrationRequest {
 pub struct FleetConfig {
     /// Maximum concurrently in-flight migrations. `1` serialises the batch.
     pub max_in_flight: usize,
-    /// Aggregate goodput (Mbit/s) of the shared radio medium. The default
-    /// clears a lone campus-WiFi dual-band transfer (~22 Mbit/s effective)
-    /// but makes two concurrent transfers contend.
+    /// Aggregate goodput (Mbit/s) of the shared radio medium when no
+    /// explicit topology is installed — the capacity of the default
+    /// single cell. The default clears a lone campus-WiFi dual-band
+    /// transfer (~22 Mbit/s effective) but makes two concurrent transfers
+    /// contend. Ignored when [`FleetScheduler::with_topology`] installs a
+    /// cell topology.
     pub medium_capacity_mbps: f64,
 }
 
@@ -258,12 +277,13 @@ pub struct FlightRecord {
     pub submitted_at: SimTime,
     /// When admission control let the request onto its devices.
     pub admitted_at: SimTime,
-    /// When its freeze-time transfer joined the medium. Equals
-    /// `admitted_at` plus the CPU-bound head; for refused or rolled-back
-    /// requests (which never reach the medium), the end of their span.
+    /// When the first slice of its transfer *stage* started (the
+    /// verification sync; the freeze-phase radio follows inside the same
+    /// bracket). For requests that never reached the transfer stage
+    /// (refusals, early rollbacks), the end of their span.
     pub transfer_start: SimTime,
-    /// When its transfer drained. Equals `transfer_start` when the request
-    /// never reached the medium.
+    /// When the last slice of its transfer stage finished draining.
+    /// Equals `transfer_start` when the request never reached the stage.
     pub transfer_end: SimTime,
     /// When the request left its devices.
     pub finished_at: SimTime,
@@ -329,12 +349,17 @@ pub struct FleetReport {
     /// Fleet-timeline span from batch open to the last flight's finish.
     pub makespan: SimDuration,
     /// What the same batch would have taken with `max_in_flight = 1` under
-    /// the same medium: the sum of every flight's uncontended span.
+    /// the same medium: the sum of every flight's uncontended span, each
+    /// radio window priced at its home cell's capacity (association as of
+    /// the flight's admission).
     pub serialized_makespan: SimDuration,
     /// Most migrations simultaneously in flight.
     pub peak_in_flight: usize,
-    /// The medium's constant-rate allocation trace.
+    /// The default cell's constant-rate allocation trace (the whole
+    /// medium's on a single-cell topology); `cells` carries every cell.
     pub medium: Vec<MediumSegment>,
+    /// Per-cell traces: each cell's spec plus its allocation segments.
+    pub cells: Vec<CellTrace>,
     /// Requests that completed.
     pub completed: usize,
     /// Requests that rolled back.
@@ -343,8 +368,8 @@ pub struct FleetReport {
     pub refused: usize,
 }
 
-/// Serializes the whole report tree — flights, timing, medium trace —
-/// compactly; the throughput bench embeds this verbatim in
+/// Serializes the whole report tree — flights, timing, medium and cell
+/// traces — compactly; the throughput bench embeds this verbatim in
 /// `BENCH_throughput.json`.
 impl serde::Serialize for FleetReport {
     fn serialize(&self, out: &mut String) {
@@ -355,6 +380,7 @@ impl serde::Serialize for FleetReport {
             .field("serialized_makespan", &self.serialized_makespan)
             .field("peak_in_flight", &self.peak_in_flight)
             .field("medium", &self.medium)
+            .field("cells", &self.cells)
             .field("completed", &self.completed)
             .field("rolled_back", &self.rolled_back)
             .field("refused", &self.refused);
@@ -373,6 +399,7 @@ impl<'de> serde::Deserialize<'de> for FleetReport {
             serialized_makespan: v.read("serialized_makespan")?,
             peak_in_flight: v.read("peak_in_flight")?,
             medium: v.read("medium")?,
+            cells: v.read("cells")?,
             completed: v.read("completed")?,
             rolled_back: v.read("rolled_back")?,
             refused: v.read("refused")?,
@@ -380,21 +407,32 @@ impl<'de> serde::Deserialize<'de> for FleetReport {
     }
 }
 
-/// A request occupying its devices.
+/// A request occupying its devices, with its stage cursor into the
+/// executed slice schedule.
 struct Active {
     idx: usize,
     admitted_at: SimTime,
-    transfer_start: SimTime,
-    transfer_end: SimTime,
+    /// Index of the slice currently on the timeline or on the air.
+    cursor: usize,
+    /// Index of the first/last slice labelled `"transfer"` (the engine's
+    /// transfer stage), precomputed so the cursor can mark the bracket.
+    first_transfer: Option<usize>,
+    last_transfer: Option<usize>,
+    transfer_start: Option<SimTime>,
+    transfer_end: Option<SimTime>,
     exec: ExecutedMigration,
 }
 
-/// Fleet-timeline events, keyed by request id.
+/// Fleet-timeline events. Request events are keyed by the request id;
+/// planned roams are keyed from `u64::MAX` downward so they fire *after*
+/// request events due at the same instant.
 enum FleetEvent {
-    /// The CPU-bound head finished; the transfer may join the medium.
-    PreDone,
-    /// The CPU-bound tail finished; the request leaves its devices.
-    PostDone,
+    /// The armed CPU slice of a request ran to completion (or its schedule
+    /// drained and the request should finish through the event loop).
+    SliceDone,
+    /// A planned roam: `device` re-associates with cell `cell`, carrying
+    /// its in-flight flows.
+    Roam { device: u64, cell: String },
 }
 
 /// Drives batches of migrations concurrently over virtual time.
@@ -406,6 +444,7 @@ enum FleetEvent {
 #[derive(Debug, Clone)]
 pub struct FleetScheduler {
     cfg: FleetConfig,
+    topology: Option<RadioTopology>,
     executor: Arc<dyn Executor>,
 }
 
@@ -431,6 +470,7 @@ impl FleetScheduler {
         }
         Ok(Self {
             cfg,
+            topology: None,
             executor: Arc::new(SerialExecutor),
         })
     }
@@ -441,9 +481,23 @@ impl FleetScheduler {
         self
     }
 
+    /// Installs a multi-AP cell topology: radio windows contend per cell
+    /// (by the home device's association), and the topology's roam plan
+    /// fires deterministically on the fleet timeline. Without this, the
+    /// medium is a single cell at [`FleetConfig::medium_capacity_mbps`].
+    pub fn with_topology(mut self, topology: RadioTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// The scheduler's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.cfg
+    }
+
+    /// The installed cell topology, if any.
+    pub fn topology(&self) -> Option<&RadioTopology> {
+        self.topology.as_ref()
     }
 
     /// The executor batches run through.
@@ -459,18 +513,46 @@ impl FleetScheduler {
     /// # Errors
     ///
     /// [`FluxError::Config`] when two requests share an id (the id is the
-    /// determinism key, so collisions would make tie-breaking ambiguous).
+    /// determinism key, so collisions would make tie-breaking ambiguous),
+    /// when an installed topology has no cells, or when a request id
+    /// collides with the timeline keys reserved for the roam plan.
     pub fn run(
         &self,
         world: &mut FluxWorld,
         requests: Vec<MigrationRequest>,
     ) -> Result<FleetReport, FluxError> {
+        let single_cell;
+        let topology = match &self.topology {
+            Some(t) => {
+                if t.cells().is_empty() {
+                    return Err(FluxError::Config(
+                        "fleet radio topology needs at least one cell".into(),
+                    ));
+                }
+                t
+            }
+            None => {
+                single_cell = RadioTopology::single_cell(self.cfg.medium_capacity_mbps);
+                &single_cell
+            }
+        };
+        // Roam events ride the same timeline as request events, keyed from
+        // u64::MAX downward; the id spaces must not meet.
+        let roam_key_floor = u64::MAX - topology.roam_plan().len() as u64;
         let mut ids = BTreeSet::new();
         for req in &requests {
             if !ids.insert(req.id) {
                 return Err(FluxError::Config(format!(
                     "duplicate fleet request id {}",
                     req.id
+                )));
+            }
+            if req.id >= roam_key_floor {
+                return Err(FluxError::Config(format!(
+                    "fleet request id {} collides with the timeline keys reserved \
+                     for the topology's {} planned roam(s)",
+                    req.id,
+                    topology.roam_plan().len()
                 )));
             }
         }
@@ -480,8 +562,8 @@ impl FleetScheduler {
             .telemetry
             .counter_add("flux.fleet.submitted", requests.len() as u64);
 
-        // Execute the whole batch up front: one measured shape per request,
-        // in world shards on private clocks (see `crate::executor`).
+        // Execute the whole batch up front: one measured slice schedule per
+        // request, in world shards on private clocks (see `crate::executor`).
         let mut execs: Vec<Option<ExecutedMigration>> = self
             .executor
             .execute(world, &requests)
@@ -495,28 +577,54 @@ impl FleetScheduler {
         let mut queue: Vec<usize> = (0..requests.len()).collect();
         queue.sort_by_key(|&i| (std::cmp::Reverse(requests[i].priority), requests[i].id));
 
-        let mut medium = RadioMedium::new(self.cfg.medium_capacity_mbps, start);
+        let mut medium = RadioMedium::with_topology(topology, start);
         let mut timeline: Timeline<FleetEvent> = Timeline::new();
+        for (i, roam) in topology.roam_plan().iter().enumerate() {
+            timeline.schedule(
+                start + roam.at,
+                u64::MAX - i as u64,
+                FleetEvent::Roam {
+                    device: roam.device,
+                    cell: roam.cell.clone(),
+                },
+            );
+        }
         let mut active: BTreeMap<u64, Active> = BTreeMap::new();
         let mut busy_source: BTreeSet<usize> = BTreeSet::new();
         let mut busy_target: BTreeSet<usize> = BTreeSet::new();
         let mut flights: BTreeMap<u64, FlightRecord> = BTreeMap::new();
         let mut serialized = SimDuration::ZERO;
+        let mut violations = 0u64;
         let mut peak = 0usize;
         let mut now = start;
+        // Admission bookkeeping: `queue[next_fresh..]` has never been
+        // scanned; `parked` holds the already-scanned-but-skipped indices
+        // (every parked index precedes every fresh one in canonical order,
+        // so scanning parked-then-fresh preserves it). Each pass is
+        // O(parked + admitted) instead of O(whole queue).
+        let mut parked: Vec<usize> = Vec::new();
+        let mut next_fresh = 0usize;
 
         loop {
-            // Admission pass: scan the queue in canonical order, admitting
-            // everything whose devices are free while slots remain.
-            let mut still_queued = Vec::with_capacity(queue.len());
-            for &idx in &queue {
+            // Admission pass: scan parked, then fresh, in canonical order,
+            // admitting everything whose devices are free while slots
+            // remain.
+            let mut admit = |idx: usize,
+                             world: &mut FluxWorld,
+                             active: &mut BTreeMap<u64, Active>,
+                             medium: &mut RadioMedium,
+                             timeline: &mut Timeline<FleetEvent>,
+                             busy_source: &mut BTreeSet<usize>,
+                             busy_target: &mut BTreeSet<usize>,
+                             serialized: &mut SimDuration,
+                             violations: &mut u64|
+             -> bool {
                 let req = &requests[idx];
                 let admissible = active.len() < self.cfg.max_in_flight
                     && !busy_source.contains(&req.home.0)
                     && !busy_target.contains(&req.guest.0);
                 if !admissible {
-                    still_queued.push(idx);
-                    continue;
+                    return false;
                 }
                 busy_source.insert(req.home.0);
                 busy_target.insert(req.guest.0);
@@ -526,30 +634,71 @@ impl FleetScheduler {
                 // batch open, so shifting by the queue wait pins the
                 // spans to the admission instant, in admission order.
                 world.telemetry.absorb(&exec.telemetry, now.since(start));
-                serialized += isolated_span(&exec, self.cfg.medium_capacity_mbps);
+                let home_cell_capacity =
+                    topology.cells()[medium.cell_of(req.home.0 as u64)].capacity_mbps;
+                *serialized += isolated_span(&exec, home_cell_capacity);
+                *violations += u64::from(exec.violations);
                 world.telemetry.counter_add("flux.fleet.admitted", 1);
-                timeline.schedule(now + exec.pre, req.id, FleetEvent::PreDone);
-                active.insert(
-                    req.id,
-                    Active {
-                        idx,
-                        admitted_at: now,
-                        transfer_start: now,
-                        transfer_end: now,
-                        exec,
-                    },
-                );
-                peak = peak.max(active.len());
+                let first_transfer = exec.schedule.iter().position(|s| s.stage == "transfer");
+                let last_transfer = exec.schedule.iter().rposition(|s| s.stage == "transfer");
+                let mut flight = Active {
+                    idx,
+                    admitted_at: now,
+                    cursor: 0,
+                    first_transfer,
+                    last_transfer,
+                    transfer_start: None,
+                    transfer_end: None,
+                    exec,
+                };
+                arm(&mut flight, req, now, medium, timeline);
+                active.insert(req.id, flight);
+                true
+            };
+            let mut still_parked = Vec::with_capacity(parked.len());
+            for idx in std::mem::take(&mut parked) {
+                if !admit(
+                    idx,
+                    world,
+                    &mut active,
+                    &mut medium,
+                    &mut timeline,
+                    &mut busy_source,
+                    &mut busy_target,
+                    &mut serialized,
+                    &mut violations,
+                ) {
+                    still_parked.push(idx);
+                }
             }
-            queue = still_queued;
+            parked = still_parked;
+            while active.len() < self.cfg.max_in_flight && next_fresh < queue.len() {
+                let idx = queue[next_fresh];
+                next_fresh += 1;
+                if !admit(
+                    idx,
+                    world,
+                    &mut active,
+                    &mut medium,
+                    &mut timeline,
+                    &mut busy_source,
+                    &mut busy_target,
+                    &mut serialized,
+                    &mut violations,
+                ) {
+                    parked.push(idx);
+                }
+            }
+            peak = peak.max(active.len());
+            let queued = parked.len() + (queue.len() - next_fresh);
             world
                 .telemetry
-                .gauge_set("flux.fleet.queue_depth", queue.len() as f64);
+                .gauge_set("flux.fleet.queue_depth", queued as f64);
 
             if active.is_empty() {
                 // Nothing in flight and (with max_in_flight >= 1 and all
                 // devices free) nothing admissible: the queue is drained.
-                debug_assert!(queue.is_empty());
+                debug_assert_eq!(queued, 0);
                 break;
             }
 
@@ -562,35 +711,41 @@ impl FleetScheduler {
             medium.advance(next);
             now = next;
 
-            // Drained transfers first (they free air for flows joining at
-            // the same instant), then due CPU-phase events, both in
-            // ascending request-id order.
+            // Drained radio windows first (they free air for flows joining
+            // at the same instant), then due timeline events, both in
+            // ascending key order — so request events precede same-instant
+            // roams.
             for id in medium.take_completed() {
-                let flight = active.get_mut(&id).expect("completed flow is active");
-                flight.transfer_end = now;
-                timeline.schedule(now + flight.exec.post, id, FleetEvent::PostDone);
+                step_flight(
+                    id,
+                    now,
+                    start,
+                    world,
+                    &requests,
+                    &mut active,
+                    &mut medium,
+                    &mut timeline,
+                    &mut busy_source,
+                    &mut busy_target,
+                    &mut flights,
+                );
             }
-            while let Some((at, id, event)) = timeline.pop_due(now) {
+            while let Some((_, key, event)) = timeline.pop_due(now) {
                 match event {
-                    FleetEvent::PreDone => {
-                        let flight = active.get_mut(&id).expect("pre-done flight is active");
-                        flight.transfer_start = at;
-                        match flight.exec.flow {
-                            Some((bytes, air)) => medium.admit(id, bytes, air),
-                            None => {
-                                flight.transfer_end = at;
-                                timeline.schedule(at + flight.exec.post, id, FleetEvent::PostDone);
-                            }
-                        }
-                    }
-                    FleetEvent::PostDone => {
-                        let flight = active.remove(&id).expect("post-done flight is active");
-                        let req = &requests[flight.idx];
-                        busy_source.remove(&req.home.0);
-                        busy_target.remove(&req.guest.0);
-                        let record = finish_flight(world, req, flight, start, at);
-                        flights.insert(id, record);
-                    }
+                    FleetEvent::SliceDone => step_flight(
+                        key,
+                        now,
+                        start,
+                        world,
+                        &requests,
+                        &mut active,
+                        &mut medium,
+                        &mut timeline,
+                        &mut busy_source,
+                        &mut busy_target,
+                        &mut flights,
+                    ),
+                    FleetEvent::Roam { device, cell } => medium.roam(device, &cell),
                 }
             }
         }
@@ -605,6 +760,15 @@ impl FleetScheduler {
         world
             .telemetry
             .gauge_set("flux.fleet.peak_in_flight", peak as f64);
+        if violations > 0 {
+            // Probe windows escaped a measured wall somewhere: the slices
+            // were clamped so the schedule stayed consistent, but the shape
+            // is suspect. Zero on every healthy run (and not emitted then,
+            // so healthy telemetry bytes are unchanged).
+            world
+                .telemetry
+                .counter_add("flux.fleet.accounting_violations", violations);
+        }
 
         let flights: Vec<FlightRecord> = flights.into_values().collect();
         let completed = flights.iter().filter(|f| f.outcome.is_completed()).count();
@@ -623,11 +787,89 @@ impl FleetScheduler {
             serialized_makespan: serialized,
             peak_in_flight: peak,
             medium: medium.segments().to_vec(),
+            cells: medium.cell_traces(),
             completed,
             rolled_back,
             refused,
         })
     }
+}
+
+/// Arms the flight's cursor slice: a CPU slice becomes a timeline event at
+/// its completion instant; a radio window is admitted onto the medium in
+/// the home device's cell. Zero-duration slices are skipped. A drained
+/// schedule arms a same-instant [`FleetEvent::SliceDone`] so the flight
+/// finishes through the event loop (keeping same-instant ordering keyed by
+/// request id).
+fn arm(
+    flight: &mut Active,
+    req: &MigrationRequest,
+    now: SimTime,
+    medium: &mut RadioMedium,
+    timeline: &mut Timeline<FleetEvent>,
+) {
+    while let Some(slice) = flight.exec.schedule.get(flight.cursor) {
+        if flight.first_transfer == Some(flight.cursor) && flight.transfer_start.is_none() {
+            flight.transfer_start = Some(now);
+        }
+        if slice.dur == SimDuration::ZERO {
+            if flight.last_transfer == Some(flight.cursor) {
+                flight.transfer_end = Some(now);
+            }
+            flight.cursor += 1;
+            continue;
+        }
+        match slice.kind {
+            SliceKind::Cpu => {
+                timeline.schedule(now + slice.dur, req.id, FleetEvent::SliceDone);
+            }
+            SliceKind::Transfer { bytes } => {
+                medium.admit_from(req.id, req.home.0 as u64, bytes, slice.dur);
+            }
+        }
+        return;
+    }
+    timeline.schedule(now, req.id, FleetEvent::SliceDone);
+}
+
+/// Advances one flight past its just-completed slice: marks the transfer
+/// bracket, arms the next slice, or — when the schedule has drained —
+/// releases the devices and records the flight.
+#[allow(clippy::too_many_arguments)]
+fn step_flight(
+    id: u64,
+    now: SimTime,
+    submitted_at: SimTime,
+    world: &mut FluxWorld,
+    requests: &[MigrationRequest],
+    active: &mut BTreeMap<u64, Active>,
+    medium: &mut RadioMedium,
+    timeline: &mut Timeline<FleetEvent>,
+    busy_source: &mut BTreeSet<usize>,
+    busy_target: &mut BTreeSet<usize>,
+    flights: &mut BTreeMap<u64, FlightRecord>,
+) {
+    let flight = active.get_mut(&id).expect("completed slice has a flight");
+    if flight.cursor < flight.exec.schedule.len() {
+        if flight.last_transfer == Some(flight.cursor) {
+            flight.transfer_end = Some(now);
+        }
+        flight.cursor += 1;
+        let req = &requests[flight.idx];
+        arm(flight, req, now, medium, timeline);
+        if flight.cursor < flight.exec.schedule.len() {
+            return;
+        }
+        // arm() drained the remaining zero-duration slices and scheduled
+        // the finishing event; the flight stays active until it fires.
+        return;
+    }
+    let flight = active.remove(&id).expect("finished flight is active");
+    let req = &requests[flight.idx];
+    busy_source.remove(&req.home.0);
+    busy_target.remove(&req.guest.0);
+    let record = finish_flight(world, req, flight, submitted_at, now);
+    flights.insert(id, record);
 }
 
 /// Runs `requests` under [`FleetConfig::default`].
@@ -642,23 +884,19 @@ pub fn run_fleet(
     FleetScheduler::new(FleetConfig::default())?.run(world, requests)
 }
 
-/// A flight's span had it run alone under `capacity_mbps` — exactly the
-/// slice a `max_in_flight = 1` schedule would give it.
-fn isolated_span(exec: &ExecutedMigration, capacity_mbps: f64) -> SimDuration {
-    let air = match exec.flow {
-        Some((bytes, air)) => {
-            let nominal = bytes.as_u64() as f64 * 8.0 / air.as_secs_f64() / 1e6;
-            if nominal <= capacity_mbps {
-                air
-            } else {
-                SimDuration::from_nanos(
-                    (air.as_nanos() as f64 * nominal / capacity_mbps).ceil() as u64
-                )
+/// A flight's span had it run alone in its home cell — exactly the slice a
+/// `max_in_flight = 1` schedule would give it on a roam-free topology: CPU
+/// slices at face value, radio windows at the cell's solo drain.
+fn isolated_span(exec: &ExecutedMigration, home_cell_capacity: f64) -> SimDuration {
+    exec.schedule
+        .iter()
+        .map(|s| match s.kind {
+            SliceKind::Cpu => s.dur,
+            SliceKind::Transfer { bytes } => {
+                RadioMedium::solo_drain(home_cell_capacity, bytes, s.dur)
             }
-        }
-        None => SimDuration::ZERO,
-    };
-    exec.pre + air + exec.post
+        })
+        .fold(SimDuration::ZERO, |acc, d| acc + d)
 }
 
 /// Emits the flight's telemetry lane and builds its record.
@@ -669,24 +907,23 @@ fn finish_flight(
     submitted_at: SimTime,
     finished_at: SimTime,
 ) -> FlightRecord {
+    let transfer_start = flight.transfer_start.unwrap_or(finished_at);
+    let transfer_end = flight.transfer_end.unwrap_or(finished_at);
     let lane = world.telemetry.lane(&format!("fleet.m{:03}", req.id));
     world
         .telemetry
         .record_complete(lane, "fleet.queued", submitted_at, flight.admitted_at);
     world
         .telemetry
-        .record_complete(lane, "fleet.pre", flight.admitted_at, flight.transfer_start);
-    if flight.transfer_end > flight.transfer_start {
-        world.telemetry.record_complete(
-            lane,
-            "fleet.transfer",
-            flight.transfer_start,
-            flight.transfer_end,
-        );
+        .record_complete(lane, "fleet.pre", flight.admitted_at, transfer_start);
+    if transfer_end > transfer_start {
+        world
+            .telemetry
+            .record_complete(lane, "fleet.transfer", transfer_start, transfer_end);
     }
     world
         .telemetry
-        .record_complete(lane, "fleet.post", flight.transfer_end, finished_at);
+        .record_complete(lane, "fleet.post", transfer_end, finished_at);
     let counter = match flight.exec.outcome {
         FleetOutcome::Completed(_) => "flux.fleet.completed",
         FleetOutcome::RolledBack { .. } => "flux.fleet.rolled_back",
@@ -705,8 +942,8 @@ fn finish_flight(
         priority: req.priority,
         submitted_at,
         admitted_at: flight.admitted_at,
-        transfer_start: flight.transfer_start,
-        transfer_end: flight.transfer_end,
+        transfer_start,
+        transfer_end,
         finished_at,
         outcome: flight.exec.outcome,
     }

@@ -54,6 +54,7 @@ pub mod fleet;
 pub mod image_cache;
 pub mod migration;
 pub mod pairing;
+pub mod probe;
 pub mod record;
 pub mod replay;
 pub mod world;
@@ -63,7 +64,8 @@ pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
 pub use engine::{broadcast_connectivity, migrate, StageFailure};
 pub use errors::FluxError;
 pub use executor::{
-    ExecutedMigration, Executor, ParallelExecutor, SerialExecutor, FLEET_RNG_STREAM,
+    ExecutedMigration, Executor, ParallelExecutor, SerialExecutor, Slice, SliceKind,
+    FLEET_RNG_STREAM,
 };
 pub use fleet::{
     run_fleet, FleetConfig, FleetOutcome, FleetReport, FleetScheduler, FlightRecord,
@@ -76,6 +78,7 @@ pub use migration::{
     PRECOPY_STOP,
 };
 pub use pairing::{pair, verify_app, PairingReport};
+pub use probe::{ExecProbe, RadioWindow, StageWindow};
 pub use record::{CallLog, CallRecord, RecordOutcome, RecordStore};
 pub use replay::{replay_log, ReplayStats};
 pub use world::{Device, DeviceId, FluxWorld, Pairing, ReplayPolicy, WorldError};

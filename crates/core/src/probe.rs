@@ -1,0 +1,158 @@
+//! The execution probe: stage and radio windows observed during a run.
+//!
+//! The fleet scheduler (DESIGN.md §4.10) re-times executed migrations on
+//! its own event timeline at *stage* granularity: every pre-copy round,
+//! freeze-phase residue ship and record-log transfer must become its own
+//! schedulable event, individually admitted onto the shared radio medium.
+//! The engine knows those windows — the driver brackets every stage, and
+//! the transfer-bearing stages know exactly when the radio was keyed — but
+//! until now it only reported three coarse phase totals.
+//!
+//! [`ExecProbe`] closes that gap without widening any engine signature:
+//! the world carries one, disabled (and free) by default. The executor
+//! enables it on the private shard world it runs each request in, the
+//! engine records into it as a side effect of normal execution, and the
+//! executor harvests the windows afterwards to cut the migration's wall
+//! time into a [schedule of slices](crate::executor::Slice).
+//!
+//! Windows are recorded in shard-local virtual time (the shard clock opens
+//! at the batch instant) and are strictly chronological per kind — stages
+//! never overlap each other, radio windows never overlap each other, and
+//! every radio window nests inside some stage window. The slice builder
+//! re-checks those invariants rather than trusting them (see
+//! `flux.fleet.accounting_violations`).
+
+use flux_simcore::{ByteSize, SimDuration, SimTime};
+
+/// One stage's wall-clock bracket, as the driver observed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageWindow {
+    /// The stage's wire name (`Stage::name`), or a driver-internal label
+    /// (`"backoff"`, `"rollback"`) for inter-stage time.
+    pub stage: &'static str,
+    /// When the stage began on the executing world's clock.
+    pub from: SimTime,
+    /// When the stage released the clock.
+    pub to: SimTime,
+}
+
+/// One radio occupancy window: a stretch of wall time the engine spent
+/// with the radio keyed, and the payload it delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadioWindow {
+    /// When the radio was keyed on the executing world's clock.
+    pub from: SimTime,
+    /// How long the air was held (the serial transfer model's pricing,
+    /// setup latency included).
+    pub duration: SimDuration,
+    /// Payload bytes delivered inside this window (zero when the
+    /// handshake dropped before any chunk landed).
+    pub bytes: ByteSize,
+}
+
+/// A recorder for stage and radio windows, carried by every `FluxWorld`.
+///
+/// Disabled by default: recording into a disabled probe is a no-op, so
+/// the serial `migrate` path pays nothing and stays byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProbe {
+    enabled: bool,
+    stages: Vec<StageWindow>,
+    radios: Vec<RadioWindow>,
+}
+
+impl ExecProbe {
+    /// A probe that ignores everything recorded into it — the default for
+    /// worlds built outside an executor shard.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A live probe, as installed on executor shard worlds.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            stages: Vec::new(),
+            radios: Vec::new(),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a stage bracket. Zero-width and disabled-probe records are
+    /// dropped.
+    pub fn record_stage(&mut self, stage: &'static str, from: SimTime, to: SimTime) {
+        if self.enabled && to > from {
+            self.stages.push(StageWindow { stage, from, to });
+        }
+    }
+
+    /// Records a radio occupancy window. Zero-duration and disabled-probe
+    /// records are dropped.
+    pub fn record_radio(&mut self, from: SimTime, duration: SimDuration, bytes: ByteSize) {
+        if self.enabled && duration > SimDuration::ZERO {
+            self.radios.push(RadioWindow {
+                from,
+                duration,
+                bytes,
+            });
+        }
+    }
+
+    /// Drains the recorded windows, leaving the probe empty but still
+    /// enabled — the shard runs one migration per take.
+    pub fn take(&mut self) -> (Vec<StageWindow>, Vec<RadioWindow>) {
+        (
+            std::mem::take(&mut self.stages),
+            std::mem::take(&mut self.radios),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let mut p = ExecProbe::disabled();
+        p.record_stage("transfer", SimTime::ZERO, SimTime::from_secs(1));
+        p.record_radio(
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            ByteSize::from_mib(1),
+        );
+        let (stages, radios) = p.take();
+        assert!(stages.is_empty() && radios.is_empty());
+    }
+
+    #[test]
+    fn enabled_probe_keeps_chronology_and_drops_zero_width() {
+        let mut p = ExecProbe::enabled();
+        p.record_stage("precopy", SimTime::ZERO, SimTime::from_secs(2));
+        p.record_stage("empty", SimTime::from_secs(2), SimTime::from_secs(2));
+        p.record_stage("transfer", SimTime::from_secs(2), SimTime::from_secs(5));
+        p.record_radio(
+            SimTime::from_secs(3),
+            SimDuration::ZERO,
+            ByteSize::from_mib(1),
+        );
+        p.record_radio(
+            SimTime::from_secs(3),
+            SimDuration::from_secs(1),
+            ByteSize::from_mib(1),
+        );
+        let (stages, radios) = p.take();
+        assert_eq!(
+            stages.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec!["precopy", "transfer"]
+        );
+        assert_eq!(radios.len(), 1);
+        // A take leaves the probe enabled and empty.
+        assert!(p.is_enabled());
+        assert!(p.take().0.is_empty());
+    }
+}

@@ -44,6 +44,7 @@ use flux_simcore::{SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Service configuration.
 #[derive(Debug, Clone, Copy)]
@@ -248,6 +249,102 @@ pub struct RecoveryInfo {
     pub reissued_audits: u64,
 }
 
+/// A batch admitted (journaled and drained from the pending queue) but
+/// not yet executed: everything [`PreparedBatch::execute`] needs, cloned
+/// out of the service so execution can proceed *without* the service
+/// lock. Obtained from [`ServiceCore::begin_batch`]; the result goes back
+/// in through [`ServiceCore::install_batch`].
+#[derive(Debug)]
+pub struct PreparedBatch {
+    batch: u64,
+    request_ids: Vec<u64>,
+    reqs: Vec<RequestSpec>,
+    spec: ScenarioSpec,
+    service_clock: SimTime,
+    batch_rng: SimRng,
+}
+
+/// Everything one executed batch produced, ready to install.
+#[derive(Debug)]
+pub struct ExecutedBatch {
+    record: BatchRecord,
+    audits: Vec<WorldEvent>,
+    end_clock: SimTime,
+}
+
+impl ExecutedBatch {
+    /// The batch's sequence number.
+    pub fn seq(&self) -> u64 {
+        self.record.seq
+    }
+}
+
+impl PreparedBatch {
+    /// The batch's sequence number.
+    pub fn seq(&self) -> u64 {
+        self.batch
+    }
+
+    /// Request ids admitted into this batch, ascending.
+    pub fn request_ids(&self) -> &[u64] {
+        &self.request_ids
+    }
+
+    /// Executes the batch: builds a fresh world from the spec, advances it
+    /// to the service clock, runs the fleet under the batch's forked RNG
+    /// and collects the outputs. Pure — touches no service state, holds no
+    /// lock — so a server can answer observers while this runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Flux`] when the fleet engine fails, and
+    /// [`ServiceError::Corrupt`] when the scenario's workload pool is
+    /// missing an app.
+    pub fn execute(self) -> Result<ExecutedBatch, ServiceError> {
+        let batch = self.batch;
+        let (mut world, ids) = build_world(&self.spec)?;
+        world.clock.advance_to(self.service_clock);
+        world.net.set_rng(self.batch_rng);
+
+        let requests: Vec<MigrationRequest> = self
+            .reqs
+            .iter()
+            .map(|r| {
+                let home = ids[2 * r.pair as usize];
+                let guest = ids[2 * r.pair as usize + 1];
+                MigrationRequest::new(r.id, home, guest, &r.package).with_priority(r.priority)
+            })
+            .collect();
+        let scheduler = FleetScheduler::new(FleetConfig {
+            max_in_flight: (self.spec.max_in_flight.max(1)) as usize,
+            ..FleetConfig::default()
+        })?;
+        let report = scheduler.run(&mut world, requests)?;
+
+        let audits = report
+            .flights
+            .iter()
+            .map(|f| match f.outcome {
+                FleetOutcome::Completed(_) => WorldEvent::MigrationCompleted { batch, id: f.id },
+                FleetOutcome::RolledBack { .. } | FleetOutcome::Refused { .. } => {
+                    WorldEvent::RolledBack { batch, id: f.id }
+                }
+            })
+            .collect();
+        Ok(ExecutedBatch {
+            record: BatchRecord {
+                seq: batch,
+                request_ids: self.request_ids,
+                chrome_trace: flux_telemetry::chrome_trace(&world.telemetry),
+                telemetry_json: flux_telemetry::json_snapshot(&world.telemetry),
+                report,
+            },
+            audits,
+            end_clock: world.clock.now(),
+        })
+    }
+}
+
 /// The event-sourced service: journal + snapshots + deterministic batch
 /// execution. See the [module docs](self).
 pub struct ServiceCore {
@@ -256,6 +353,9 @@ pub struct ServiceCore {
     cfg: ServiceConfig,
     state: ServiceState,
     recovery: RecoveryInfo,
+    /// Serialises begin/execute/install batch cycles across threads
+    /// sharing this core behind a mutex — see [`ServiceCore::step_gate`].
+    step_gate: Arc<Mutex<()>>,
     /// Journal event count covered by the most recent snapshot — cadence
     /// bookkeeping only. Deliberately *not* part of [`ServiceState`]:
     /// snapshot markers land at different journal offsets in a recovered
@@ -299,6 +399,7 @@ impl ServiceCore {
             cfg,
             state: ServiceState::fresh(spec.clone()),
             recovery,
+            step_gate: Arc::new(Mutex::new(())),
             last_snapshot_events: 0,
         };
 
@@ -405,7 +506,30 @@ impl ServiceCore {
     /// Admits every pending request as one batch and executes it.
     ///
     /// Returns the new [`BatchRecord`], or `None` when nothing is pending.
+    ///
+    /// This is [`begin_batch`](Self::begin_batch) →
+    /// [`PreparedBatch::execute`] → [`install_batch`](Self::install_batch)
+    /// run back to back; a server sharing the core behind a mutex should
+    /// call the three parts itself so the (expensive, pure) execute step
+    /// runs outside the lock and observers keep getting answers.
     pub fn step_batch(&mut self) -> Result<Option<&BatchRecord>, ServiceError> {
+        let Some(prepared) = self.begin_batch()? else {
+            return Ok(None);
+        };
+        let executed = prepared.execute()?;
+        Ok(Some(self.install_batch(executed)?))
+    }
+
+    /// Admits every pending request as one batch: journals (and syncs) the
+    /// [`WorldEvent::BatchAdmitted`] fact, drains the pending queue, forks
+    /// the batch RNG off the persisted root, and hands back everything
+    /// execution needs. Returns `None` when nothing is pending.
+    ///
+    /// The admitted batch *must* be driven to [`ServiceCore::install_batch`]
+    /// (crash-safety aside: if the process dies first, recovery re-executes
+    /// the journaled admission deterministically). Until it is installed,
+    /// the service clock still reads the previous batch's end.
+    pub fn begin_batch(&mut self) -> Result<Option<PreparedBatch>, ServiceError> {
         if self.state.pending.is_empty() {
             return Ok(None);
         }
@@ -415,12 +539,32 @@ impl ServiceCore {
             batch,
             request_ids: request_ids.clone(),
         })?;
-        let audits = self.apply_batch(batch, &request_ids)?;
-        for audit in &audits {
+        Ok(Some(self.prepare_batch(batch, &request_ids)?))
+    }
+
+    /// Installs an executed batch: journals its audit events, records its
+    /// outputs, advances the service clock, and snapshots if due.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Journal`] when appending the audits or the snapshot
+    /// fails.
+    pub fn install_batch(&mut self, executed: ExecutedBatch) -> Result<&BatchRecord, ServiceError> {
+        for audit in &executed.audits {
             self.append_event(audit)?;
         }
+        self.install_executed(executed);
         self.maybe_snapshot()?;
-        Ok(self.state.batches.last())
+        Ok(self.state.batches.last().expect("batch just installed"))
+    }
+
+    /// The gate a multi-threaded server holds across one
+    /// begin/execute/install cycle, so two concurrent `STEP`s cannot
+    /// interleave (the second would otherwise begin against a service
+    /// clock the first has not advanced yet). Cloned out so it can be
+    /// locked while the core's own mutex is free.
+    pub fn step_gate(&self) -> Arc<Mutex<()>> {
+        Arc::clone(&self.step_gate)
     }
 
     /// Applies a submission to the state (no journaling). Idempotent.
@@ -430,14 +574,32 @@ impl ServiceCore {
         }
     }
 
-    /// Executes batch `batch` over `request_ids` (no journaling): builds a
-    /// fresh world from the spec, runs the fleet, records the outputs and
-    /// returns the audit events describing the outcomes.
+    /// Executes batch `batch` over `request_ids` (no journaling): the
+    /// replay path. Composed of exactly the same parts as the live path —
+    /// [`prepare_batch`](Self::prepare_batch), [`PreparedBatch::execute`],
+    /// [`install_executed`](Self::install_executed) — so a recovered
+    /// service is byte-identical to one that never crashed. Returns the
+    /// audit events describing the outcomes.
     fn apply_batch(
         &mut self,
         batch: u64,
         request_ids: &[u64],
     ) -> Result<Vec<WorldEvent>, ServiceError> {
+        let prepared = self.prepare_batch(batch, request_ids)?;
+        let executed = prepared.execute()?;
+        let audits = executed.audits.clone();
+        self.install_executed(executed);
+        Ok(audits)
+    }
+
+    /// The state-mutating half of batch admission (no journaling):
+    /// validates the sequence, resolves and drains the admitted requests,
+    /// forks the batch RNG and advances the persisted root.
+    fn prepare_batch(
+        &mut self,
+        batch: u64,
+        request_ids: &[u64],
+    ) -> Result<PreparedBatch, ServiceError> {
         if batch != self.state.next_batch {
             return Err(corrupt(format!(
                 "batch {batch} admitted, expected {}",
@@ -453,52 +615,28 @@ impl ServiceCore {
                     })
                 })
                 .collect::<Result<_, _>>()?;
-
-        let (mut world, ids) = build_world(&self.state.spec)?;
-        world.clock.advance_to(self.state.service_clock);
         let mut root = SimRng::restore(&self.state.root_rng)
             .ok_or_else(|| corrupt("root RNG state has wrong word counts"))?;
-        world.net.set_rng(root.fork(batch));
+        let batch_rng = root.fork(batch);
         self.state.root_rng = root.save();
-
-        let requests: Vec<MigrationRequest> = reqs
-            .iter()
-            .map(|r| {
-                let home = ids[2 * r.pair as usize];
-                let guest = ids[2 * r.pair as usize + 1];
-                MigrationRequest::new(r.id, home, guest, &r.package).with_priority(r.priority)
-            })
-            .collect();
-        let scheduler = FleetScheduler::new(FleetConfig {
-            max_in_flight: (self.state.spec.max_in_flight.max(1)) as usize,
-            ..FleetConfig::default()
-        })?;
-        let report = scheduler.run(&mut world, requests)?;
-
-        let audits = report
-            .flights
-            .iter()
-            .map(|f| match f.outcome {
-                FleetOutcome::Completed(_) => WorldEvent::MigrationCompleted { batch, id: f.id },
-                FleetOutcome::RolledBack { .. } | FleetOutcome::Refused { .. } => {
-                    WorldEvent::RolledBack { batch, id: f.id }
-                }
-            })
-            .collect();
-
-        self.state.service_clock = world.clock.now();
         self.state.next_batch = batch + 1;
         for id in request_ids {
             self.state.pending.remove(id);
         }
-        self.state.batches.push(BatchRecord {
-            seq: batch,
+        Ok(PreparedBatch {
+            batch,
             request_ids: request_ids.to_vec(),
-            chrome_trace: flux_telemetry::chrome_trace(&world.telemetry),
-            telemetry_json: flux_telemetry::json_snapshot(&world.telemetry),
-            report,
-        });
-        Ok(audits)
+            reqs,
+            spec: self.state.spec.clone(),
+            service_clock: self.state.service_clock,
+            batch_rng,
+        })
+    }
+
+    /// The state-mutating half of batch completion (no journaling).
+    fn install_executed(&mut self, executed: ExecutedBatch) {
+        self.state.service_clock = executed.end_clock;
+        self.state.batches.push(executed.record);
     }
 
     fn append_event(&mut self, event: &WorldEvent) -> Result<(), ServiceError> {

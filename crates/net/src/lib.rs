@@ -11,7 +11,7 @@
 pub mod medium;
 pub mod wifi;
 
-pub use medium::{MediumSegment, RadioMedium};
+pub use medium::{CellSpec, CellTrace, MediumSegment, RadioMedium, RadioTopology, RoamEvent};
 pub use wifi::{
     Band, ChunkEvent, ChunkedOutcome, ChunkedTransfer, NetworkEnv, TransferStats, WifiAdapter,
     WifiStandard, DEFAULT_CHUNK,

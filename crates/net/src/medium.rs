@@ -1,4 +1,4 @@
-//! A shared-medium radio contention model.
+//! A multi-cell radio contention model.
 //!
 //! [`NetworkEnv`](crate::NetworkEnv) prices one transfer at a time: the pair
 //! of adapters owns the whole airspace. A fleet of concurrent migrations
@@ -7,7 +7,18 @@
 //! [`RadioMedium`] models that sharing as a deterministic fluid process:
 //! each admitted flow carries the *serial air time* the single-transfer
 //! model already priced for it (jitter, congestion, MAC efficiency and all),
-//! and drains at a rate capped by an equal split of the medium capacity.
+//! and drains at a rate capped by an equal split of its cell's capacity.
+//!
+//! The medium is a set of **cells** — named access points with their own
+//! capacity and band, described by a [`RadioTopology`]. Devices associate
+//! with a cell; a flow contends only inside the cell its source device is
+//! associated with (the wired backhaul between access points is treated as
+//! unconstrained), and a device may **roam** to another cell mid-transfer:
+//! its active flows are re-admitted into the new cell carrying exactly
+//! their remaining air time, to the sub-nanosecond. The single-argument
+//! [`RadioMedium::new`] constructor builds the degenerate one-cell
+//! topology, and on that topology the medium behaves byte-identically to
+//! the original single-cell model.
 //!
 //! Between events the rate allocation is constant, so the medium only needs
 //! piecewise-linear arithmetic — no iteration, no floating-point feedback —
@@ -16,11 +27,21 @@
 //! exactly `1.0`, so an uncontended fleet transfer completes in *exactly*
 //! its serial duration: the fleet path degrades to the single-pair figures.
 //!
+//! Contended drain progress is integer fixed-point (32 fractional bits of a
+//! nanosecond), with the sub-nanosecond remainder carried per flow across
+//! segments. Completion instants are therefore *chop-invariant*: advancing
+//! the medium through any sequence of intermediate instants drains exactly
+//! as much air as advancing straight to the completion time, and the total
+//! air served equals the admitted serial air time exactly. (The previous
+//! model ceil-rounded each segment independently, over-draining by up to
+//! 1 ns per segment — at 10k-flow scale completions drifted measurably
+//! early.)
+//!
 //! The allocation is an equal-share cap (`min(nominal, capacity / K)`), not
 //! max-min water-filling: slack from a slow flow is *not* redistributed.
 //! That keeps the model monotone and trivially conservative — the per-flow
-//! shares can never sum past the capacity, which the fleet proptests assert
-//! segment by segment.
+//! shares can never sum past the cell capacity, which the fleet proptests
+//! assert segment by segment.
 //!
 //! # Caller protocol
 //!
@@ -40,10 +61,11 @@
 //! assert_eq!(done_at, SimTime::from_secs(4)); // alone under capacity: exact
 //! ```
 
+use crate::wifi::Band;
 use flux_simcore::{ByteSize, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
-/// One constant-rate stretch of the medium's life: which flows were active
+/// One constant-rate stretch of a cell's life: which flows were active
 /// over `[from, to)` and the goodput share (Mbit/s) each was allocated.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MediumSegment {
@@ -75,6 +97,225 @@ impl<'de> serde::Deserialize<'de> for MediumSegment {
     }
 }
 
+/// Wire name of a band (the no-op serde derive on [`Band`] carries no
+/// impl, so cell traces spell it out).
+fn band_name(band: Band) -> &'static str {
+    match band {
+        Band::Ghz2_4 => "2.4GHz",
+        Band::Ghz5 => "5GHz",
+    }
+}
+
+fn band_from_name(name: &str) -> Option<Band> {
+    match name {
+        "2.4GHz" => Some(Band::Ghz2_4),
+        "5GHz" => Some(Band::Ghz5),
+        _ => None,
+    }
+}
+
+/// One access point in a [`RadioTopology`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Human-readable cell name (unique within a topology).
+    pub name: String,
+    /// Aggregate goodput budget of this cell, Mbit/s.
+    pub capacity_mbps: f64,
+    /// The band the cell operates on.
+    pub band: Band,
+}
+
+/// A deterministic roam in a topology's plan: at `at` (relative to the
+/// instant the medium opened), `device` re-associates with cell `cell`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoamEvent {
+    /// Offset from the medium's opening instant.
+    pub at: SimDuration,
+    /// The roaming device.
+    pub device: u64,
+    /// Destination cell name.
+    pub cell: String,
+}
+
+/// A multi-AP radio topology: named cells plus per-device association.
+///
+/// Cell 0 is the *default* cell: devices with no explicit association (and
+/// flows admitted through the device-less [`RadioMedium::admit`]) land
+/// there. [`RadioTopology::single_cell`] builds the degenerate topology the
+/// plain [`RadioMedium::new`] constructor uses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RadioTopology {
+    cells: Vec<CellSpec>,
+    association: BTreeMap<u64, usize>,
+    roam_plan: Vec<RoamEvent>,
+}
+
+impl RadioTopology {
+    /// An empty topology; add cells with [`cell`](Self::cell).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The one-cell topology equivalent to the original single-medium
+    /// model: a single 5 GHz cell named `air`.
+    pub fn single_cell(capacity_mbps: f64) -> Self {
+        Self::new().cell("air", capacity_mbps, Band::Ghz5)
+    }
+
+    /// Adds a cell. The first cell added is the default cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or a non-positive/non-finite capacity.
+    pub fn cell(mut self, name: &str, capacity_mbps: f64, band: Band) -> Self {
+        assert!(
+            capacity_mbps > 0.0 && capacity_mbps.is_finite(),
+            "cell {name}: capacity must be positive, got {capacity_mbps}"
+        );
+        assert!(
+            self.cells.iter().all(|c| c.name != name),
+            "duplicate cell name {name}"
+        );
+        self.cells.push(CellSpec {
+            name: name.to_owned(),
+            capacity_mbps,
+            band,
+        });
+        self
+    }
+
+    /// Associates a device with a named cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell does not exist.
+    pub fn associate(mut self, device: u64, cell: &str) -> Self {
+        let idx = self
+            .cell_index(cell)
+            .unwrap_or_else(|| panic!("associate: no cell named {cell}"));
+        self.association.insert(device, idx);
+        self
+    }
+
+    /// Appends a deterministic roam to the plan: at `at` after the medium
+    /// opens, `device` re-associates with `cell` (any in-flight flows carry
+    /// their remaining air time into the new cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell does not exist.
+    pub fn roam(mut self, at: SimDuration, device: u64, cell: &str) -> Self {
+        assert!(
+            self.cell_index(cell).is_some(),
+            "roam: no cell named {cell}"
+        );
+        self.roam_plan.push(RoamEvent {
+            at,
+            device,
+            cell: cell.to_owned(),
+        });
+        self
+    }
+
+    /// The cells, in declaration order (cell 0 is the default).
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// The planned roams, in insertion order.
+    pub fn roam_plan(&self) -> &[RoamEvent] {
+        &self.roam_plan
+    }
+
+    /// The device → cell-index association map.
+    pub fn association(&self) -> &BTreeMap<u64, usize> {
+        &self.association
+    }
+
+    /// Index of the named cell.
+    pub fn cell_index(&self, name: &str) -> Option<usize> {
+        self.cells.iter().position(|c| c.name == name)
+    }
+}
+
+/// One cell's complete trace: its spec plus every constant-rate segment it
+/// recorded. This is the per-cell counterpart of the flat segment list and
+/// what `FleetReport` embeds per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTrace {
+    /// Cell name.
+    pub name: String,
+    /// Cell capacity, Mbit/s.
+    pub capacity_mbps: f64,
+    /// Cell band.
+    pub band: Band,
+    /// Every constant-rate segment recorded in this cell, in order.
+    pub segments: Vec<MediumSegment>,
+}
+
+impl serde::Serialize for CellTrace {
+    fn serialize(&self, out: &mut String) {
+        let mut obj = serde::object(out);
+        obj.field("name", &self.name)
+            .field("capacity_mbps", &self.capacity_mbps)
+            .field("band", band_name(self.band))
+            .field("segments", &self.segments);
+        obj.end();
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CellTrace {
+    fn deserialize(v: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        let band: String = v.read("band")?;
+        Ok(Self {
+            name: v.read("name")?,
+            capacity_mbps: v.read("capacity_mbps")?,
+            band: band_from_name(&band)
+                .ok_or_else(|| serde::DeError::msg(format!("unknown band {band}")))?,
+            segments: v.read("segments")?,
+        })
+    }
+}
+
+/// Drain progress is tracked in integer fixed point: one unit is
+/// 2⁻³² nanoseconds of served air time.
+const FRAC_BITS: u32 = 32;
+const ONE: u64 = 1 << FRAC_BITS;
+
+/// A flow's drain multiplier (`share / nominal`) in fixed point. Exactly
+/// [`ONE`] when uncontended (share ≥ nominal), never zero.
+fn multiplier_fix(share_mbps: f64, nominal_mbps: f64) -> u64 {
+    if share_mbps >= nominal_mbps {
+        ONE
+    } else {
+        (((share_mbps / nominal_mbps) * ONE as f64) as u64).max(1)
+    }
+}
+
+/// Air time consumed from a flow's remaining balance over `dt` at fixed-
+/// point multiplier `m_fix`, carrying the sub-nanosecond remainder in
+/// `credit`. Exact passthrough (credit untouched) when uncontended.
+fn serve(dt: SimDuration, m_fix: u64, credit: &mut u64) -> SimDuration {
+    if m_fix >= ONE {
+        return dt;
+    }
+    let acc = dt.as_nanos() as u128 * m_fix as u128 + *credit as u128;
+    *credit = (acc & (ONE as u128 - 1)) as u64;
+    SimDuration::from_nanos((acc >> FRAC_BITS) as u64)
+}
+
+/// Smallest `dt` with `serve(dt, m_fix, credit) >= remaining`: exact at
+/// multiplier one, exact integer division below it. Because the per-
+/// nanosecond increment is under one unit when contended, the minimal `dt`
+/// serves *exactly* `remaining` — never more.
+fn drain_time(remaining: SimDuration, m_fix: u64, credit: u64) -> SimDuration {
+    if m_fix >= ONE {
+        return remaining;
+    }
+    let need = ((remaining.as_nanos() as u128) << FRAC_BITS).saturating_sub(credit as u128);
+    SimDuration::from_nanos(need.div_ceil(m_fix as u128) as u64)
+}
+
 #[derive(Debug, Clone)]
 struct Flow {
     /// Serial air time still owed, in nanoseconds at multiplier 1.0.
@@ -82,41 +323,72 @@ struct Flow {
     /// The goodput the single-transfer model priced for this payload:
     /// `bytes / serial air time`.
     nominal_mbps: f64,
+    /// Sub-nanosecond served-air remainder (2⁻³² ns units), carried across
+    /// segments and across roams.
+    credit: u64,
+    /// The source device the flow rides on — the roaming key.
+    device: u64,
 }
 
-/// A deterministic processor-sharing radio medium for concurrent transfers.
-///
-/// See the [module docs](self) for the model and the caller protocol.
 #[derive(Debug, Clone)]
-pub struct RadioMedium {
-    capacity_mbps: f64,
-    now: SimTime,
+struct Cell {
+    spec: CellSpec,
     flows: BTreeMap<u64, Flow>,
     segments: Vec<MediumSegment>,
 }
 
+/// A deterministic processor-sharing radio medium over a cell topology.
+///
+/// See the [module docs](self) for the model and the caller protocol.
+#[derive(Debug, Clone)]
+pub struct RadioMedium {
+    cells: Vec<Cell>,
+    association: BTreeMap<u64, usize>,
+    now: SimTime,
+}
+
 impl RadioMedium {
-    /// A medium with `capacity_mbps` of aggregate goodput, opened at `now`.
+    /// A single-cell medium with `capacity_mbps` of aggregate goodput,
+    /// opened at `now` — the original one-AP model.
     ///
     /// # Panics
     ///
     /// Panics if `capacity_mbps` is not strictly positive and finite.
     pub fn new(capacity_mbps: f64, now: SimTime) -> Self {
+        Self::with_topology(&RadioTopology::single_cell(capacity_mbps), now)
+    }
+
+    /// A medium over an arbitrary topology, opened at `now`. The topology's
+    /// roam *plan* is not consumed here — the scheduler owns event time and
+    /// calls [`roam`](Self::roam) when each planned instant arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no cells.
+    pub fn with_topology(topology: &RadioTopology, now: SimTime) -> Self {
         assert!(
-            capacity_mbps > 0.0 && capacity_mbps.is_finite(),
-            "radio medium capacity must be positive, got {capacity_mbps}"
+            !topology.cells().is_empty(),
+            "radio topology needs at least one cell"
         );
         Self {
-            capacity_mbps,
+            cells: topology
+                .cells()
+                .iter()
+                .map(|spec| Cell {
+                    spec: spec.clone(),
+                    flows: BTreeMap::new(),
+                    segments: Vec::new(),
+                })
+                .collect(),
+            association: topology.association().clone(),
             now,
-            flows: BTreeMap::new(),
-            segments: Vec::new(),
         }
     }
 
-    /// The aggregate goodput budget.
+    /// The default cell's goodput budget (the whole medium's, on a
+    /// single-cell topology).
     pub fn capacity_mbps(&self) -> f64 {
-        self.capacity_mbps
+        self.cells[0].spec.capacity_mbps
     }
 
     /// The medium's current virtual time.
@@ -124,68 +396,127 @@ impl RadioMedium {
         self.now
     }
 
-    /// Number of flows currently on the air.
+    /// Number of flows currently on the air, across all cells.
     pub fn active(&self) -> usize {
-        self.flows.len()
+        self.cells.iter().map(|c| c.flows.len()).sum()
+    }
+
+    /// The cell index a device's flows contend in.
+    pub fn cell_of(&self, device: u64) -> usize {
+        self.association.get(&device).copied().unwrap_or(0)
+    }
+
+    /// Admits a flow into the default cell at the current instant — the
+    /// single-cell API. See [`admit_from`](Self::admit_from).
+    pub fn admit(&mut self, id: u64, bytes: ByteSize, serial_air: SimDuration) {
+        self.admit_into(id, id, 0, bytes, serial_air);
     }
 
     /// Admits a flow at the current instant: `bytes` of payload that the
-    /// serial transfer model priced at `serial_air` of air time. Alone
-    /// under capacity it drains in exactly `serial_air`; under contention
-    /// its rate is capped at `capacity / K`.
+    /// serial transfer model priced at `serial_air` of air time, riding on
+    /// `device` — the flow contends in the cell that device is associated
+    /// with, and follows the device when it roams. Alone under the cell
+    /// capacity it drains in exactly `serial_air`; under contention its
+    /// rate is capped at `capacity / K`.
     ///
     /// # Panics
     ///
     /// Panics if `id` is already on the air, or if `serial_air` is zero
     /// (zero-cost payloads never touch the medium).
-    pub fn admit(&mut self, id: u64, bytes: ByteSize, serial_air: SimDuration) {
+    pub fn admit_from(&mut self, id: u64, device: u64, bytes: ByteSize, serial_air: SimDuration) {
+        let cell = self.cell_of(device);
+        self.admit_into(id, device, cell, bytes, serial_air);
+    }
+
+    fn admit_into(
+        &mut self,
+        id: u64,
+        device: u64,
+        cell: usize,
+        bytes: ByteSize,
+        serial_air: SimDuration,
+    ) {
         assert!(
             serial_air > SimDuration::ZERO,
             "flow {id}: zero serial air time"
         );
+        assert!(
+            self.cells.iter().all(|c| !c.flows.contains_key(&id)),
+            "flow {id} admitted twice"
+        );
         let nominal_mbps = bytes.as_u64() as f64 * 8.0 / serial_air.as_secs_f64() / 1e6;
-        let prev = self.flows.insert(
+        self.cells[cell].flows.insert(
             id,
             Flow {
                 remaining: serial_air,
                 nominal_mbps,
+                credit: 0,
+                device,
             },
         );
-        assert!(prev.is_none(), "flow {id} admitted twice");
+    }
+
+    /// Re-associates `device` with the named cell and moves its in-flight
+    /// flows there, carrying their remaining air time (and sub-nanosecond
+    /// credit) exactly. The caller must have advanced the medium to the
+    /// roam instant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell does not exist.
+    pub fn roam(&mut self, device: u64, cell: &str) {
+        let target = self
+            .cells
+            .iter()
+            .position(|c| c.spec.name == cell)
+            .unwrap_or_else(|| panic!("roam: no cell named {cell}"));
+        self.association.insert(device, target);
+        let mut moved: Vec<(u64, Flow)> = Vec::new();
+        for (idx, c) in self.cells.iter_mut().enumerate() {
+            if idx == target {
+                continue;
+            }
+            let ids: Vec<u64> = c
+                .flows
+                .iter()
+                .filter(|(_, f)| f.device == device)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in ids {
+                moved.push((id, c.flows.remove(&id).expect("flow present")));
+            }
+        }
+        self.cells[target].flows.extend(moved);
     }
 
     /// The share (Mbit/s) a flow is allocated right now: an equal split of
-    /// the capacity, capped at the flow's own nominal rate.
-    fn share_mbps(&self, flow: &Flow) -> f64 {
-        let fair = self.capacity_mbps / self.flows.len() as f64;
+    /// its cell's capacity, capped at the flow's own nominal rate.
+    fn share_mbps(cell: &Cell, flow: &Flow) -> f64 {
+        let fair = cell.spec.capacity_mbps / cell.flows.len() as f64;
         flow.nominal_mbps.min(fair)
     }
 
-    /// The fraction of its serial rate a flow drains at: `1.0` uncontended
-    /// under capacity, `share / nominal` otherwise.
-    fn multiplier(&self, flow: &Flow) -> f64 {
-        self.share_mbps(flow) / flow.nominal_mbps
-    }
-
-    /// When the next flow completes under the *current* allocation, with
-    /// its id — ties resolved to the smallest id. `None` when idle.
+    /// When the next flow (in any cell) completes under the *current*
+    /// allocation, with its id — ties resolved to the smallest id. `None`
+    /// when idle.
     ///
     /// Valid until the flow population changes; the scheduler must re-ask
-    /// after every admit or harvest.
+    /// after every admit, harvest or roam.
     pub fn next_completion(&self) -> Option<(SimTime, u64)> {
-        self.flows
+        self.cells
             .iter()
-            .map(|(&id, flow)| {
-                (
-                    self.now + drain_time(flow.remaining, self.multiplier(flow)),
-                    id,
-                )
+            .flat_map(|cell| {
+                cell.flows.iter().map(move |(&id, flow)| {
+                    let m = multiplier_fix(Self::share_mbps(cell, flow), flow.nominal_mbps);
+                    (self.now + drain_time(flow.remaining, m, flow.credit), id)
+                })
             })
             .min()
     }
 
     /// Advances the medium to `to`, draining every flow at its current
-    /// multiplier and recording the constant-rate segment.
+    /// multiplier and recording one constant-rate segment per non-idle
+    /// cell.
     ///
     /// # Panics
     ///
@@ -193,71 +524,80 @@ impl RadioMedium {
     pub fn advance(&mut self, to: SimTime) {
         assert!(to >= self.now, "radio medium time cannot rewind");
         let dt = to - self.now;
-        if dt > SimDuration::ZERO && !self.flows.is_empty() {
-            let shares: Vec<(u64, f64)> = self
-                .flows
-                .iter()
-                .map(|(&id, flow)| (id, self.share_mbps(flow)))
-                .collect();
-            let mults: Vec<(u64, f64)> = self
-                .flows
-                .iter()
-                .map(|(&id, flow)| (id, self.multiplier(flow)))
-                .collect();
-            for (id, m) in mults {
-                let flow = self.flows.get_mut(&id).expect("flow present");
-                let served = serve(dt, m);
-                flow.remaining = flow.remaining.saturating_sub(served);
+        if dt > SimDuration::ZERO {
+            for cell in &mut self.cells {
+                if cell.flows.is_empty() {
+                    continue;
+                }
+                let shares: Vec<(u64, f64)> = cell
+                    .flows
+                    .iter()
+                    .map(|(&id, flow)| (id, Self::share_mbps(cell, flow)))
+                    .collect();
+                for &(id, share) in &shares {
+                    let flow = cell.flows.get_mut(&id).expect("flow present");
+                    let m = multiplier_fix(share, flow.nominal_mbps);
+                    let served = serve(dt, m, &mut flow.credit);
+                    flow.remaining = flow.remaining.saturating_sub(served);
+                }
+                cell.segments.push(MediumSegment {
+                    from: self.now,
+                    to,
+                    flows: shares,
+                });
             }
-            self.segments.push(MediumSegment {
-                from: self.now,
-                to,
-                flows: shares,
-            });
         }
         self.now = to;
     }
 
     /// Removes and returns the flows that have fully drained, ascending by
-    /// id.
+    /// id across all cells.
     pub fn take_completed(&mut self) -> Vec<u64> {
-        let done: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining == SimDuration::ZERO)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &done {
-            self.flows.remove(id);
+        let mut done: Vec<u64> = Vec::new();
+        for cell in &mut self.cells {
+            let ids: Vec<u64> = cell
+                .flows
+                .iter()
+                .filter(|(_, f)| f.remaining == SimDuration::ZERO)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in ids {
+                cell.flows.remove(&id);
+                done.push(id);
+            }
         }
+        done.sort_unstable();
         done
     }
 
-    /// Every constant-rate segment recorded so far, in order.
+    /// Every constant-rate segment the *default* cell recorded, in order —
+    /// the whole medium's trace on a single-cell topology.
     pub fn segments(&self) -> &[MediumSegment] {
-        &self.segments
+        &self.cells[0].segments
     }
-}
 
-/// Air time consumed from a flow's remaining balance over `dt` at
-/// multiplier `m`. Exact (no rounding) at `m == 1.0`; rounds *up* below it
-/// so a flow advanced to its own predicted completion instant always
-/// finishes.
-fn serve(dt: SimDuration, m: f64) -> SimDuration {
-    if m >= 1.0 {
-        dt
-    } else {
-        SimDuration::from_nanos((dt.as_nanos() as f64 * m).ceil() as u64)
+    /// The complete per-cell traces, in cell order.
+    pub fn cell_traces(&self) -> Vec<CellTrace> {
+        self.cells
+            .iter()
+            .map(|c| CellTrace {
+                name: c.spec.name.clone(),
+                capacity_mbps: c.spec.capacity_mbps,
+                band: c.spec.band,
+                segments: c.segments.clone(),
+            })
+            .collect()
     }
-}
 
-/// Smallest `dt` with `serve(dt, m) >= remaining`: exact at `m == 1.0`,
-/// `ceil(remaining / m)` below it.
-fn drain_time(remaining: SimDuration, m: f64) -> SimDuration {
-    if m >= 1.0 {
-        remaining
-    } else {
-        SimDuration::from_nanos((remaining.as_nanos() as f64 / m).ceil() as u64)
+    /// The air time a lone flow of `bytes` priced at `serial_air` needs to
+    /// drain through a cell of `capacity_mbps` — the exact same arithmetic
+    /// a real solo flow sees, for callers that compute isolated baselines
+    /// (`serialized_makespan`) without driving a medium.
+    pub fn solo_drain(capacity_mbps: f64, bytes: ByteSize, serial_air: SimDuration) -> SimDuration {
+        assert!(serial_air > SimDuration::ZERO, "zero serial air time");
+        let nominal_mbps = bytes.as_u64() as f64 * 8.0 / serial_air.as_secs_f64() / 1e6;
+        let m = multiplier_fix(nominal_mbps.min(capacity_mbps), nominal_mbps);
+        drain_time(serial_air, m, 0)
     }
 }
 
@@ -371,5 +711,156 @@ mod tests {
         let mut m = RadioMedium::new(10.0, SimTime::ZERO);
         m.admit(1, mib(1), SimDuration::from_secs(1));
         m.admit(1, mib(1), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn contended_completion_is_chop_invariant() {
+        // A messy multiplier across many artificial segment boundaries must
+        // complete at exactly the same instant as across one — the credit
+        // carry makes chopping the timeline invisible. (The old per-segment
+        // ceil drifted ~1 ns early per chop.)
+        let air = SimDuration::from_nanos(7_919_999_983);
+        let bytes = mib(97);
+        let chopped = |chops: u64| {
+            let mut m = RadioMedium::new(11.0, SimTime::ZERO);
+            m.admit(1, bytes, air);
+            m.admit(2, mib(40), SimDuration::from_nanos(123_456_789_123));
+            let horizon = m.next_completion().unwrap().0;
+            for i in 1..=chops {
+                let t = SimTime::ZERO
+                    + SimDuration::from_nanos(
+                        horizon.since(SimTime::ZERO).as_nanos() * i / (chops + 1),
+                    );
+                m.advance(t);
+            }
+            while m.take_completed().is_empty() {
+                let (t, _) = m.next_completion().unwrap();
+                m.advance(t);
+            }
+            m.now()
+        };
+        let reference = chopped(0);
+        for chops in [1, 7, 97, 1000] {
+            assert_eq!(chopped(chops), reference, "{chops} chops drifted");
+        }
+    }
+
+    #[test]
+    fn contended_total_served_equals_serial_air_exactly() {
+        // Drive a contended flow through many segments and integrate the
+        // fixed-point serve amounts: they must sum to the admitted serial
+        // air exactly, with the final (minimal) drain step serving exactly
+        // the remainder.
+        let air = SimDuration::from_nanos(5_432_109_871);
+        let mut credit = 0u64;
+        let m_fix = multiplier_fix(7.3, 19.1); // messy contended multiplier
+        let mut remaining = air;
+        let mut served_total = SimDuration::ZERO;
+        let mut chop = 1u64;
+        while remaining > SimDuration::ZERO {
+            let dt = drain_time(remaining, m_fix, credit).min(SimDuration::from_nanos(chop * 13));
+            let served = serve(dt, m_fix, &mut credit);
+            assert!(served <= remaining, "over-drain: {served} > {remaining}");
+            served_total += served;
+            remaining = remaining.saturating_sub(served);
+            chop += 1;
+        }
+        assert_eq!(served_total, air);
+    }
+
+    #[test]
+    fn cross_cell_flows_never_share_a_cells_budget() {
+        // Two saturating flows in *different* cells each keep their full
+        // cell capacity — completion matches the uncontended solo time.
+        let topo = RadioTopology::new()
+            .cell("east", 20.0, Band::Ghz5)
+            .cell("west", 20.0, Band::Ghz2_4)
+            .associate(100, "east")
+            .associate(200, "west");
+        let air = SimDuration::from_secs(2);
+        let bytes = ByteSize::from_bytes(20_000_000 / 8 * 2); // exactly 20 Mbit/s
+        let mut m = RadioMedium::with_topology(&topo, SimTime::ZERO);
+        m.admit_from(1, 100, bytes, air);
+        m.admit_from(2, 200, bytes, air);
+        let (done, id) = m.next_completion().unwrap();
+        assert_eq!((done, id), (SimTime::from_secs(2), 1)); // solo, not halved
+        m.advance(done);
+        assert_eq!(m.take_completed(), vec![1, 2]);
+        let traces = m.cell_traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].segments[0].flows, vec![(1, 20.0)]);
+        assert_eq!(traces[1].segments[0].flows, vec![(2, 20.0)]);
+    }
+
+    #[test]
+    fn roaming_preserves_remaining_air_time_exactly() {
+        // A flow roams from a contended cell to an empty one halfway; total
+        // air served must still equal its serial air exactly: 2 s contended
+        // at half rate serves 1 s of air, then 3 s solo serves the rest.
+        let topo = RadioTopology::new()
+            .cell("east", 20.0, Band::Ghz5)
+            .cell("west", 20.0, Band::Ghz5)
+            .associate(100, "east")
+            .associate(101, "east");
+        let air = SimDuration::from_secs(4);
+        let bytes = ByteSize::from_bytes(20_000_000 / 8 * 4); // 20 Mbit/s nominal
+        let mut m = RadioMedium::with_topology(&topo, SimTime::ZERO);
+        m.admit_from(1, 100, bytes, air);
+        m.admit_from(2, 101, bytes, air);
+        m.advance(SimTime::from_secs(2)); // halved: 1 s of air each served
+        m.roam(100, "west");
+        let (done, id) = m.next_completion().unwrap();
+        assert_eq!(id, 1);
+        // 3 s of air left, now solo at full rate: completes at t = 5 s.
+        assert_eq!(done, SimTime::from_secs(5));
+        m.advance(done);
+        assert!(m.take_completed().contains(&1));
+        // The roamer's segments appear in both cells' traces.
+        let traces = m.cell_traces();
+        assert!(traces[0]
+            .segments
+            .iter()
+            .any(|s| s.flows.iter().any(|&(id, _)| id == 1)));
+        assert!(traces[1]
+            .segments
+            .iter()
+            .any(|s| s.flows.iter().any(|&(id, _)| id == 1)));
+    }
+
+    #[test]
+    fn solo_drain_matches_a_real_solo_flow() {
+        for (cap, bytes, air_ns) in [
+            (30.0, 10u64, 3_777_123_457u64),
+            (5.0, 64, 9_000_000_001),
+            (0.75, 128, 123_456_789),
+        ] {
+            let air = SimDuration::from_nanos(air_ns);
+            let mut m = RadioMedium::new(cap, SimTime::ZERO);
+            m.admit(1, mib(bytes), air);
+            let (done, _) = m.next_completion().unwrap();
+            assert_eq!(
+                done.since(SimTime::ZERO),
+                RadioMedium::solo_drain(cap, mib(bytes), air),
+                "cap {cap} bytes {bytes} air {air_ns}"
+            );
+            m.advance(done);
+            assert_eq!(m.take_completed(), vec![1]);
+        }
+    }
+
+    #[test]
+    fn cell_trace_round_trips_through_json() {
+        let topo = RadioTopology::new()
+            .cell("east", 20.0, Band::Ghz5)
+            .associate(9, "east");
+        let mut m = RadioMedium::with_topology(&topo, SimTime::ZERO);
+        m.admit_from(1, 9, mib(4), SimDuration::from_secs(3));
+        m.advance(SimTime::from_secs(3));
+        m.take_completed();
+        let traces = m.cell_traces();
+        let json = serde::to_json(&traces);
+        let parsed: Vec<CellTrace> = serde::from_json(&json).unwrap();
+        assert_eq!(parsed, traces);
+        assert_eq!(serde::to_json(&parsed), json);
     }
 }
