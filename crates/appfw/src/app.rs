@@ -50,6 +50,24 @@ impl Default for AppFootprint {
     }
 }
 
+/// A data-directory write the app has prepared in memory but not yet
+/// persisted: it reaches disk at the next lifecycle save point
+/// (`onPause`/`onStop`, or the pre-checkpoint flush migration drives). A
+/// killed process loses its pending writes — the lifecycle data-loss
+/// hazard the scenario oracle classifies as a lost write.
+///
+/// The hash is fixed when the write is buffered, so flushing at any later
+/// instant produces the same bytes the app promised at write time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingWrite {
+    /// File name relative to the app data dir's `files/` subdirectory.
+    pub name: String,
+    /// Content size.
+    pub size: ByteSize,
+    /// Content identity.
+    pub hash: u64,
+}
+
 /// A launched app.
 #[derive(Debug)]
 pub struct App {
@@ -80,6 +98,9 @@ pub struct App {
     /// Whether the app is currently interacting with a ContentProvider
     /// (blocks migration while true, §3.4).
     pub in_content_provider_call: bool,
+    /// Writes prepared in memory but not yet persisted; lost if the
+    /// process dies before a lifecycle save point.
+    pub pending_writes: Vec<PendingWrite>,
 }
 
 impl App {
@@ -103,6 +124,23 @@ impl App {
     /// Takes and clears the delivered-event inbox.
     pub fn drain_inbox(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.inbox)
+    }
+
+    /// Buffers a data-directory write in memory. A later write to the
+    /// same name replaces the earlier one, as re-saving a file would.
+    pub fn buffer_write(&mut self, name: &str, size: ByteSize, hash: u64) {
+        self.pending_writes.retain(|w| w.name != name);
+        self.pending_writes.push(PendingWrite {
+            name: name.to_owned(),
+            size,
+            hash,
+        });
+    }
+
+    /// Takes the buffered writes for the caller to persist — the
+    /// `onPause`/`onStop` save path.
+    pub fn drain_pending(&mut self) -> Vec<PendingWrite> {
+        std::mem::take(&mut self.pending_writes)
     }
 
     /// Accepts a delivery from the service layer.
@@ -223,6 +261,7 @@ pub fn launch(
         data_dir: format!("/data/data/{package}"),
         min_api,
         in_content_provider_call: false,
+        pending_writes: Vec::new(),
     };
 
     // Register the main window with the WindowManager.

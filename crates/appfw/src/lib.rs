@@ -20,10 +20,11 @@ pub mod gl;
 pub mod lifecycle;
 pub mod ui;
 
-pub use app::{add_process, launch, App, AppFootprint};
+pub use app::{add_process, launch, App, AppFootprint, PendingWrite};
 pub use dalvik::Dalvik;
 pub use gl::{EglContext, GlState};
 pub use lifecycle::{
-    conditional_reinit, egl_unload, handle_trim_memory, move_to_background, PrepStats,
+    conditional_reinit, egl_unload, handle_trim_memory, move_to_background, LifecycleEvent,
+    PrepStats,
 };
 pub use ui::{Activity, ActivityState, View, ViewRoot};

@@ -25,6 +25,22 @@ use flux_services::svc::window::WindowManagerService;
 use flux_services::ServiceHost;
 use flux_simcore::{ByteSize, SimTime};
 
+/// A lifecycle transition a scenario schedule injects before or between
+/// migration stages — the interleavings Riganelli et al.'s data-loss
+/// benchmark exercises. `Pause`/`Stop` reach the app's save point first
+/// (buffered writes persist); `Kill` does not (buffered writes are lost
+/// with the process, which then cold-starts from disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LifecycleEvent {
+    /// `onPause`: the foreground activity pauses after saving.
+    Pause,
+    /// `onStop`: the activity stops and its surfaces go away, after saving.
+    Stop,
+    /// The process is killed without any lifecycle callback, then
+    /// relaunched cold from its persisted state.
+    Kill,
+}
+
 /// Statistics from a preparation run, consumed by the cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrepStats {

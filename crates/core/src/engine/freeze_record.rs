@@ -35,6 +35,12 @@ impl Stage for FreezeRecord {
 
     fn run(&self, cx: &mut StageCtx<'_>) -> Result<StageOutcome, StageFailure> {
         let package = cx.mig.package.as_str();
+        // The framework delivers the app's save point (`onPause`) before
+        // the process freezes: buffered writes reach the home data
+        // directory here, and from there the pre-transfer data sync ships
+        // them to the guest. Free (and byte-invisible) when nothing is
+        // buffered.
+        cx.world.flush_pending(cx.mig.home, package)?;
         let now = cx.world.clock.now();
         let dev = cx.world.device_mut(cx.mig.home)?;
         let mut app = dev

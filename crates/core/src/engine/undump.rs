@@ -114,6 +114,9 @@ impl Stage for Undump {
                 data_dir: format!("/data/data/{package}"),
                 min_api: cx.mig.spec.min_api,
                 in_content_provider_call: false,
+                // Buffered writes were flushed at preparation, before the
+                // checkpoint: the restored process holds none.
+                pending_writes: Vec::new(),
             };
             dev.apps.insert(package.to_owned(), app);
         }

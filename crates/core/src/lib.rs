@@ -53,6 +53,7 @@ pub mod executor;
 pub mod fleet;
 pub mod image_cache;
 pub mod migration;
+pub mod oracle;
 pub mod pairing;
 pub mod probe;
 pub mod record;
@@ -76,6 +77,10 @@ pub use migration::{
     MigrationConfig, MigrationReport, MigrationSpec, MigrationStage, RetryPolicy, StageTimes,
     TransferLedger, KERNEL_STALL_WATCHDOG, PRECOPY_DIRTY_FRACTION_PER_SEC, PRECOPY_MAX_ROUNDS,
     PRECOPY_STOP,
+};
+pub use oracle::{
+    classify_refusal, run_scenario, FailureClass, LifecycleSchedule, Misbehaviour, OracleSnapshot,
+    OracleVerdict, ScenarioOutcome, Taxonomy,
 };
 pub use pairing::{pair, verify_app, PairingReport};
 pub use probe::{ExecProbe, RadioWindow, StageWindow};

@@ -10,7 +10,7 @@
 use crate::errors::FluxError;
 use crate::probe::ExecProbe;
 use crate::record::RecordStore;
-use flux_appfw::{launch, App, AppFootprint};
+use flux_appfw::{launch, ActivityState, App, AppFootprint, LifecycleEvent};
 use flux_binder::{BinderError, Parcel};
 use flux_device::DeviceProfile;
 use flux_fs::SimFs;
@@ -631,6 +631,19 @@ impl FluxWorld {
                     ),
                 );
             }
+            Action::BufferedWrite { name, kib } => {
+                // Same content identity a WriteDataFile at this instant
+                // would produce, but held in app memory until the next
+                // lifecycle save point.
+                let stamp = self.clock.now().as_nanos();
+                let dev = self.device_mut(id)?;
+                let path = format!("/data/data/{pkg}/files/{name}");
+                let hash = fnv(&format!("{path}@{stamp}"));
+                dev.apps
+                    .get_mut(&pkg)
+                    .ok_or_else(|| WorldError::NoSuchApp(pkg.clone()))?
+                    .buffer_write(name, ByteSize::from_kib(*kib), hash);
+            }
             Action::OpenCommonSdFile { name } => {
                 let dev = self.device_mut(id)?;
                 let app = dev
@@ -664,6 +677,94 @@ impl FluxWorld {
             }
             Action::Think { ms } => {
                 self.tick(SimDuration::from_millis(*ms));
+            }
+        }
+        Ok(())
+    }
+
+    /// Persists an app's buffered writes to its data directory — the
+    /// `onPause`/`onStop` save path, also driven by the migration
+    /// engine's preparation stage just before the process freezes.
+    /// Returns how many writes were flushed; a no-op (and free of cost)
+    /// when nothing is buffered, so worlds that never buffer stay
+    /// byte-identical to worlds that predate buffered writes.
+    pub fn flush_pending(&mut self, id: DeviceId, package: &str) -> Result<usize, FluxError> {
+        let dev = self.device_mut(id)?;
+        let app = dev
+            .apps
+            .get_mut(package)
+            .ok_or_else(|| WorldError::NoSuchApp(package.to_owned()))?;
+        let writes = app.drain_pending();
+        let dir = app.data_dir.clone();
+        for w in &writes {
+            dev.fs.write(
+                &format!("{dir}/files/{}", w.name),
+                flux_fs::Content::new(w.size, w.hash),
+            );
+        }
+        Ok(writes.len())
+    }
+
+    /// Injects a lifecycle transition — the pause/stop/kill interleavings
+    /// of Riganelli et al.'s data-loss benchmark, which scenario
+    /// schedules race against migration.
+    ///
+    /// `Pause` and `Stop` reach the app's save point first, so buffered
+    /// writes persist. `Kill` delivers no callback: every process of the
+    /// app dies (buffered writes are lost with it), the framework forgets
+    /// its service-side state and record log, and the app cold-starts
+    /// from whatever its data directory holds.
+    pub fn lifecycle_event(
+        &mut self,
+        id: DeviceId,
+        package: &str,
+        event: LifecycleEvent,
+    ) -> Result<(), FluxError> {
+        match event {
+            LifecycleEvent::Pause => {
+                self.flush_pending(id, package)?;
+                let dev = self.device_mut(id)?;
+                let app = dev
+                    .apps
+                    .get_mut(package)
+                    .ok_or_else(|| WorldError::NoSuchApp(package.to_owned()))?;
+                for a in &mut app.activities {
+                    if a.state == ActivityState::Resumed {
+                        a.state = ActivityState::Paused;
+                    }
+                }
+            }
+            LifecycleEvent::Stop => {
+                self.flush_pending(id, package)?;
+                let dev = self.device_mut(id)?;
+                let app = dev
+                    .apps
+                    .get_mut(package)
+                    .ok_or_else(|| WorldError::NoSuchApp(package.to_owned()))?;
+                for a in &mut app.activities {
+                    a.state = ActivityState::Stopped;
+                }
+            }
+            LifecycleEvent::Kill => {
+                let now = self.clock.now();
+                let dev = self.device_mut(id)?;
+                let app = dev
+                    .apps
+                    .remove(package)
+                    .ok_or_else(|| WorldError::NoSuchApp(package.to_owned()))?;
+                let uid = app.uid;
+                for pid in app.pids() {
+                    let _ = dev.kernel.kill(pid);
+                }
+                {
+                    let kernel = &mut dev.kernel;
+                    dev.host.notify_uid_death(kernel, now, uid);
+                }
+                // The recorded calls belong to the dead process; replaying
+                // them for the relaunched one would be stale.
+                let _ = dev.records.take(uid);
+                // The user reopens the app: a cold start from disk.
+                self.launch_app(id, package)?;
             }
         }
         Ok(())

@@ -15,8 +15,8 @@ pub const PAPER_PRESERVE_EGL_COUNT: usize = 3_300;
 /// With `Φ⁻¹(0.6) = 0.2533` and `Φ⁻¹(0.9) = 1.2816`:
 /// `σ = ln(10) / (1.2816 − 0.2533) = 2.2393`,
 /// `μ = ln(1024) − 0.2533·σ = 6.3643`.
-const SIZE_MU: f64 = 6.3643;
-const SIZE_SIGMA: f64 = 2.2393;
+pub(crate) const SIZE_MU: f64 = 6.3643;
+pub(crate) const SIZE_SIGMA: f64 = 2.2393;
 
 /// One app of the corpus.
 ///
@@ -117,11 +117,36 @@ impl Corpus {
         self.apps.iter().filter(|a| a.preserves_egl_context).count()
     }
 
-    /// Median installation size.
+    /// Median installation size: [`Corpus::quantile`] at `q = 0.5`, so an
+    /// even-length corpus interpolates between its two middle sizes.
     pub fn median_size(&self) -> ByteSize {
+        self.quantile(0.5)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of installation sizes, linearly
+    /// interpolated between order statistics (the "linear" / type-7
+    /// estimator): position `q · (n − 1)` in the sorted sizes, with the
+    /// fractional part blending the two neighbouring samples.
+    pub fn quantile(&self, q: f64) -> ByteSize {
+        if self.apps.is_empty() {
+            return ByteSize::from_bytes(0);
+        }
         let mut sizes: Vec<u64> = self.apps.iter().map(|a| a.install_size.as_u64()).collect();
         sizes.sort_unstable();
-        ByteSize::from_bytes(sizes.get(sizes.len() / 2).copied().unwrap_or(0))
+        let pos = q.clamp(0.0, 1.0) * (sizes.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        let blended = sizes[lo] as f64 + (sizes[hi] as f64 - sizes[lo] as f64) * frac;
+        ByteSize::from_bytes(blended.round() as u64)
+    }
+}
+
+impl Corpus {
+    /// Wraps an explicit app list (used by the profile generator's census
+    /// view and by tests that need hand-crafted size sets).
+    pub fn from_apps(apps: Vec<PlayApp>) -> Self {
+        Self { apps }
     }
 }
 
@@ -186,5 +211,60 @@ mod tests {
     fn package_names_are_stable() {
         let c = Corpus::generate(1, 10);
         assert_eq!(c.apps()[3].package(), "com.playdrone.app000003");
+    }
+
+    fn corpus_of_kib(kibs: &[u64]) -> Corpus {
+        Corpus::from_apps(
+            kibs.iter()
+                .enumerate()
+                .map(|(i, k)| PlayApp {
+                    id: i as u32,
+                    install_size: ByteSize::from_kib(*k),
+                    preserves_egl_context: false,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn even_length_median_interpolates() {
+        // Middle pair is (20, 30) KiB: the median must land between them,
+        // not on the upper element as the old index-only lookup did.
+        let c = corpus_of_kib(&[10, 20, 30, 40]);
+        assert_eq!(c.median_size(), ByteSize::from_kib(25));
+        // Odd length still hits the middle element exactly.
+        let c = corpus_of_kib(&[10, 20, 30]);
+        assert_eq!(c.median_size(), ByteSize::from_kib(20));
+    }
+
+    #[test]
+    fn quantile_interpolates_and_clamps() {
+        let c = corpus_of_kib(&[10, 20, 30, 40]);
+        assert_eq!(c.quantile(0.0), ByteSize::from_kib(10));
+        assert_eq!(c.quantile(1.0), ByteSize::from_kib(40));
+        // q = 1/3 lands exactly on the second order statistic.
+        assert_eq!(c.quantile(1.0 / 3.0), ByteSize::from_kib(20));
+        // Out-of-range q clamps instead of indexing out of bounds.
+        assert_eq!(c.quantile(-1.0), ByteSize::from_kib(10));
+        assert_eq!(c.quantile(2.0), ByteSize::from_kib(40));
+        // Empty corpus stays well-defined.
+        assert_eq!(Corpus::from_apps(Vec::new()).quantile(0.5).as_u64(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_paper_cdf() {
+        let c = small_corpus();
+        // P(<1MB) = 0.6 and P(<10MB) = 0.9 imply the matching quantiles.
+        let q60 = c.quantile(0.6);
+        let q90 = c.quantile(0.9);
+        assert!(
+            q60 >= ByteSize::from_kib(700) && q60 <= ByteSize::from_kib(1400),
+            "q60 = {q60}"
+        );
+        assert!(
+            q90 >= ByteSize::from_kib(7_000) && q90 <= ByteSize::from_kib(14_000),
+            "q90 = {q90}"
+        );
+        assert!(c.median_size() <= q60);
     }
 }

@@ -16,6 +16,13 @@
 //! published curve by construction while the tail stays heavy and
 //! realistic.
 
+//! On top of the census, [`profile`] expands every corpus id into a full
+//! [`AppSpec`](flux_workloads::AppSpec)-compatible profile (image
+//! components, service-usage mix, refusal minorities, action script) so
+//! corpus apps can be deployed and migrated like Table 3 apps.
+
 pub mod corpus;
+pub mod profile;
 
 pub use corpus::{Corpus, PlayApp, PAPER_CORPUS_SIZE, PAPER_PRESERVE_EGL_COUNT};
+pub use profile::{AppProfile, ProfileCorpus, ProfileParams, SERVICE_USAGE};

@@ -1,0 +1,470 @@
+//! Seeded Play-store-scale app profiles.
+//!
+//! [`Corpus`] regenerates the two §4 census figures; this module grows it
+//! into a generator of **full app profiles**: every corpus id expands into
+//! an [`AppSpec`]-compatible profile — install size on the Figure 17
+//! log-normal, image-component sizes (heap, dirty fraction, native,
+//! textures) fitted so per-migration transfer sizes land on the Figure 15
+//! band ("no app transferred more than 14 MB") and stage times spread like
+//! the Figure 13 breakdown, a service-usage mix drawn from the Table 3
+//! frequencies, the multi-process / `setPreserveEGLContextOnPause` /
+//! high-API minorities that make migrations *refusable*, and a scripted
+//! action workload — so a corpus app can be deployed, scripted, paired and
+//! migrated exactly like a Table 3 app.
+//!
+//! Generation is a pure function of `(seed, params, id)`: profile `i` of a
+//! 100,000-app corpus is byte-identical to profile `i` of a 100-app corpus
+//! with the same seed, which is what the golden pin and the ablation
+//! sweeps rely on.
+
+use crate::corpus::{Corpus, PlayApp, SIZE_MU, SIZE_SIGMA};
+use crate::{PAPER_CORPUS_SIZE, PAPER_PRESERVE_EGL_COUNT};
+use flux_simcore::{ByteSize, SimRng};
+use flux_workloads::{Action, AppSpec};
+
+/// Distribution parameters for profile expansion.
+///
+/// The defaults are fitted to the paper's published shapes; construct with
+/// struct-update syntax off [`ProfileParams::default`] to ablate one knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileParams {
+    /// Probability an app spans multiple processes (the Facebook case,
+    /// §3.4 — a migration refusal).
+    pub multi_process_probability: f64,
+    /// Probability an app calls `setPreserveEGLContextOnPause` (§4: 3,300
+    /// of 488,259 — a migration refusal).
+    pub preserve_egl_probability: f64,
+    /// Probability an app renders through OpenGL at all (has an EGL
+    /// context and texture memory).
+    pub gl_probability: f64,
+    /// Probability the APK requires a newer API level than the KitKat-era
+    /// evaluation guests offer (§3.1 — a migration refusal).
+    pub high_api_probability: f64,
+    /// Probability the app holds an unsaved in-memory write at migration
+    /// time — the lifecycle data-loss hazard of Riganelli et al.'s
+    /// benchmark.
+    pub buffered_write_probability: f64,
+    /// Log-normal `(μ, σ)` of the Dalvik heap in MiB. The default median
+    /// of ~22 MiB with the dirty fraction below keeps compressed images on
+    /// the Figure 15 "no more than 14 MB transferred" band.
+    pub heap_mu_sigma: (f64, f64),
+    /// Uniform range of the dirty-heap fraction at migration time.
+    pub heap_dirty_range: (f64, f64),
+    /// Log-normal `(μ, σ)` of native allocations in MiB.
+    pub native_mu_sigma: (f64, f64),
+    /// Log-normal `(μ, σ)` of per-context texture memory in MiB (GL apps).
+    pub texture_mu_sigma: (f64, f64),
+}
+
+impl Default for ProfileParams {
+    fn default() -> Self {
+        Self {
+            multi_process_probability: 0.012,
+            preserve_egl_probability: PAPER_PRESERVE_EGL_COUNT as f64 / PAPER_CORPUS_SIZE as f64,
+            gl_probability: 0.72,
+            high_api_probability: 0.04,
+            buffered_write_probability: 0.5,
+            heap_mu_sigma: (3.1, 0.5),
+            heap_dirty_range: (0.25, 0.65),
+            native_mu_sigma: (1.8, 0.6),
+            texture_mu_sigma: (2.3, 0.5),
+        }
+    }
+}
+
+/// Service-usage frequencies fitted to Table 3: each entry is the fraction
+/// of the paper's 18 evaluation apps whose workload touches the service.
+/// The generated corpus reproduces the mix in expectation.
+pub const SERVICE_USAGE: [(&str, f64); 9] = [
+    ("notification", 0.33),
+    ("alarm", 0.33),
+    ("audio", 0.28),
+    ("receiver", 0.22),
+    ("wakelock", 0.11),
+    ("vibrator", 0.11),
+    ("wifi", 0.08),
+    ("location", 0.06),
+    ("clipboard", 0.06),
+];
+
+/// One fully expanded corpus app: the census-level [`PlayApp`] plus the
+/// deployable [`AppSpec`] and the list of services its script touches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// The census view (id, install size, EGL preservation).
+    pub app: PlayApp,
+    /// The deployable spec, script included.
+    pub spec: AppSpec,
+    /// Registry names of the services the action script uses, in script
+    /// order (the generated service-usage census).
+    pub services: Vec<&'static str>,
+}
+
+impl AppProfile {
+    /// Whether the engine will refuse to migrate this profile outright
+    /// (multi-process, preserved EGL context, or an API level above the
+    /// KitKat-era evaluation guests).
+    pub fn refusable(&self, guest_api: u32) -> bool {
+        self.spec.multi_process || self.spec.preserve_egl || self.spec.min_api > guest_api
+    }
+
+    /// Whether the script leaves an unsaved in-memory write behind — the
+    /// state a lifecycle kill loses.
+    pub fn holds_buffered_write(&self) -> bool {
+        self.spec
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::BufferedWrite { .. }))
+    }
+}
+
+/// A seeded profile corpus: a pure `(seed, params) × id → AppProfile`
+/// function plus census helpers over the expanded population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileCorpus {
+    seed: u64,
+    count: usize,
+    params: ProfileParams,
+}
+
+impl ProfileCorpus {
+    /// A corpus of `count` profiles under the default fitted parameters.
+    pub fn new(seed: u64, count: usize) -> Self {
+        Self::with_params(seed, count, ProfileParams::default())
+    }
+
+    /// A corpus with explicit distribution parameters.
+    pub fn with_params(seed: u64, count: usize, params: ProfileParams) -> Self {
+        Self {
+            seed,
+            count,
+            params,
+        }
+    }
+
+    /// Number of profiles.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Expands profile `id`. Pure in `(seed, params, id)`: independent of
+    /// corpus size and of any other profile's expansion.
+    pub fn profile(&self, id: u32) -> AppProfile {
+        // Each id gets a private RNG stream keyed by (seed, id), so
+        // profiles never share draws and prefix stability holds across
+        // corpus sizes.
+        let mut rng =
+            SimRng::seed(self.seed ^ (u64::from(id) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let p = &self.params;
+
+        // Census layer: the Figure 17 install-size log-normal and the §4
+        // EGL-preservation minority.
+        let kb = rng
+            .log_normal(SIZE_MU, SIZE_SIGMA)
+            .clamp(10.0, 10_000_000.0);
+        let install_size = ByteSize::from_bytes((kb * 1024.0) as u64);
+        let preserves_egl_context = rng.chance(p.preserve_egl_probability);
+        let app = PlayApp {
+            id,
+            install_size,
+            preserves_egl_context,
+        };
+
+        // Image components (Figures 13/15): heap + dirty fraction drive
+        // the checkpoint/transfer/restore stages, textures drive the
+        // preparation/reinit GL teardown.
+        let multi_process = rng.chance(p.multi_process_probability);
+        let gl = preserves_egl_context || rng.chance(p.gl_probability);
+        let heap_mib = rng
+            .log_normal(p.heap_mu_sigma.0, p.heap_mu_sigma.1)
+            .clamp(8.0, 96.0);
+        let heap_dirty = rng.range_f64(p.heap_dirty_range.0, p.heap_dirty_range.1);
+        let native_mib = rng
+            .log_normal(p.native_mu_sigma.0, p.native_mu_sigma.1)
+            .clamp(2.0, 32.0);
+        let textures_mib = if gl {
+            rng.log_normal(p.texture_mu_sigma.0, p.texture_mu_sigma.1)
+                .clamp(4.0, 40.0)
+        } else {
+            0.0
+        };
+        let views = rng.range_u64(12, 96) as usize;
+        let threads = 3 + rng.range_u64(0, 6) as u32;
+        // Above 19 the KitKat evaluation guests refuse the APK (§3.1).
+        let min_api = if rng.chance(p.high_api_probability) {
+            21
+        } else {
+            8 + rng.range_u64(0, 11) as u32
+        };
+
+        let (actions, services) = Self::script(&mut rng, id, gl, p);
+
+        let apk_mib = install_size.as_u64() as f64 / (1024.0 * 1024.0);
+        let spec = AppSpec {
+            name: format!("corpus-{id:06}"),
+            package: app.package(),
+            workload: "Generated Play-store profile".into(),
+            apk_mib,
+            data_dir_mib: (apk_mib * 0.35).max(0.5),
+            heap_mib,
+            heap_dirty,
+            native_mib,
+            textures_mib,
+            gl_contexts: u32::from(gl),
+            views,
+            threads,
+            multi_process,
+            preserve_egl: preserves_egl_context,
+            min_api,
+            actions,
+        };
+        AppProfile {
+            app,
+            spec,
+            services,
+        }
+    }
+
+    /// The per-profile action script: one or two decorated calls per
+    /// Table-3-frequency service the profile uses, a persistent save, the
+    /// optional unsaved in-memory write, and rendering/idle filler.
+    fn script(
+        rng: &mut SimRng,
+        id: u32,
+        gl: bool,
+        p: &ProfileParams,
+    ) -> (Vec<Action>, Vec<&'static str>) {
+        let mut actions = Vec::new();
+        let mut services = Vec::new();
+        for (service, usage) in SERVICE_USAGE {
+            if !rng.chance(usage) {
+                continue;
+            }
+            services.push(service);
+            match service {
+                "notification" => {
+                    actions.push(Action::PostNotification {
+                        id: 1 + rng.range_u64(0, 4) as i32,
+                        payload_kib: 1 + rng.range_u64(0, 16) as u32,
+                    });
+                }
+                "alarm" => {
+                    actions.push(Action::SetAlarm {
+                        operation: format!("sync-{id:06}"),
+                        in_secs: 60 * rng.range_u64(1, 1440),
+                    });
+                }
+                "audio" => {
+                    actions.push(Action::SetVolume {
+                        stream: 3,
+                        index: 3 + rng.range_u64(0, 7) as i32,
+                    });
+                    actions.push(Action::RequestAudioFocus {
+                        client: format!("focus-{id:06}"),
+                    });
+                }
+                "receiver" => {
+                    actions.push(Action::RegisterReceiver {
+                        receiver: format!("rx-{id:06}"),
+                        actions: "android.net.conn.CONNECTIVITY_CHANGE".into(),
+                    });
+                }
+                "wakelock" => {
+                    actions.push(Action::AcquireWakeLock {
+                        tag: format!("wl-{id:06}"),
+                    });
+                }
+                "vibrator" => {
+                    actions.push(Action::Vibrate {
+                        ms: 20 + rng.range_u64(0, 400) as i64,
+                    });
+                }
+                "wifi" => {
+                    actions.push(Action::WifiScan);
+                }
+                "location" => {
+                    actions.push(Action::RequestLocation {
+                        provider: "network".into(),
+                    });
+                }
+                "clipboard" => {
+                    actions.push(Action::SetClipboard {
+                        bytes: 64 + rng.range_u64(0, 4096) as usize,
+                    });
+                }
+                _ => unreachable!("service table is exhaustive"),
+            }
+        }
+        // Every profile saves something persistent…
+        actions.push(Action::WriteDataFile {
+            name: "save.db".into(),
+            kib: 16 + rng.range_u64(0, 496),
+        });
+        // …and the hazardous half also holds an unsaved in-memory write,
+        // the state a lifecycle kill races against.
+        if rng.chance(p.buffered_write_probability) {
+            actions.push(Action::BufferedWrite {
+                name: "unsaved.journal".into(),
+                kib: 4 + rng.range_u64(0, 124),
+            });
+        }
+        if gl {
+            actions.push(Action::DrawFrames {
+                frames: 30 + rng.range_u64(0, 90) as u32,
+            });
+        }
+        actions.push(Action::Think {
+            ms: 100 + rng.range_u64(0, 400),
+        });
+        (actions, services)
+    }
+
+    /// Iterates over all profiles in id order.
+    pub fn iter(&self) -> impl Iterator<Item = AppProfile> + '_ {
+        (0..self.count as u32).map(|id| self.profile(id))
+    }
+
+    /// The census view: the expanded population's [`PlayApp`] layer
+    /// wrapped in a [`Corpus`] for CDF/quantile analysis.
+    pub fn census(&self) -> Corpus {
+        Corpus::from_apps(self.iter().map(|p| p.app).collect())
+    }
+
+    /// `n` ids evenly spaced across the corpus — the deterministic
+    /// sampling the sweeps migrate.
+    pub fn sample_ids(&self, n: usize) -> Vec<u32> {
+        if self.count == 0 || n == 0 {
+            return Vec::new();
+        }
+        let n = n.min(self.count);
+        (0..n).map(|k| ((k * self.count) / n) as u32).collect()
+    }
+
+    /// Ids of the first `limit` profiles matching `keep`, scanning in id
+    /// order — the stratified-oversampling helper (e.g. "the first eight
+    /// EGL-preserving apps") the ablation sweep uses to guarantee the rare
+    /// refusal classes appear in a small migrated sample.
+    pub fn find_ids(&self, limit: usize, mut keep: impl FnMut(&AppProfile) -> bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        for id in 0..self.count as u32 {
+            if out.len() >= limit {
+                break;
+            }
+            if keep(&self.profile(id)) {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_pure_in_seed_and_id() {
+        let small = ProfileCorpus::new(77, 10);
+        let large = ProfileCorpus::new(77, 10_000);
+        for id in 0..10 {
+            assert_eq!(small.profile(id), large.profile(id), "prefix stability");
+        }
+        assert_ne!(
+            ProfileCorpus::new(78, 10).profile(0),
+            small.profile(0),
+            "seed must matter"
+        );
+        assert_ne!(small.profile(0), small.profile(1), "ids must differ");
+    }
+
+    #[test]
+    fn census_matches_the_paper_quantiles() {
+        let c = ProfileCorpus::new(5, 20_000).census();
+        let at_1mb = c.cdf_at(ByteSize::from_mib(1));
+        let at_10mb = c.cdf_at(ByteSize::from_mib(10));
+        assert!((0.57..0.63).contains(&at_1mb), "P(<1MB) = {at_1mb}");
+        assert!((0.87..0.93).contains(&at_10mb), "P(<10MB) = {at_10mb}");
+    }
+
+    #[test]
+    fn refusal_minorities_are_present_but_small() {
+        let corpus = ProfileCorpus::new(5, 20_000);
+        let mut egl = 0usize;
+        let mut multi = 0usize;
+        let mut high_api = 0usize;
+        for p in corpus.iter() {
+            egl += usize::from(p.spec.preserve_egl);
+            multi += usize::from(p.spec.multi_process);
+            high_api += usize::from(p.spec.min_api > 19);
+        }
+        // ~0.68%, ~1.2% and ~4% of 20k respectively.
+        assert!((60..=240).contains(&egl), "egl = {egl}");
+        assert!((120..=480).contains(&multi), "multi = {multi}");
+        assert!((400..=1600).contains(&high_api), "high_api = {high_api}");
+    }
+
+    #[test]
+    fn service_usage_tracks_the_table3_frequencies() {
+        let corpus = ProfileCorpus::new(9, 20_000);
+        let mut counts = std::collections::BTreeMap::new();
+        for p in corpus.iter() {
+            for s in p.services {
+                *counts.entry(s).or_insert(0usize) += 1;
+            }
+        }
+        for (service, usage) in SERVICE_USAGE {
+            let n = counts.get(service).copied().unwrap_or(0) as f64 / 20_000.0;
+            assert!(
+                (n - usage).abs() < 0.02,
+                "{service}: generated {n:.3} vs fitted {usage:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_components_stay_on_the_fig15_band() {
+        // The per-migration payload is roughly dirty heap + native; the
+        // paper's Figure 15 tops out at 14 MB *compressed*. Keep the raw
+        // p95 under ~75 MiB so the 0.15–0.3 compression lands inside.
+        let corpus = ProfileCorpus::new(3, 5_000);
+        let mut payloads: Vec<f64> = corpus
+            .iter()
+            .map(|p| p.spec.heap_mib * p.spec.heap_dirty + p.spec.native_mib)
+            .collect();
+        payloads.sort_by(f64::total_cmp);
+        let p95 = payloads[(payloads.len() * 95) / 100];
+        assert!(p95 < 75.0, "p95 raw payload = {p95} MiB");
+        assert!(payloads[0] > 2.0, "min raw payload = {} MiB", payloads[0]);
+    }
+
+    #[test]
+    fn preserved_egl_implies_a_gl_context() {
+        let corpus = ProfileCorpus::new(5, 20_000);
+        for p in corpus.iter().filter(|p| p.spec.preserve_egl) {
+            assert!(p.spec.gl_contexts > 0, "id {}", p.app.id);
+            assert!(p.app.preserves_egl_context);
+        }
+    }
+
+    #[test]
+    fn sampling_is_even_and_stratification_finds_minorities() {
+        let corpus = ProfileCorpus::new(5, 10_000);
+        let ids = corpus.sample_ids(10);
+        assert_eq!(ids.len(), 10);
+        assert_eq!(ids[0], 0);
+        assert!(ids.windows(2).all(|w| w[1] > w[0]));
+        let egl = corpus.find_ids(4, |p| p.spec.preserve_egl);
+        assert_eq!(egl.len(), 4);
+        assert!(egl.iter().all(|&id| corpus.profile(id).spec.preserve_egl));
+    }
+}

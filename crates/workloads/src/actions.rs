@@ -105,6 +105,16 @@ pub enum Action {
         /// Size in KiB.
         kib: u64,
     },
+    /// Prepare a data-directory write but hold it in app memory until the
+    /// next lifecycle save point (`onPause`/`onStop` or the pre-checkpoint
+    /// flush). A process killed before that point loses it — the
+    /// lifecycle data-loss hazard of Riganelli et al.'s benchmark.
+    BufferedWrite {
+        /// File name relative to the data dir.
+        name: String,
+        /// Size in KiB.
+        kib: u64,
+    },
     /// Open a file on the *common* SD card area (blocks migration, §3.4).
     OpenCommonSdFile {
         /// Path under /sdcard/.

@@ -16,7 +16,7 @@ use flux_device::{DeviceModel, DeviceProfile};
 use flux_kernel::Kernel;
 use flux_net::{WifiAdapter, WifiStandard};
 use flux_simcore::{FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime, Uid};
-use flux_workloads::spec;
+use flux_workloads::{spec, AppSpec};
 
 /// The suite's default seed for single-scenario (non-proptest) stagings.
 pub const SEED: u64 = 1234;
@@ -41,6 +41,30 @@ pub fn staged_with(
         .fault_plan(plan)
         .device("h", DeviceProfile::of(home_model))
         .device("g", DeviceProfile::of(guest_model))
+        .app(0, app.clone())
+        .build()
+        .unwrap();
+    let (home, guest) = (ids[0], ids[1]);
+    world
+        .run_script(home, &app.package, &app.actions.clone())
+        .unwrap();
+    pair(&mut world, home, guest).unwrap();
+    (world, home, guest, app.package.clone())
+}
+
+/// Stages an arbitrary [`AppSpec`] — e.g. a generated corpus profile —
+/// on the standard pair (`h` Nexus 4 home, `g` Nexus 7 (2013) guest):
+/// deploys it on the home, runs its action script and pairs the devices.
+pub fn staged_app(
+    app: &AppSpec,
+    seed: u64,
+    plan: FaultPlan,
+) -> (FluxWorld, DeviceId, DeviceId, String) {
+    let (mut world, ids) = WorldBuilder::new()
+        .seed(seed)
+        .fault_plan(plan)
+        .device("h", DeviceProfile::nexus4())
+        .device("g", DeviceProfile::nexus7_2013())
         .app(0, app.clone())
         .build()
         .unwrap();

@@ -1,11 +1,12 @@
 //! Table-driven regression scenarios for the fleet migration engine.
 //!
 //! Each scenario stages one device pair per app, submits the batch through
-//! the [`FleetScheduler`] and asserts per-app state integrity — the
-//! data-loss conditions Riganelli et al.'s benchmark shows concurrent
-//! Android systems get wrong: record logs replayed exactly once, app data
-//! trees intact on the target, rolled-back migrations leaving their home
-//! device byte-identical and their guest residue-free.
+//! the [`FleetScheduler`] and asserts per-app state integrity through the
+//! shared data-loss oracle ([`OracleSnapshot`]) — the conditions
+//! Riganelli et al.'s benchmark shows concurrent Android systems get
+//! wrong: record logs replayed exactly once, app data trees intact on the
+//! target, rolled-back migrations leaving their home device
+//! byte-identical and their guest residue-free.
 //!
 //! The suite also pins the fleet path's fidelity: a single-request fleet
 //! must reproduce a direct `migrate` run's report *exactly* (same Debug
@@ -17,8 +18,8 @@ mod common;
 
 use flux_appfw::ActivityState;
 use flux_core::{
-    migrate, FleetConfig, FleetOutcome, FleetScheduler, MigrationConfig, MigrationRequest,
-    MigrationSpec, RetryPolicy, FLEET_RNG_STREAM,
+    migrate, FleetConfig, FleetScheduler, MigrationConfig, MigrationRequest, MigrationSpec,
+    OracleSnapshot, RetryPolicy, ScenarioOutcome, FLEET_RNG_STREAM,
 };
 use flux_simcore::SimDuration;
 
@@ -64,31 +65,18 @@ const SCENARIOS: [Scenario; 4] = [
     },
 ];
 
-/// Everything we snapshot about an app before its migration.
-struct PreState {
-    data_tree: Vec<(String, flux_fs::Content)>,
-    log_len: usize,
-}
-
 #[test]
 fn scenarios_preserve_per_app_state_under_contention() {
     for s in &SCENARIOS {
         let (mut world, pairs) = common::fleet_world(s.apps, 9001);
 
-        // Snapshot each home app's data tree and record log.
+        // Snapshot each home app's promised state through the shared
+        // data-loss oracle (data tree + record-log length).
         let mut pre = Vec::new();
-        for (home, _, pkg) in &pairs {
-            let dev = world.device(*home).unwrap();
-            let root = format!("/data/data/{pkg}");
-            let data_tree: Vec<_> = dev
-                .fs
-                .list(&root)
-                .map(|(path, entry)| (path.to_string(), entry.content))
-                .collect();
-            assert!(!data_tree.is_empty(), "{}: {pkg} staged no data", s.name);
-            let uid = dev.app_uid(pkg).unwrap();
-            let log_len = dev.records.log(uid).map_or(0, flux_core::CallLog::len);
-            pre.push(PreState { data_tree, log_len });
+        for (home, guest, pkg) in &pairs {
+            let snap = OracleSnapshot::capture(&world, *home, *guest, pkg).unwrap();
+            assert!(snap.file_count() > 0, "{}: {pkg} staged no data", s.name);
+            pre.push(snap);
         }
 
         let requests: Vec<_> = pairs
@@ -125,62 +113,37 @@ fn scenarios_preserve_per_app_state_under_contention() {
         );
         assert!(report.peak_in_flight <= s.max_in_flight, "{}", s.name);
 
-        for (flight, ((home, guest, pkg), pre)) in report.flights.iter().zip(pairs.iter().zip(&pre))
-        {
+        for (flight, ((_, guest, pkg), pre)) in report.flights.iter().zip(pairs.iter().zip(&pre)) {
             let ctx = format!("{}: {pkg}", s.name);
+            // The shared oracle carries all the data-loss checks: replay
+            // coverage, guest-mirror byte-equality, rollback invariants.
+            let verdict = pre.verdict_for(&world, &flight.outcome);
+            assert!(
+                verdict.is_clean(),
+                "{ctx}: {:?} -> {:?}",
+                verdict.outcome,
+                verdict.failures
+            );
             if s.drop_victim == Some(flight.id) {
                 // The victim — and only the victim — rolled back.
-                assert!(
-                    matches!(flight.outcome, FleetOutcome::RolledBack { .. }),
+                assert_eq!(
+                    verdict.outcome,
+                    ScenarioOutcome::RolledBack,
                     "{ctx}: expected rollback, got {:?}",
                     flight.outcome
                 );
-                let home_dev = world.device(*home).unwrap();
-                let app = home_dev.apps.get(pkg).expect("app back on home");
-                assert_eq!(app.top_state(), Some(ActivityState::Resumed), "{ctx}");
-                // Home record log survives the rollback intact.
-                let uid = home_dev.app_uid(pkg).unwrap();
-                let log_len = home_dev.records.log(uid).map_or(0, flux_core::CallLog::len);
-                assert_eq!(log_len, pre.log_len, "{ctx}: log intact");
-                // No residue on the guest: no app, no staged image.
-                let home_name = home_dev.name.clone();
-                let guest_dev = world.device(*guest).unwrap();
-                assert!(!guest_dev.apps.contains_key(pkg), "{ctx}");
-                assert!(
-                    !guest_dev
-                        .fs
-                        .exists(&format!("/data/flux/{home_name}/.migrate/{pkg}.image")),
-                    "{ctx}: staged image left behind"
-                );
             } else {
-                let out_report = flight.outcome.report().unwrap_or_else(|| {
-                    panic!("{ctx}: expected completion, got {:?}", flight.outcome)
-                });
-                // The app runs on the guest, gone from home.
+                assert_eq!(
+                    verdict.outcome,
+                    ScenarioOutcome::Completed,
+                    "{ctx}: expected completion, got {:?}",
+                    flight.outcome
+                );
+                // Beyond the oracle's guarantees: the app is foregrounded
+                // on the guest.
                 let guest_dev = world.device(*guest).unwrap();
                 let app = guest_dev.apps.get(pkg).expect("app on guest");
                 assert_eq!(app.top_state(), Some(ActivityState::Resumed), "{ctx}");
-                assert!(
-                    !world.device(*home).unwrap().apps.contains_key(pkg),
-                    "{ctx}"
-                );
-                // Replay covered the checkpoint-time log exactly once.
-                let replay_total = out_report.replay.replayed
-                    + out_report.replay.proxied
-                    + out_report.replay.skipped;
-                assert_eq!(replay_total as usize, pre.log_len, "{ctx}: replay coverage");
-                // Data-loss check: the guest's mirror of the app data
-                // tree (under the pairing root) is byte-identical to the
-                // home's pre-migration tree.
-                let home_name = &world.device(*home).unwrap().name;
-                for (path, content) in &pre.data_tree {
-                    let mirror_path = format!("/data/flux/{home_name}{path}");
-                    let mirrored = guest_dev
-                        .fs
-                        .get(&mirror_path)
-                        .unwrap_or_else(|| panic!("{ctx}: {mirror_path} missing on guest"));
-                    assert_eq!(&mirrored.content, content, "{ctx}: {path} content");
-                }
             }
         }
 

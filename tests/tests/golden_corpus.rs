@@ -1,0 +1,73 @@
+//! Golden pin for Play-store corpus generation.
+//!
+//! The corpus sweeps only mean anything across PRs if the generator is
+//! frozen: the same `(seed, id)` must produce the same profile forever.
+//! This file pins the first profiles of the reference corpus — and its
+//! census quantiles — byte-for-byte, the corpus counterpart of
+//! `golden_figures.rs`. Deliberate generator changes must update these
+//! constants in the same commit that explains why.
+
+use flux_playstore::ProfileCorpus;
+
+/// The reference corpus every pin below was captured from.
+const PIN_SEED: u64 = 77;
+const PIN_COUNT: usize = 10_000;
+
+/// FNV-1a over the rendered profile text.
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn first_profiles_are_byte_identical_across_prs() {
+    let corpus = ProfileCorpus::new(PIN_SEED, PIN_COUNT);
+    let rendered: String = (0..4u32)
+        .map(|id| {
+            let p = corpus.profile(id);
+            format!("{:?}\n{:?}\n{}\n", p.spec, p.services, p.app.install_size)
+        })
+        .collect();
+    assert_eq!(
+        fnv(&rendered),
+        0x7272_82d6_934e_de84,
+        "generator drifted; rendered profiles:\n{rendered}"
+    );
+}
+
+#[test]
+fn census_scalars_are_pinned() {
+    let corpus = ProfileCorpus::new(PIN_SEED, PIN_COUNT);
+    let census = corpus.census();
+    assert_eq!(census.len(), PIN_COUNT);
+    assert_eq!(census.median_size().as_u64(), 614_239);
+    assert_eq!(census.quantile(0.9).as_u64(), 10_195_904);
+    let p0 = corpus.profile(0);
+    assert_eq!(p0.spec.package, "com.playdrone.app000000");
+    assert_eq!(p0.app.install_size.as_u64(), 2_324_982);
+}
+
+/// Prints the current pin values — run with `--ignored --nocapture` when
+/// a deliberate generator change needs the constants above recaptured.
+#[test]
+#[ignore]
+fn print_pins() {
+    let corpus = ProfileCorpus::new(PIN_SEED, PIN_COUNT);
+    let census = corpus.census();
+    let rendered: String = (0..4u32)
+        .map(|id| {
+            let p = corpus.profile(id);
+            format!("{:?}\n{:?}\n{}\n", p.spec, p.services, p.app.install_size)
+        })
+        .collect();
+    println!("hash = {:#x}", fnv(&rendered));
+    println!("median = {}", census.median_size().as_u64());
+    println!("q90 = {}", census.quantile(0.9).as_u64());
+    let p0 = corpus.profile(0);
+    println!("pkg = {}", p0.spec.package);
+    println!("install0 = {}", p0.app.install_size.as_u64());
+}

@@ -1,0 +1,253 @@
+//! True-positive tests for the lifecycle data-loss oracle.
+//!
+//! A green oracle is worthless if it is vacuously green. Each test here
+//! seeds one bug class from the taxonomy — a write raced by a kill, a
+//! record log purged behind the oracle's back, residue planted after a
+//! rollback — and asserts the oracle *detects* it, alongside the clean
+//! counterpart proving the detection isn't a false positive.
+
+mod common;
+
+use flux_core::{
+    migrate, run_scenario, FailureClass, LifecycleSchedule, MigrationSpec, OracleSnapshot,
+    RetryPolicy, ScenarioOutcome,
+};
+use flux_simcore::ByteSize;
+use flux_workloads::{spec, Action};
+
+/// A Table 3 app whose script ends with an unsaved buffered write — the
+/// data-loss hazard every schedule races differently.
+fn app_with_buffered_write() -> flux_workloads::AppSpec {
+    let mut app = spec("WhatsApp").unwrap();
+    app.actions.push(Action::BufferedWrite {
+        name: "unsaved.journal".into(),
+        kib: 64,
+    });
+    app
+}
+
+#[test]
+fn oracle_is_clean_across_all_lifecycle_schedules() {
+    for schedule in LifecycleSchedule::ALL {
+        let (mut world, home, guest, pkg) = common::staged("WhatsApp", common::SEED);
+        let verdict = run_scenario(
+            &mut world,
+            schedule,
+            MigrationSpec::new(&pkg).between(home, guest),
+        )
+        .unwrap();
+        assert_eq!(
+            verdict.outcome,
+            ScenarioOutcome::Completed,
+            "{}",
+            schedule.key()
+        );
+        assert!(
+            verdict.is_clean(),
+            "{}: {:?}",
+            schedule.key(),
+            verdict.failures
+        );
+    }
+}
+
+#[test]
+fn buffered_write_survives_pause_and_undisturbed_migration() {
+    // onPause flushes; so does the engine's preparation stage. Either
+    // way the promised bytes reach the guest mirror.
+    for schedule in [
+        LifecycleSchedule::Undisturbed,
+        LifecycleSchedule::PauseThenMigrate,
+        LifecycleSchedule::StopThenMigrate,
+    ] {
+        let app = app_with_buffered_write();
+        let (mut world, home, guest, pkg) =
+            common::staged_app(&app, common::SEED, flux_simcore::FaultPlan::none());
+        let verdict = run_scenario(
+            &mut world,
+            schedule,
+            MigrationSpec::new(&pkg).between(home, guest),
+        )
+        .unwrap();
+        assert_eq!(verdict.outcome, ScenarioOutcome::Completed);
+        assert!(
+            verdict.is_clean(),
+            "{}: {:?}",
+            schedule.key(),
+            verdict.failures
+        );
+    }
+}
+
+#[test]
+fn kill_drops_the_buffered_write_and_the_oracle_sees_it() {
+    // The genuine Riganelli-class bug: a kill without lifecycle
+    // callbacks discards the in-memory write the app promised was saved.
+    let app = app_with_buffered_write();
+    let (mut world, home, guest, pkg) =
+        common::staged_app(&app, common::SEED, flux_simcore::FaultPlan::none());
+    let verdict = run_scenario(
+        &mut world,
+        LifecycleSchedule::KillThenMigrate,
+        MigrationSpec::new(&pkg).between(home, guest),
+    )
+    .unwrap();
+    assert_eq!(verdict.outcome, ScenarioOutcome::Completed);
+    assert!(
+        verdict.has(FailureClass::LostWrite),
+        "kill must lose the buffered write: {:?}",
+        verdict.failures
+    );
+}
+
+#[test]
+fn tampered_guest_mirror_is_flagged_as_lost_write() {
+    let (mut world, home, guest, pkg) = common::staged("WhatsApp", common::SEED);
+    let snap = OracleSnapshot::capture(&world, home, guest, &pkg).unwrap();
+    let report = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
+    assert!(snap.verdict(&world, Ok(&report)).is_clean());
+
+    // Corrupt one mirrored file on the guest and re-judge.
+    let home_name = world.device(home).unwrap().name.clone();
+    let victim = format!("/data/flux/{home_name}/data/data/{pkg}/files/base.db");
+    let guest_dev = world.device_mut(guest).unwrap();
+    assert!(guest_dev.fs.exists(&victim), "mirror path staged");
+    guest_dev.fs.write(
+        &victim,
+        flux_fs::Content::new(ByteSize::from_kib(1), 0xdead_beef),
+    );
+    let verdict = snap.verdict(&world, Ok(&report));
+    assert!(
+        verdict.has(FailureClass::LostWrite),
+        "{:?}",
+        verdict.failures
+    );
+
+    // Deleting it entirely is also a lost write.
+    world.device_mut(guest).unwrap().fs.remove(&victim).unwrap();
+    let verdict = snap.verdict(&world, Ok(&report));
+    assert!(
+        verdict.has(FailureClass::LostWrite),
+        "{:?}",
+        verdict.failures
+    );
+}
+
+#[test]
+fn purged_record_log_is_flagged_as_stale_replay() {
+    let (mut world, home, guest, pkg) = common::staged("WhatsApp", common::SEED);
+    let snap = OracleSnapshot::capture(&world, home, guest, &pkg).unwrap();
+    assert!(snap.log_len() > 0, "workload recorded calls");
+
+    // Purge recorded calls behind the oracle's back (no refresh — this
+    // models the framework losing log entries, not a legitimate kill).
+    let uid = world.device(home).unwrap().app_uid(&pkg).unwrap();
+    let dev = world.device_mut(home).unwrap();
+    let purged: usize = common::SERVICE_NAMES
+        .iter()
+        .map(|s| dev.records.log_mut(uid).purge_service(s))
+        .sum();
+    assert!(purged > 0, "something to purge");
+
+    let report = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap();
+    let verdict = snap.verdict(&world, Ok(&report));
+    assert!(
+        verdict.has(FailureClass::StaleReplay),
+        "replay covered {} of {} promised entries: {:?}",
+        report.replay.total(),
+        snap.log_len(),
+        verdict.failures
+    );
+}
+
+#[test]
+fn rollback_residue_and_home_loss_are_flagged() {
+    // Force a deterministic mid-transfer rollback.
+    let (mut world, home, guest, pkg) =
+        common::staged_faulty("WhatsApp", common::SEED, flux_simcore::FaultPlan::none());
+    let snap = OracleSnapshot::capture(&world, home, guest, &pkg).unwrap();
+    let err = migrate(
+        &mut world,
+        MigrationSpec::new(&pkg)
+            .between(home, guest)
+            .faults(common::blanket_drops())
+            .retry(RetryPolicy::none()),
+    )
+    .unwrap_err();
+    let verdict = snap.verdict(&world, Err(&err));
+    assert_eq!(verdict.outcome, ScenarioOutcome::RolledBack);
+    assert!(verdict.is_clean(), "{:?}", verdict.failures);
+
+    // Plant staged-image residue on the guest: the rollback "missed" it.
+    let home_name = world.device(home).unwrap().name.clone();
+    world.device_mut(guest).unwrap().fs.write(
+        &format!("/data/flux/{home_name}/.migrate/{pkg}.image"),
+        flux_fs::Content::new(ByteSize::from_mib(3), 0x5742),
+    );
+    let verdict = snap.verdict(&world, Err(&err));
+    assert!(
+        verdict.has(FailureClass::RollbackResidue),
+        "{:?}",
+        verdict.failures
+    );
+
+    // And losing a home file across the rollback is a lost write.
+    world
+        .device_mut(home)
+        .unwrap()
+        .fs
+        .remove(&format!("/data/data/{pkg}/files/base.db"))
+        .unwrap();
+    let verdict = snap.verdict(&world, Err(&err));
+    assert!(
+        verdict.has(FailureClass::LostWrite),
+        "{:?}",
+        verdict.failures
+    );
+}
+
+#[test]
+fn refusals_carry_their_taxonomy_class() {
+    // Subway Surfers preserves its EGL context (§3.4) …
+    let (mut world, home, guest, pkg) = common::staged("Subway Surfers", common::SEED);
+    let verdict = run_scenario(
+        &mut world,
+        LifecycleSchedule::Undisturbed,
+        MigrationSpec::new(&pkg).between(home, guest),
+    )
+    .unwrap();
+    assert_eq!(verdict.outcome, ScenarioOutcome::Refused);
+    assert!(
+        verdict.has(FailureClass::EglContext),
+        "{:?}",
+        verdict.failures
+    );
+
+    // … and Facebook is multi-process (§4).
+    let (mut world, home, guest, pkg) = common::staged("Facebook", common::SEED);
+    let verdict = run_scenario(
+        &mut world,
+        LifecycleSchedule::Undisturbed,
+        MigrationSpec::new(&pkg).between(home, guest),
+    )
+    .unwrap();
+    assert_eq!(verdict.outcome, ScenarioOutcome::Refused);
+    assert!(
+        verdict.has(FailureClass::IncompatibleFeature),
+        "{:?}",
+        verdict.failures
+    );
+}
+
+#[test]
+fn refusal_leaves_the_promise_intact() {
+    // A preflight refusal must be free: same data tree, same record log.
+    let (mut world, home, guest, pkg) = common::staged("Facebook", common::SEED);
+    let snap = OracleSnapshot::capture(&world, home, guest, &pkg).unwrap();
+    let err = migrate(&mut world, MigrationSpec::new(&pkg).between(home, guest)).unwrap_err();
+    let verdict = snap.verdict(&world, Err(&err));
+    assert_eq!(verdict.outcome, ScenarioOutcome::Refused);
+    // Exactly one finding: the refusal class itself.
+    assert_eq!(verdict.failures.len(), 1, "{:?}", verdict.failures);
+    assert!(verdict.has(FailureClass::IncompatibleFeature));
+}

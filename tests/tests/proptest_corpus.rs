@@ -1,0 +1,102 @@
+//! Property tests on the Play-store profile corpus and the data-loss
+//! oracle's taxonomy.
+//!
+//! Three invariants carry the corpus sweeps:
+//!
+//! * **generation determinism** — a profile is a pure function of
+//!   `(seed, id)`, so the same corpus re-generates byte-identically and
+//!   a corpus prefix is stable under growth;
+//! * **distribution sanity** — the census the generator produces stays
+//!   inside the paper's fig. 13 size-CDF quantile bands for every seed;
+//! * **schedule-permutation invariance** — a [`Taxonomy`] is a set of
+//!   per-scenario verdicts, so running the same scenarios in any order
+//!   tallies the same counts.
+
+mod common;
+
+use flux_core::{run_scenario, LifecycleSchedule, MigrationSpec, Taxonomy};
+use flux_playstore::ProfileCorpus;
+use proptest::prelude::*;
+
+proptest! {
+    /// Profile generation is pure and prefix-stable: regenerating any id
+    /// from an equal-seed corpus of any size yields an identical spec.
+    #[test]
+    fn profiles_are_pure_and_prefix_stable(
+        seed in any::<u64>(),
+        count in 1u32..2000,
+        extra in 0u32..2000,
+    ) {
+        let small = ProfileCorpus::new(seed, count as usize);
+        let large = ProfileCorpus::new(seed, (count + extra) as usize);
+        let id = count - 1;
+        let a = small.profile(id);
+        let b = large.profile(id);
+        prop_assert_eq!(format!("{:?}", a.spec), format!("{:?}", b.spec));
+        prop_assert_eq!(a.services, b.services);
+        prop_assert_eq!(a.app.install_size, b.app.install_size);
+    }
+
+    /// The generated census respects the paper's size-CDF shape at every
+    /// seed: ~60% of apps under 1 MB, ~90% under 10 MB (fig. 13 bands).
+    #[test]
+    fn census_quantiles_stay_in_the_paper_bands(seed in any::<u64>()) {
+        let corpus = ProfileCorpus::new(seed, 4000);
+        let census = corpus.census();
+        let q60 = census.quantile(0.60).as_u64();
+        let q90 = census.quantile(0.90).as_u64();
+        prop_assert!((600_000..=1_600_000).contains(&q60), "q60 = {q60}");
+        prop_assert!((6_000_000..=16_000_000).contains(&q90), "q90 = {q90}");
+        prop_assert!(census.quantile(0.0) <= census.quantile(1.0));
+    }
+
+    /// Quantiles are monotone in q for arbitrary corpora.
+    #[test]
+    fn quantiles_are_monotone(seed in any::<u64>(), qs in prop::collection::vec(0u32..=1000, 2..6)) {
+        let corpus = ProfileCorpus::new(seed, 512).census();
+        let mut sorted: Vec<f64> = qs.iter().map(|&q| f64::from(q) / 1000.0).collect();
+        sorted.sort_by(f64::total_cmp);
+        for w in sorted.windows(2) {
+            prop_assert!(corpus.quantile(w[0]) <= corpus.quantile(w[1]));
+        }
+    }
+
+    /// Tallying the same scenario verdicts in any order produces the
+    /// same taxonomy: the oracle's counts are schedule-permutation
+    /// invariant.
+    #[test]
+    fn taxonomy_is_permutation_invariant(
+        seed in 0u64..1000,
+        perm_seed in any::<u64>(),
+    ) {
+        // Fisher–Yates over the schedule indices, keyed by a drawn seed.
+        let mut order: Vec<usize> = (0..LifecycleSchedule::ALL.len()).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        // Each schedule runs in its own identically-seeded world, so the
+        // scenarios are independent and order is purely a tallying
+        // artefact.
+        let verdict_for = |schedule: LifecycleSchedule| {
+            let (mut world, home, guest, pkg) = common::staged("WhatsApp", seed);
+            run_scenario(
+                &mut world,
+                schedule,
+                MigrationSpec::new(&pkg).between(home, guest),
+            )
+            .unwrap()
+        };
+        let mut forward = Taxonomy::default();
+        for s in LifecycleSchedule::ALL {
+            forward.record(&verdict_for(s));
+        }
+        let mut permuted = Taxonomy::default();
+        for &i in &order {
+            permuted.record(&verdict_for(LifecycleSchedule::ALL[i]));
+        }
+        prop_assert_eq!(&forward, &permuted);
+        prop_assert_eq!(serde::to_json(&forward), serde::to_json(&permuted));
+    }
+}
