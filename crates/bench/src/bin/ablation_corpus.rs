@@ -39,8 +39,9 @@
 //! `--smoke` is the CI size: the 10k-profile row with half the sample.
 
 use flux_core::{
-    pair, FleetConfig, FleetScheduler, LifecycleSchedule, MigrationConfig, MigrationRequest,
-    OracleSnapshot, ParallelExecutor, RetryPolicy, Taxonomy, WorldBuilder,
+    pair, FleetConfig, FleetScheduler, LifecycleEvent, LifecycleSchedule, MigrationConfig,
+    MigrationRequest, MigrationStage, OracleSnapshot, ParallelExecutor, RetryPolicy, Taxonomy,
+    WorldBuilder,
 };
 use flux_device::DeviceProfile;
 use flux_playstore::{AppProfile, ProfileCorpus};
@@ -54,12 +55,20 @@ const SEED: u64 = 33;
 const FULL_CORPORA: [usize; 2] = [10_000, 50_000];
 /// The CI smoke size.
 const SMOKE_CORPORA: [usize; 1] = [10_000];
-/// The lifecycle axis: the three schedules that differ observably at
-/// fleet scale (pause and stop both flush; stop stands in for either).
-const SCHEDULES: [LifecycleSchedule; 3] = [
+/// The lifecycle axis: the three pre-migration schedules that differ
+/// observably at fleet scale (pause and stop both flush; stop stands in
+/// for either), plus the mid-migration cell — a kill landed inside the
+/// preparation stage, the Riganelli window only the interruptible
+/// engine reaches.
+const SCHEDULES: [LifecycleSchedule; 4] = [
     LifecycleSchedule::Undisturbed,
     LifecycleSchedule::StopThenMigrate,
     LifecycleSchedule::KillThenMigrate,
+    LifecycleSchedule::At {
+        stage: MigrationStage::Preparation,
+        offset: SimDuration::from_millis(1),
+        event: LifecycleEvent::Kill,
+    },
 ];
 /// Migrated scenarios per cell (full / smoke), before stratification.
 const FULL_SAMPLE: usize = 96;
@@ -95,6 +104,7 @@ fn sampled_ids(corpus: &ProfileCorpus, n: usize) -> Vec<u32> {
         corpus.find_ids(STRATUM, |p: &AppProfile| p.spec.preserve_egl),
         corpus.find_ids(STRATUM, |p: &AppProfile| p.spec.multi_process),
         corpus.find_ids(STRATUM, |p: &AppProfile| p.spec.min_api > GUEST_API),
+        corpus.find_ids(STRATUM, |p: &AppProfile| p.holds_open_incompatibility()),
     ] {
         for id in stratum {
             if !ids.contains(&id) {
@@ -119,7 +129,7 @@ impl serde::Serialize for Cell {
     fn serialize(&self, out: &mut String) {
         let mut obj = serde::object(out);
         obj.field("corpus", &(self.corpus as u64))
-            .field("schedule", self.schedule.key())
+            .field("schedule", &self.schedule.key())
             .field("faults", &self.faulty)
             .field("sampled", &(self.sampled as u64))
             .field("makespan_ns", &self.makespan.as_nanos())
@@ -171,6 +181,9 @@ fn run_cell(
         snapshots.push(snap);
         let id = i as u64 + 1;
         let mut req = MigrationRequest::new(id, home, guest, pkg);
+        // Mid-migration schedules ride the engine's interrupt timeline
+        // instead of perturbing the world up front.
+        req.interrupts.extend(schedule.interrupts());
         if faulty && id % DROP_EVERY == 0 {
             req = req
                 .with_faults(blanket_drops())

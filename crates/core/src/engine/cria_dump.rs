@@ -33,6 +33,10 @@ impl Stage for CriaDump {
         cx.prog.image.is_none()
     }
 
+    fn anchor(&self) -> Option<MigrationStage> {
+        Some(MigrationStage::Checkpoint)
+    }
+
     fn times_slot<'t>(&self, times: &'t mut StageTimes) -> Option<&'t mut SimDuration> {
         Some(&mut times.checkpoint)
     }

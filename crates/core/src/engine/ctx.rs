@@ -18,6 +18,8 @@ use flux_telemetry::LaneId;
 use flux_workloads::AppSpec;
 
 use super::failure::StageFailure;
+use super::interrupt::InterruptSource;
+use super::transfer::InflightTransfer;
 
 /// Immutable facts about the migration, gathered once up front.
 pub(crate) struct MigCtx {
@@ -97,6 +99,11 @@ pub(crate) struct Progress {
     /// ships only its [`ProcessImage::dirty_delta`] against this.
     pub(crate) precopy_base: Option<ProcessImage>,
     pub(crate) precopy_streamed: ByteSize,
+    /// The preparation stage's first slice ran: the app is backgrounded,
+    /// trimmed and GL-unloaded, but its save point has not fired yet. A
+    /// kill delivered in this window resets the flag — the relaunched
+    /// process is simply quiesced again (nothing had shipped).
+    pub(crate) prep_quiesced: bool,
     pub(crate) prep_done: bool,
     pub(crate) image: Option<FluxImage>,
     /// Compressed bytes the transfer stage must still ship (set once the
@@ -111,6 +118,9 @@ pub(crate) struct Progress {
     /// stage into the transfer stage's fused window.
     pub(crate) compress_pending: SimDuration,
     pub(crate) delivered_chunks: usize,
+    /// The serial transfer attempt currently draining its priced radio
+    /// window slice by slice (so interrupts can land between chunks).
+    pub(crate) transfer_inflight: Option<InflightTransfer>,
     pub(crate) transfer_done: bool,
     pub(crate) data_delta: ByteSize,
     pub(crate) restore_done: bool,
@@ -157,6 +167,10 @@ pub struct StageCtx<'a> {
     pub(crate) mig: &'a MigCtx,
     pub(crate) plan: &'a FaultPlan,
     pub(crate) prog: &'a mut Progress,
+    /// Mid-stage lifecycle interrupts: the driver arms and delivers them
+    /// at slice boundaries; resumable stages only *query* the next due
+    /// instant to know where to cut a window.
+    pub(crate) interrupts: &'a mut InterruptSource,
 }
 
 impl<'a> StageCtx<'a> {
@@ -165,12 +179,14 @@ impl<'a> StageCtx<'a> {
         mig: &'a MigCtx,
         plan: &'a FaultPlan,
         prog: &'a mut Progress,
+        interrupts: &'a mut InterruptSource,
     ) -> Self {
         Self {
             world,
             mig,
             plan,
             prog,
+            interrupts,
         }
     }
 

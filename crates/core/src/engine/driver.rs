@@ -14,10 +14,12 @@
 use super::ctx::{MigCtx, Progress};
 use super::failure::StageFailure;
 use super::finalise::Finalise;
-use super::{preflight, Stage, StageCtx, StageOutcome, ATTEMPT_STAGES};
+use super::interrupt::InterruptSource;
+use super::{preflight, Stage, StageCtx, StageOutcome, Yield, ATTEMPT_STAGES};
 use crate::errors::FluxError;
-use crate::migration::{MigrationConfig, MigrationReport, MigrationSpec};
+use crate::migration::{MigrationConfig, MigrationReport, MigrationSpec, StageInterrupt};
 use crate::world::{DeviceId, FluxWorld};
+use flux_appfw::LifecycleEvent;
 use flux_simcore::{FaultPlan, SimTime, TraceKind};
 use flux_telemetry::LaneId;
 
@@ -47,7 +49,14 @@ pub fn migrate(world: &mut FluxWorld, spec: MigrationSpec) -> Result<MigrationRe
         let shifted = plan.shifted_by(world.clock.now().since(SimTime::ZERO));
         std::mem::replace(&mut world.fault_plan, shifted)
     });
-    let result = run(world, home, guest, &spec.package, &spec.cfg);
+    let result = run_with_interrupts(
+        world,
+        home,
+        guest,
+        &spec.package,
+        &spec.cfg,
+        &spec.interrupts,
+    );
     if let Some(plan) = ambient {
         world.fault_plan = plan;
     }
@@ -64,6 +73,21 @@ pub fn run(
     package: &str,
     cfg: &MigrationConfig,
 ) -> Result<MigrationReport, FluxError> {
+    run_with_interrupts(world, home, guest, package, cfg, &[])
+}
+
+/// [`run`] with a mid-stage lifecycle interrupt schedule: each
+/// [`StageInterrupt`] is armed when its anchor stage first enters and
+/// delivered at the next slice boundary the clock crosses. With an empty
+/// schedule this is byte-identical to [`run`].
+pub fn run_with_interrupts(
+    world: &mut FluxWorld,
+    home: DeviceId,
+    guest: DeviceId,
+    package: &str,
+    cfg: &MigrationConfig,
+    interrupts: &[StageInterrupt],
+) -> Result<MigrationReport, FluxError> {
     world.telemetry.counter_add("flux.engine.runs", 1);
     let policy = &cfg.retry;
     preflight::check(world, home, guest, package)?;
@@ -72,6 +96,7 @@ pub fn run(
     // The fault plan is pinned at admission so a concurrent scheduler
     // swapping plans cannot perturb an in-flight migration.
     let plan = world.fault_plan.clone();
+    let mut ints = InterruptSource::new(interrupts);
     let mut prog = Progress::default();
 
     let mig_span = world
@@ -95,11 +120,11 @@ pub fn run(
 
     loop {
         prog.attempts += 1;
-        match run_attempt(world, &mig, &plan, &mut prog) {
+        match run_attempt(world, &mig, &plan, &mut prog, &mut ints) {
             Ok(()) => {
                 settle(world, &prog);
-                Finalise.run(&mut StageCtx::new(world, &mig, &plan, &mut prog))?;
-                return Ok(build_report(&mig, prog));
+                Finalise.run(&mut StageCtx::new(world, &mig, &plan, &mut prog, &mut ints))?;
+                return Ok(build_report(&mig, prog, ints.take_delivered()));
             }
             Err(StageFailure::FaultAborted { stage, detail, .. }) => {
                 prog.faults += 1;
@@ -112,7 +137,7 @@ pub fn run(
                 );
                 if prog.attempts >= policy.max_attempts {
                     let attempts = prog.attempts;
-                    if let Err(re) = unwind(world, &mig, &plan, &mut prog) {
+                    if let Err(re) = unwind(world, &mig, &plan, &mut prog, &mut ints) {
                         settle(world, &prog);
                         return Err(re);
                     }
@@ -149,7 +174,7 @@ pub fn run(
                 );
             }
             Err(fatal) => {
-                if let Err(re) = unwind(world, &mig, &plan, &mut prog) {
+                if let Err(re) = unwind(world, &mig, &plan, &mut prog, &mut ints) {
                     settle(world, &prog);
                     return Err(re);
                 }
@@ -168,9 +193,10 @@ fn run_attempt(
     mig: &MigCtx,
     plan: &FaultPlan,
     prog: &mut Progress,
+    ints: &mut InterruptSource,
 ) -> Result<(), StageFailure> {
     for stage in ATTEMPT_STAGES {
-        run_stage(stage, world, mig, plan, prog)?;
+        run_stage(stage, world, mig, plan, prog, ints)?;
     }
     Ok(())
 }
@@ -183,15 +209,22 @@ fn run_stage(
     mig: &MigCtx,
     plan: &FaultPlan,
     prog: &mut Progress,
+    ints: &mut InterruptSource,
 ) -> Result<(), StageFailure> {
-    let mut cx = StageCtx::new(world, mig, plan, prog);
+    let mut cx = StageCtx::new(world, mig, plan, prog, ints);
     if !stage.pending(&cx) {
         return Ok(());
+    }
+    // Interrupt specs anchored to this stage become absolute delivery
+    // times now, at first entry (a retried stage re-arms nothing).
+    if let Some(anchor) = stage.anchor() {
+        let now = cx.world.clock.now();
+        cx.interrupts.arm(anchor, now);
     }
     let t0 = cx.world.clock.now();
     let lane = stage.lane(&cx);
     let span = cx.world.telemetry.enter(lane, &stage.span_name(), t0);
-    let result = stage.run(&mut cx);
+    let result = run_slices(stage, &mut cx);
     // Whatever the outcome, the stage owned the clock over [t0, now]; the
     // probe (a no-op outside executor shards) learns the bracket so the
     // fleet scheduler can replay the pipeline stage by stage.
@@ -229,6 +262,87 @@ fn run_stage(
     result.map(|_| ())
 }
 
+/// Drives one stage slice by slice: due interrupts are delivered at every
+/// boundary (entry and completion included), [`Yield::Progress`] loops,
+/// and [`Yield::Blocked`] advances the clock to the next armed interrupt.
+/// With nothing armed this collapses to exactly one `run_slice` chain
+/// with free boundary checks — the undisturbed path.
+fn run_slices(stage: &dyn Stage, cx: &mut StageCtx<'_>) -> Result<StageOutcome, StageFailure> {
+    loop {
+        deliver_due(stage, cx)?;
+        match stage.run_slice(cx)? {
+            Yield::Progress(_) => continue,
+            Yield::Done(outcome) => {
+                deliver_due(stage, cx)?;
+                return Ok(outcome);
+            }
+            Yield::Blocked => match cx.interrupts.next_due() {
+                Some(at) => cx.world.clock.advance_to(at),
+                None => {
+                    return Err(StageFailure::Internal(format!(
+                        "stage {} blocked with no armed interrupt to unblock it",
+                        stage.name()
+                    )))
+                }
+            },
+        }
+    }
+}
+
+/// Delivers every armed interrupt due at or before the current instant.
+///
+/// `Pause`/`Stop` reach the home app's save point and the migration
+/// carries on; a `Kill` during the preparation window — before the dump
+/// exists — merely resets the quiesce so the cold-restarted process is
+/// frozen afresh, while a `Kill` anywhere later is fatal: the in-flight
+/// image describes a process that no longer exists, so the attempt
+/// returns [`StageFailure::Interrupted`] and the driver rolls back. An
+/// event due while the home app is already gone lands on nothing and is
+/// dropped (the world relaunches on kill, so this only covers races
+/// within a single boundary).
+fn deliver_due(stage: &dyn Stage, cx: &mut StageCtx<'_>) -> Result<(), StageFailure> {
+    while let Some(int) = cx.interrupts.pop_due(cx.world.clock.now()) {
+        let now = cx.world.clock.now();
+        let package = cx.mig.package.as_str();
+        if !cx.world.device(cx.mig.home)?.apps.contains_key(package) {
+            continue;
+        }
+        cx.world.telemetry.emit_kind(
+            now,
+            TraceKind::Fault,
+            "migration.interrupt",
+            format!(
+                "{:?} anchored to {} delivered during {}",
+                int.event,
+                int.stage,
+                stage.name()
+            ),
+        );
+        cx.world.lifecycle_event(cx.mig.home, package, int.event)?;
+        cx.interrupts.record(int.stage, now, int.event);
+        if int.event == LifecycleEvent::Kill {
+            if stage.anchor() == Some(crate::migration::MigrationStage::Preparation)
+                && !cx.prog.prep_done
+            {
+                // Nothing has shipped: quiesce the relaunched process
+                // again and the attempt proceeds as if freshly entered.
+                cx.prog.prep_quiesced = false;
+            } else {
+                // The frozen image no longer matches a live process. The
+                // prep flags are cleared so rollback skips the foreground
+                // re-init — the cold-started app is already foreground.
+                cx.prog.prep_quiesced = false;
+                cx.prog.prep_done = false;
+                return Err(StageFailure::Interrupted {
+                    stage: int.stage,
+                    event: int.event,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Rolls the world back to its pre-migration state: every attempt stage
 /// is unwound in reverse pipeline order, then invariant checks verify
 /// that the home-side app is foregrounded and running and the guest holds
@@ -238,6 +352,7 @@ fn unwind(
     mig: &MigCtx,
     plan: &FaultPlan,
     prog: &mut Progress,
+    ints: &mut InterruptSource,
 ) -> Result<(), FluxError> {
     let package = mig.package.as_str();
     let now = world.clock.now();
@@ -260,7 +375,7 @@ fn unwind(
     );
 
     {
-        let mut cx = StageCtx::new(world, mig, plan, prog);
+        let mut cx = StageCtx::new(world, mig, plan, prog, ints);
         for stage in ATTEMPT_STAGES.iter().rev() {
             stage.rollback(&mut cx)?;
         }
@@ -326,7 +441,11 @@ fn unwind(
 }
 
 /// Assembles the success report from the settled progress record.
-fn build_report(mig: &MigCtx, mut prog: Progress) -> MigrationReport {
+fn build_report(
+    mig: &MigCtx,
+    mut prog: Progress,
+    interrupts: Vec<crate::migration::InterruptRecord>,
+) -> MigrationReport {
     MigrationReport {
         package: mig.package.clone(),
         from: mig.home_name.clone(),
@@ -339,5 +458,6 @@ fn build_report(mig: &MigCtx, mut prog: Progress) -> MigrationReport {
         attempts: prog.attempts,
         faults: prog.faults,
         backoff: prog.backoff,
+        interrupts,
     }
 }

@@ -13,6 +13,7 @@
 use crate::errors::FluxError;
 use crate::migration::MigrationStage;
 use crate::world::WorldError;
+use flux_appfw::LifecycleEvent;
 use std::fmt;
 
 /// Why a migration stage refused to run, faulted, or failed outright.
@@ -67,6 +68,17 @@ pub enum StageFailure {
         /// Human-readable description of the last fault.
         detail: String,
     },
+    /// A scheduled lifecycle event killed the app mid-stage: the
+    /// in-flight image no longer describes a live process, so the
+    /// migration rolled back. Not retryable — the cold-restarted process
+    /// is a different process, and re-freezing it silently would paper
+    /// over exactly the race the interrupt expressed.
+    Interrupted {
+        /// The report stage the interrupt was anchored to.
+        stage: MigrationStage,
+        /// The delivered lifecycle event.
+        event: LifecycleEvent,
+    },
     /// Rollback could not restore the home-side invariants — the one
     /// failure mode that is not transparent to the user.
     RollbackFailed {
@@ -118,6 +130,12 @@ impl fmt::Display for StageFailure {
                 write!(
                     f,
                     "migration aborted at {stage} after {attempts} attempt(s), rolled back: {detail}"
+                )
+            }
+            StageFailure::Interrupted { stage, event } => {
+                write!(
+                    f,
+                    "migration interrupted during {stage}: app received {event:?} mid-stage, rolled back"
                 )
             }
             StageFailure::RollbackFailed { reason } => {

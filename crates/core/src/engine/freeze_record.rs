@@ -7,13 +7,21 @@
 //! redraw like any other foreground return.
 
 use super::failure::StageFailure;
-use super::{Stage, StageCtx, StageOutcome};
-use crate::migration::StageTimes;
+use super::{Stage, StageCtx, StageOutcome, Yield};
+use crate::migration::{MigrationStage, StageTimes};
 use flux_appfw::{conditional_reinit, egl_unload, handle_trim_memory, move_to_background};
 use flux_simcore::{ByteSize, SimDuration};
 use flux_telemetry::LaneId;
 
 /// The preparation stage (record-log freeze on the home device).
+///
+/// Resumable in two slices. Slice one *quiesces*: backgrounding,
+/// trim-memory, `eglUnload` and the task-idler wait. Slice two is the
+/// framework's save point: buffered writes flush to the home data
+/// directory, and the stage is done. The boundary between them is the
+/// Riganelli window — a kill delivered there discards the buffered
+/// writes and the record log before anything ships, and the engine
+/// simply quiesces the cold-restarted process again.
 pub struct FreezeRecord;
 
 impl Stage for FreezeRecord {
@@ -29,50 +37,74 @@ impl Stage for FreezeRecord {
         !cx.prog.prep_done
     }
 
+    fn anchor(&self) -> Option<MigrationStage> {
+        Some(MigrationStage::Preparation)
+    }
+
     fn times_slot<'t>(&self, times: &'t mut StageTimes) -> Option<&'t mut SimDuration> {
         Some(&mut times.preparation)
     }
 
     fn run(&self, cx: &mut StageCtx<'_>) -> Result<StageOutcome, StageFailure> {
+        loop {
+            match self.run_slice(cx)? {
+                Yield::Progress(_) => continue,
+                Yield::Done(outcome) => return Ok(outcome),
+                Yield::Blocked => {
+                    return Err(StageFailure::Internal(
+                        "preparation stage cannot block".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn run_slice(&self, cx: &mut StageCtx<'_>) -> Result<Yield, StageFailure> {
         let package = cx.mig.package.as_str();
+        if !cx.prog.prep_quiesced {
+            let now = cx.world.clock.now();
+            let dev = cx.world.device_mut(cx.mig.home)?;
+            let mut app = dev
+                .apps
+                .remove(package)
+                .ok_or_else(|| StageFailure::NoSuchApp(package.to_owned()))?;
+            let prep = (|| -> Result<(), StageFailure> {
+                move_to_background(&mut app, &mut dev.kernel, &mut dev.host, now)
+                    .map_err(|e| StageFailure::Internal(e.to_string()))?;
+                let stats = handle_trim_memory(&mut app, &mut dev.kernel, &mut dev.host, now)
+                    .map_err(|e| StageFailure::Internal(e.to_string()))?;
+                egl_unload(&mut app, &mut dev.kernel)
+                    .map_err(|_| StageFailure::PreservedEglContext)?;
+                let _ = stats;
+                Ok(())
+            })();
+            dev.apps.insert(package.to_owned(), app);
+            prep?;
+            // The unoptimised prototype waits for the task idler (§4).
+            let idle = dev.cost.background_idle_latency;
+            let teardown = SimDuration::from_nanos(
+                dev.cost.gl_teardown_ns_per_resource * (cx.mig.spec.gl_contexts as u64 + 2),
+            );
+            let binder = dev.cost.binder_transaction * 4;
+            let cost = idle + teardown + binder;
+            cx.world.clock.charge(cost);
+            cx.prog.prep_quiesced = true;
+            return Ok(Yield::Progress(cost));
+        }
         // The framework delivers the app's save point (`onPause`) before
         // the process freezes: buffered writes reach the home data
         // directory here, and from there the pre-transfer data sync ships
         // them to the guest. Free (and byte-invisible) when nothing is
         // buffered.
         cx.world.flush_pending(cx.mig.home, package)?;
-        let now = cx.world.clock.now();
-        let dev = cx.world.device_mut(cx.mig.home)?;
-        let mut app = dev
-            .apps
-            .remove(package)
-            .ok_or_else(|| StageFailure::NoSuchApp(package.to_owned()))?;
-        let prep = (|| -> Result<(), StageFailure> {
-            move_to_background(&mut app, &mut dev.kernel, &mut dev.host, now)
-                .map_err(|e| StageFailure::Internal(e.to_string()))?;
-            let stats = handle_trim_memory(&mut app, &mut dev.kernel, &mut dev.host, now)
-                .map_err(|e| StageFailure::Internal(e.to_string()))?;
-            egl_unload(&mut app, &mut dev.kernel).map_err(|_| StageFailure::PreservedEglContext)?;
-            let _ = stats;
-            Ok(())
-        })();
-        dev.apps.insert(package.to_owned(), app);
-        prep?;
-        // The unoptimised prototype waits for the task idler (§4).
-        let idle = dev.cost.background_idle_latency;
-        let teardown = SimDuration::from_nanos(
-            dev.cost.gl_teardown_ns_per_resource * (cx.mig.spec.gl_contexts as u64 + 2),
-        );
-        let binder = dev.cost.binder_transaction * 4;
-        cx.world.clock.charge(idle + teardown + binder);
         cx.prog.prep_done = true;
-        Ok(StageOutcome::Completed)
+        Ok(Yield::Done(StageOutcome::Completed))
     }
 
     /// Resumes the home-side app to the foreground (the record log was
     /// never removed, so nothing needs to be reinstated there).
     fn rollback(&self, cx: &mut StageCtx<'_>) -> Result<(), StageFailure> {
-        if !cx.prog.prep_done {
+        if !(cx.prog.prep_done || cx.prog.prep_quiesced) {
             return Ok(());
         }
         let package = cx.mig.package.as_str();

@@ -24,18 +24,21 @@ pub mod driver;
 pub mod failure;
 pub mod finalise;
 pub mod freeze_record;
+pub(crate) mod interrupt;
 pub mod precopy;
 pub mod preflight;
 pub mod replay_warmup;
+pub mod slices;
 pub mod transfer;
 pub mod undump;
 
 pub use ctx::StageCtx;
-pub use driver::{migrate, run};
+pub use driver::{migrate, run, run_with_interrupts};
 pub use failure::StageFailure;
 pub use replay_warmup::broadcast_connectivity;
+pub use slices::{ArmAction, Slice, SliceCursor, SliceKind};
 
-use crate::migration::StageTimes;
+use crate::migration::{MigrationStage, StageTimes};
 use flux_simcore::SimDuration;
 use flux_telemetry::LaneId;
 
@@ -52,16 +55,35 @@ pub enum StageOutcome {
     Skipped,
 }
 
+/// What one [`Stage::run_slice`] call reports back to the driver's slice
+/// loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Yield {
+    /// The stage ran one slice (charging `dur` of virtual time) and has
+    /// more work; the driver delivers any due interrupts at the boundary
+    /// and re-enters.
+    Progress(SimDuration),
+    /// The stage finished this attempt with the given outcome.
+    Done(StageOutcome),
+    /// The stage cannot proceed until an armed interrupt is delivered. No
+    /// current stage blocks; the driver advances the clock to the next
+    /// armed interrupt, or fails the attempt if none is armed (a blocked
+    /// stage with nothing to unblock it would spin forever).
+    Blocked,
+}
+
 /// One phase of the migration pipeline.
 ///
 /// Stages hold no state of their own — everything flows through the
-/// [`StageCtx`]. The driver wraps [`run`](Self::run) uniformly: it skips
-/// the stage when [`pending`](Self::pending) is false, opens the stage's
-/// telemetry span, runs it, and on success or a retryable fault
-/// accumulates busy time into [`times_slot`](Self::times_slot) and closes
-/// the span. On a fatal failure the span is deliberately left open for
-/// the driver's lane settlement, mirroring how an abandoned stage looks
-/// in a trace.
+/// [`StageCtx`]. The driver wraps [`run_slice`](Self::run_slice)
+/// uniformly: it skips the stage when [`pending`](Self::pending) is
+/// false, opens the stage's telemetry span, arms any interrupts anchored
+/// to [`anchor`](Self::anchor), then loops slices — delivering due
+/// interrupts at every boundary — until the stage yields
+/// [`Yield::Done`]. On success or a retryable fault it accumulates busy
+/// time into [`times_slot`](Self::times_slot) and closes the span. On a
+/// fatal failure the span is deliberately left open for the driver's
+/// lane settlement, mirroring how an abandoned stage looks in a trace.
 pub trait Stage {
     /// Short stage name; telemetry span and metric names derive from it.
     fn name(&self) -> &'static str;
@@ -93,8 +115,29 @@ pub trait Stage {
         None
     }
 
+    /// The report stage the driver arms stage-anchored interrupts
+    /// against when this stage first enters; `None` for phases outside
+    /// the five-stage report vocabulary (preflight, pre-copy, finalise),
+    /// which cannot anchor an interrupt.
+    fn anchor(&self) -> Option<MigrationStage> {
+        None
+    }
+
     /// Runs the stage, charging virtual time and mutating the world.
+    ///
+    /// Monolithic stages implement this directly; resumable stages
+    /// (preparation, transfer) implement [`run_slice`](Self::run_slice)
+    /// and provide `run` as the slice loop, so direct callers see the
+    /// same all-at-once behaviour either way.
     fn run(&self, cx: &mut StageCtx<'_>) -> Result<StageOutcome, StageFailure>;
+
+    /// Runs one slice of the stage. The default treats the whole stage
+    /// as a single indivisible slice (one [`run`](Self::run) to
+    /// completion); resumable stages override this and yield
+    /// [`Yield::Progress`] at every interruptible boundary.
+    fn run_slice(&self, cx: &mut StageCtx<'_>) -> Result<Yield, StageFailure> {
+        Ok(Yield::Done(self.run(cx)?))
+    }
 
     /// Undoes this stage's externally visible effects during rollback.
     /// Called in reverse pipeline order for every stage, whether or not it

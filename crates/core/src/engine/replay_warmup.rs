@@ -10,7 +10,7 @@
 use super::failure::StageFailure;
 use super::{Stage, StageCtx, StageOutcome};
 use crate::errors::FluxError;
-use crate::migration::StageTimes;
+use crate::migration::{MigrationStage, StageTimes};
 use crate::replay::replay_log;
 use crate::world::{DeviceId, FluxWorld};
 use flux_appfw::conditional_reinit;
@@ -30,6 +30,10 @@ impl Stage for ReplayWarmup {
 
     fn lane(&self, cx: &StageCtx<'_>) -> LaneId {
         cx.mig.guest_lane
+    }
+
+    fn anchor(&self) -> Option<MigrationStage> {
+        Some(MigrationStage::Reintegration)
     }
 
     fn times_slot<'t>(&self, times: &'t mut StageTimes) -> Option<&'t mut SimDuration> {

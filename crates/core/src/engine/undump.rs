@@ -32,6 +32,10 @@ impl Stage for Undump {
         !cx.prog.restore_done
     }
 
+    fn anchor(&self) -> Option<MigrationStage> {
+        Some(MigrationStage::Restore)
+    }
+
     fn times_slot<'t>(&self, times: &'t mut StageTimes) -> Option<&'t mut SimDuration> {
         Some(&mut times.restore)
     }

@@ -62,46 +62,19 @@ use crate::world::{Device, DeviceId, FluxWorld};
 use flux_device::DeviceProfile;
 use flux_kernel::Kernel;
 use flux_services::ServiceHost;
-use flux_simcore::{ByteSize, CostModel, FaultPlan, Pid, SimClock, SimDuration, SimRng, SimTime};
+use flux_simcore::{CostModel, FaultPlan, Pid, SimClock, SimDuration, SimRng, SimTime};
 use flux_telemetry::{LaneId, Telemetry};
 use std::collections::BTreeMap;
 use std::fmt;
+
+pub(crate) use crate::engine::slices::build_schedule;
+pub use crate::engine::slices::{Slice, SliceKind};
 
 /// The stream label the executor forks the per-batch RNG root from, off
 /// the world's network environment. Public so tests can reproduce a
 /// request's exact stream: `world.net.fork_rng(FLEET_RNG_STREAM)` then
 /// [`SimRng::fork`] with the request id.
 pub const FLEET_RNG_STREAM: u64 = 0xf1ee7;
-
-/// What one schedulable stretch of an executed migration occupies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SliceKind {
-    /// Device-local work: holds the migration's devices, not the air.
-    Cpu,
-    /// A radio payload: `bytes` the serial transfer model priced at the
-    /// slice's duration of air time. The scheduler admits it onto the
-    /// medium, where contention may stretch it.
-    Transfer {
-        /// Payload bytes delivered in this window.
-        bytes: ByteSize,
-    },
-}
-
-/// One stage-level stretch of an executed migration — the unit the fleet
-/// scheduler re-times. Consecutive slices run back to back; `Transfer`
-/// slices contend for the air individually (a pre-copy round and another
-/// request's freeze-phase residue genuinely interleave on the medium).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Slice {
-    /// The engine stage the stretch belongs to (`Stage::name`, or a
-    /// driver label like `"backoff"`/`"rollback"`; `""` between stages).
-    pub stage: &'static str,
-    /// What the stretch occupies.
-    pub kind: SliceKind,
-    /// Isolated duration (for `Transfer` slices, the serial air time —
-    /// medium contention not yet applied).
-    pub dur: SimDuration,
-}
 
 /// The measured shape of one executed migration, ready for the scheduler
 /// to place on the fleet timeline.
@@ -461,7 +434,14 @@ fn reattach(world: &mut FluxWorld, slot: ShardSlot) -> Telemetry {
 /// measured span into the stage-level slice schedule. The shard clock
 /// opened at `start`, so the wall time is the clock's progress past it.
 fn run_in_shard(shard: &mut FluxWorld, req: &MigrationRequest, start: SimTime) -> ExecParts {
-    let result = engine::run(shard, DeviceId(0), DeviceId(1), &req.package, &req.cfg);
+    let result = engine::run_with_interrupts(
+        shard,
+        DeviceId(0),
+        DeviceId(1),
+        &req.package,
+        &req.cfg,
+        &req.interrupts,
+    );
     let now = shard.clock.now();
     shard.telemetry.finish(now);
     let (stages, radios) = shard.probe.take();
@@ -474,7 +454,14 @@ fn run_in_shard(shard: &mut FluxWorld, req: &MigrationRequest, start: SimTime) -
 fn execute_direct(world: &mut FluxWorld, req: &MigrationRequest) -> ExecutedMigration {
     let t0 = world.clock.now();
     let ambient = std::mem::replace(&mut world.probe, ExecProbe::enabled());
-    let result = engine::run(world, req.home, req.guest, &req.package, &req.cfg);
+    let result = engine::run_with_interrupts(
+        world,
+        req.home,
+        req.guest,
+        &req.package,
+        &req.cfg,
+        &req.interrupts,
+    );
     let (stages, radios) = world.probe.take();
     world.probe = ambient;
     let parts = assemble(result, &stages, &radios, t0, world.clock.now().since(t0));
@@ -515,7 +502,9 @@ fn assemble(
             let rolled_back = matches!(
                 error,
                 FluxError::Migration(
-                    StageFailure::FaultAborted { .. } | StageFailure::RollbackFailed { .. }
+                    StageFailure::FaultAborted { .. }
+                        | StageFailure::Interrupted { .. }
+                        | StageFailure::RollbackFailed { .. }
                 )
             );
             if rolled_back {
@@ -531,93 +520,6 @@ fn assemble(
         wall,
         violations,
     }
-}
-
-/// Cuts `[start, start + wall]` into [`Slice`]s at every stage and radio
-/// window boundary: stretches inside a radio window become `Transfer`
-/// slices carrying that window's payload, everything else is `Cpu`, and
-/// each slice is labeled with the stage that owned the clock there.
-///
-/// The builder checks — rather than trusts — the probe invariants: radio
-/// windows must be chronological, non-overlapping and inside the wall.
-/// Every violation is counted and the offending window clamped, so the
-/// returned schedule always tiles the wall exactly; callers surface the
-/// count (`flux.fleet.accounting_violations`) instead of masking it.
-pub(crate) fn build_schedule(
-    stages: &[StageWindow],
-    radios: &[RadioWindow],
-    start: SimTime,
-    wall: SimDuration,
-) -> (Vec<Slice>, u32) {
-    let end = start + wall;
-    let mut violations = 0u32;
-    let label_at = |t: SimTime| -> &'static str {
-        stages
-            .iter()
-            .find(|w| w.from <= t && t < w.to)
-            .map(|w| w.stage)
-            .unwrap_or("")
-    };
-    // Emits the CPU stretch `[from, to)`, split at stage boundaries so a
-    // slice never spans two stages (the scheduler brackets the transfer
-    // stage by its labeled slices).
-    let emit_cpu = |slices: &mut Vec<Slice>, from: SimTime, to: SimTime| {
-        let mut at = from;
-        while at < to {
-            let mut next = to;
-            for w in stages {
-                for b in [w.from, w.to] {
-                    if b > at && b < next {
-                        next = b;
-                    }
-                }
-            }
-            slices.push(Slice {
-                stage: label_at(at),
-                kind: SliceKind::Cpu,
-                dur: next.since(at),
-            });
-            at = next;
-        }
-    };
-    let mut slices = Vec::new();
-    let mut cursor = start;
-    for r in radios {
-        let (mut from, mut to) = (r.from, r.from + r.duration);
-        if from < cursor || to > end {
-            violations += 1;
-            from = from.max(cursor).min(end);
-            to = to.max(from).min(end);
-        }
-        if to <= from {
-            continue; // clamped away entirely
-        }
-        emit_cpu(&mut slices, cursor, from);
-        // A window that delivered nothing (handshake drop) held the
-        // devices but never got a payload onto the air: schedule it as
-        // CPU time rather than admitting a zero-byte flow.
-        let kind = if r.bytes.as_u64() > 0 {
-            SliceKind::Transfer { bytes: r.bytes }
-        } else {
-            SliceKind::Cpu
-        };
-        slices.push(Slice {
-            stage: label_at(from),
-            kind,
-            dur: to.since(from),
-        });
-        cursor = to;
-    }
-    emit_cpu(&mut slices, cursor, end);
-    debug_assert_eq!(
-        slices
-            .iter()
-            .map(|s| s.dur)
-            .fold(SimDuration::ZERO, |a, d| a + d),
-        wall,
-        "slice schedule must tile the wall exactly"
-    );
-    (slices, violations)
 }
 
 /// A hollow stand-in occupying a detached device's slot so indices stay
@@ -689,112 +591,5 @@ mod tests {
         let order = canonical_order(&requests);
         let groups = conflict_groups(&requests, &order);
         assert_eq!(groups.len(), 2);
-    }
-
-    fn t(secs: u64) -> SimTime {
-        SimTime::from_secs(secs)
-    }
-
-    fn stage_w(stage: &'static str, from: u64, to: u64) -> StageWindow {
-        StageWindow {
-            stage,
-            from: t(from),
-            to: t(to),
-        }
-    }
-
-    fn radio_w(from: u64, dur: u64, mib: u64) -> RadioWindow {
-        RadioWindow {
-            from: t(from),
-            duration: SimDuration::from_secs(dur),
-            bytes: ByteSize::from_mib(mib),
-        }
-    }
-
-    #[test]
-    fn schedule_tiles_the_wall_and_labels_stages() {
-        // precopy [0,4) with a radio round [1,3); transfer [5,9) with its
-        // verify head [5,6) and radio [6,9); a bare gap [4,5).
-        let stages = vec![stage_w("precopy", 0, 4), stage_w("transfer", 5, 9)];
-        let radios = vec![radio_w(1, 2, 8), radio_w(6, 3, 64)];
-        let (slices, violations) =
-            build_schedule(&stages, &radios, t(0), SimDuration::from_secs(9));
-        assert_eq!(violations, 0);
-        let shape: Vec<(&str, bool, u64)> = slices
-            .iter()
-            .map(|s| {
-                (
-                    s.stage,
-                    matches!(s.kind, SliceKind::Transfer { .. }),
-                    s.dur.as_nanos() / 1_000_000_000,
-                )
-            })
-            .collect();
-        assert_eq!(
-            shape,
-            vec![
-                ("precopy", false, 1),
-                ("precopy", true, 2),
-                ("precopy", false, 1),
-                ("", false, 1),
-                ("transfer", false, 1),
-                ("transfer", true, 3),
-            ]
-        );
-        let total = slices
-            .iter()
-            .map(|s| s.dur)
-            .fold(SimDuration::ZERO, |a, d| a + d);
-        assert_eq!(total, SimDuration::from_secs(9));
-    }
-
-    #[test]
-    fn zero_byte_radio_windows_become_cpu_slices() {
-        // A handshake drop held the devices but shipped nothing: it must
-        // not become a zero-byte medium flow.
-        let stages = vec![stage_w("transfer", 0, 3)];
-        let radios = vec![radio_w(1, 1, 0)];
-        let (slices, violations) =
-            build_schedule(&stages, &radios, t(0), SimDuration::from_secs(3));
-        assert_eq!(violations, 0);
-        assert!(slices.iter().all(|s| matches!(s.kind, SliceKind::Cpu)));
-    }
-
-    #[test]
-    fn escaping_radio_windows_are_counted_not_masked() {
-        // Regression for the silent `pre = wall.saturating_sub(transfer +
-        // post)` clamp: a probe window past the measured wall used to
-        // vanish into a zero pre-phase. Now it is clamped *and counted*.
-        let stages = vec![stage_w("transfer", 0, 4)];
-        let radios = vec![radio_w(2, 10, 64)]; // escapes a 4 s wall
-        let (slices, violations) =
-            build_schedule(&stages, &radios, t(0), SimDuration::from_secs(4));
-        assert_eq!(violations, 1);
-        let total = slices
-            .iter()
-            .map(|s| s.dur)
-            .fold(SimDuration::ZERO, |a, d| a + d);
-        assert_eq!(total, SimDuration::from_secs(4), "still tiles the wall");
-        // Overlapping windows are the other corruption shape.
-        let radios = vec![radio_w(0, 3, 8), radio_w(2, 1, 8)];
-        let (_, violations) = build_schedule(&stages, &radios, t(0), SimDuration::from_secs(4));
-        assert_eq!(violations, 1);
-    }
-
-    #[test]
-    fn empty_probe_yields_one_cpu_slice_or_nothing() {
-        let (slices, v) = build_schedule(&[], &[], t(0), SimDuration::from_secs(2));
-        assert_eq!(v, 0);
-        assert_eq!(
-            slices,
-            vec![Slice {
-                stage: "",
-                kind: SliceKind::Cpu,
-                dur: SimDuration::from_secs(2)
-            }]
-        );
-        let (slices, v) = build_schedule(&[], &[], t(0), SimDuration::ZERO);
-        assert_eq!(v, 0);
-        assert!(slices.is_empty());
     }
 }

@@ -96,10 +96,12 @@
 //! assert!(report.makespan > flux_simcore::SimDuration::ZERO);
 //! ```
 
+use crate::engine::{ArmAction, SliceCursor, SliceKind};
 use crate::errors::FluxError;
-use crate::executor::{ExecutedMigration, Executor, SerialExecutor, SliceKind};
-use crate::migration::{MigrationConfig, MigrationReport};
+use crate::executor::{ExecutedMigration, Executor, SerialExecutor};
+use crate::migration::{MigrationConfig, MigrationReport, MigrationStage, StageInterrupt};
 use crate::world::{DeviceId, FluxWorld};
+use flux_appfw::LifecycleEvent;
 use flux_net::{CellTrace, MediumSegment, RadioMedium, RadioTopology};
 use flux_simcore::{FaultPlan, SimDuration, SimTime, Timeline};
 use std::collections::{BTreeMap, BTreeSet};
@@ -127,6 +129,10 @@ pub struct MigrationRequest {
     /// request's shard executes. [`FaultPlan::none`] inherits the world's
     /// ambient plan instead.
     pub faults: FaultPlan,
+    /// Stage-anchored lifecycle interrupts the engine delivers at slice
+    /// boundaries inside the running migration (offsets are relative to
+    /// the anchor stage's first entry).
+    pub interrupts: Vec<StageInterrupt>,
 }
 
 impl MigrationRequest {
@@ -140,6 +146,7 @@ impl MigrationRequest {
             priority: 0,
             cfg: MigrationConfig::default(),
             faults: FaultPlan::none(),
+            interrupts: Vec::new(),
         }
     }
 
@@ -158,6 +165,18 @@ impl MigrationRequest {
     /// Sets the request-relative fault schedule.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Adds a stage-anchored lifecycle interrupt to deliver mid-migration.
+    pub fn with_interrupt(
+        mut self,
+        stage: MigrationStage,
+        offset: SimDuration,
+        event: LifecycleEvent,
+    ) -> Self {
+        self.interrupts
+            .push(StageInterrupt::at(stage, offset, event));
         self
     }
 }
@@ -186,6 +205,10 @@ impl Default for FleetConfig {
 }
 
 /// How one fleet request ended.
+// One outcome lives per flight for the whole run either way; boxing the
+// report would only move the 296 bytes behind a pointer every consumer
+// then has to chase.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum FleetOutcome {
     /// The migration succeeded; the full single-pair report.
@@ -407,20 +430,15 @@ impl<'de> serde::Deserialize<'de> for FleetReport {
     }
 }
 
-/// A request occupying its devices, with its stage cursor into the
+/// A request occupying its devices, with its [`SliceCursor`] into the
 /// executed slice schedule.
 struct Active {
     idx: usize,
     admitted_at: SimTime,
-    /// Index of the slice currently on the timeline or on the air.
-    cursor: usize,
-    /// Index of the first/last slice labelled `"transfer"` (the engine's
-    /// transfer stage), precomputed so the cursor can mark the bracket.
-    first_transfer: Option<usize>,
-    last_transfer: Option<usize>,
-    transfer_start: Option<SimTime>,
-    transfer_end: Option<SimTime>,
-    exec: ExecutedMigration,
+    /// The engine-owned walk over the executed schedule: position,
+    /// zero-duration skips and the transfer bracket all live here.
+    cursor: SliceCursor,
+    outcome: FleetOutcome,
 }
 
 /// Fleet-timeline events. Request events are keyed by the request id;
@@ -639,17 +657,14 @@ impl FleetScheduler {
                 *serialized += isolated_span(&exec, home_cell_capacity);
                 *violations += u64::from(exec.violations);
                 world.telemetry.counter_add("flux.fleet.admitted", 1);
-                let first_transfer = exec.schedule.iter().position(|s| s.stage == "transfer");
-                let last_transfer = exec.schedule.iter().rposition(|s| s.stage == "transfer");
+                let ExecutedMigration {
+                    outcome, schedule, ..
+                } = exec;
                 let mut flight = Active {
                     idx,
                     admitted_at: now,
-                    cursor: 0,
-                    first_transfer,
-                    last_transfer,
-                    transfer_start: None,
-                    transfer_end: None,
-                    exec,
+                    cursor: SliceCursor::new(schedule),
+                    outcome,
                 };
                 arm(&mut flight, req, now, medium, timeline);
                 active.insert(req.id, flight);
@@ -808,28 +823,17 @@ fn arm(
     medium: &mut RadioMedium,
     timeline: &mut Timeline<FleetEvent>,
 ) {
-    while let Some(slice) = flight.exec.schedule.get(flight.cursor) {
-        if flight.first_transfer == Some(flight.cursor) && flight.transfer_start.is_none() {
-            flight.transfer_start = Some(now);
+    match flight.cursor.arm(now) {
+        ArmAction::Cpu { dur } => {
+            timeline.schedule(now + dur, req.id, FleetEvent::SliceDone);
         }
-        if slice.dur == SimDuration::ZERO {
-            if flight.last_transfer == Some(flight.cursor) {
-                flight.transfer_end = Some(now);
-            }
-            flight.cursor += 1;
-            continue;
+        ArmAction::Transfer { bytes, dur } => {
+            medium.admit_from(req.id, req.home.0 as u64, bytes, dur);
         }
-        match slice.kind {
-            SliceKind::Cpu => {
-                timeline.schedule(now + slice.dur, req.id, FleetEvent::SliceDone);
-            }
-            SliceKind::Transfer { bytes } => {
-                medium.admit_from(req.id, req.home.0 as u64, bytes, slice.dur);
-            }
+        ArmAction::Drained => {
+            timeline.schedule(now, req.id, FleetEvent::SliceDone);
         }
-        return;
     }
-    timeline.schedule(now, req.id, FleetEvent::SliceDone);
 }
 
 /// Advances one flight past its just-completed slice: marks the transfer
@@ -850,18 +854,12 @@ fn step_flight(
     flights: &mut BTreeMap<u64, FlightRecord>,
 ) {
     let flight = active.get_mut(&id).expect("completed slice has a flight");
-    if flight.cursor < flight.exec.schedule.len() {
-        if flight.last_transfer == Some(flight.cursor) {
-            flight.transfer_end = Some(now);
-        }
-        flight.cursor += 1;
+    if flight.cursor.step(now) {
+        // The cursor advanced; arm the next slice (or, if it drained the
+        // tail, the same-instant finishing event — the flight stays
+        // active until it fires).
         let req = &requests[flight.idx];
         arm(flight, req, now, medium, timeline);
-        if flight.cursor < flight.exec.schedule.len() {
-            return;
-        }
-        // arm() drained the remaining zero-duration slices and scheduled
-        // the finishing event; the flight stays active until it fires.
         return;
     }
     let flight = active.remove(&id).expect("finished flight is active");
@@ -907,8 +905,8 @@ fn finish_flight(
     submitted_at: SimTime,
     finished_at: SimTime,
 ) -> FlightRecord {
-    let transfer_start = flight.transfer_start.unwrap_or(finished_at);
-    let transfer_end = flight.transfer_end.unwrap_or(finished_at);
+    let transfer_start = flight.cursor.transfer_start().unwrap_or(finished_at);
+    let transfer_end = flight.cursor.transfer_end().unwrap_or(finished_at);
     let lane = world.telemetry.lane(&format!("fleet.m{:03}", req.id));
     world
         .telemetry
@@ -924,7 +922,7 @@ fn finish_flight(
     world
         .telemetry
         .record_complete(lane, "fleet.post", transfer_end, finished_at);
-    let counter = match flight.exec.outcome {
+    let counter = match flight.outcome {
         FleetOutcome::Completed(_) => "flux.fleet.completed",
         FleetOutcome::RolledBack { .. } => "flux.fleet.rolled_back",
         FleetOutcome::Refused { .. } => "flux.fleet.refused",
@@ -945,6 +943,6 @@ fn finish_flight(
         transfer_start,
         transfer_end,
         finished_at,
-        outcome: flight.exec.outcome,
+        outcome: flight.outcome,
     }
 }

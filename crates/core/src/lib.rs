@@ -62,7 +62,9 @@ pub mod world;
 
 pub use builder::WorldBuilder;
 pub use cria::{FluxImage, ReinitSpec, IMAGE_COMPRESS_RATIO, LOG_COMPRESS_RATIO};
-pub use engine::{broadcast_connectivity, migrate, StageFailure};
+pub use engine::{
+    broadcast_connectivity, migrate, run_with_interrupts, ArmAction, SliceCursor, StageFailure,
+};
 pub use errors::FluxError;
 pub use executor::{
     ExecutedMigration, Executor, ParallelExecutor, SerialExecutor, Slice, SliceKind,
@@ -72,11 +74,14 @@ pub use fleet::{
     run_fleet, FleetConfig, FleetOutcome, FleetReport, FleetScheduler, FlightRecord,
     MigrationRequest,
 };
+// Re-exported because [`LifecycleSchedule::At`] and
+// [`MigrationRequest::with_interrupt`] take it.
+pub use flux_appfw::LifecycleEvent;
 pub use image_cache::CachePartition;
 pub use migration::{
-    MigrationConfig, MigrationReport, MigrationSpec, MigrationStage, RetryPolicy, StageTimes,
-    TransferLedger, KERNEL_STALL_WATCHDOG, PRECOPY_DIRTY_FRACTION_PER_SEC, PRECOPY_MAX_ROUNDS,
-    PRECOPY_STOP,
+    InterruptRecord, MigrationConfig, MigrationReport, MigrationSpec, MigrationStage, RetryPolicy,
+    StageInterrupt, StageTimes, TransferLedger, KERNEL_STALL_WATCHDOG,
+    PRECOPY_DIRTY_FRACTION_PER_SEC, PRECOPY_MAX_ROUNDS, PRECOPY_STOP,
 };
 pub use oracle::{
     classify_refusal, run_scenario, FailureClass, LifecycleSchedule, Misbehaviour, OracleSnapshot,

@@ -29,7 +29,8 @@
 
 use crate::replay::ReplayStats;
 use crate::world::DeviceId;
-use flux_simcore::{ByteSize, FaultPlan, SimDuration};
+use flux_appfw::LifecycleEvent;
+use flux_simcore::{ByteSize, FaultPlan, SimDuration, SimTime};
 use std::fmt;
 
 pub use crate::engine::{broadcast_connectivity, migrate, run};
@@ -89,7 +90,7 @@ impl MigrationConfig {
 /// Each value's [`name`](Self::name) equals the corresponding engine
 /// stage's [`Stage::name`](crate::engine::Stage::name), which is what span
 /// and metric names derive from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum MigrationStage {
     /// Backgrounding + trim-memory + `eglUnload` on the home device.
     Preparation,
@@ -131,6 +132,49 @@ impl fmt::Display for MigrationStage {
     }
 }
 
+/// A lifecycle event scheduled against a stage of an in-flight migration:
+/// deliver `event` to the home-side app `offset` after `stage` begins.
+///
+/// This is the mid-stage half of the Riganelli-style lifecycle races. The
+/// engine arms each interrupt on its interrupt timeline when the anchor
+/// stage first runs and delivers it at the next slice boundary the clock
+/// crosses — inside the stage, not between stages. Offsets past the
+/// anchor stage's end are still delivered (at a later stage's boundary);
+/// offsets past the whole migration are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageInterrupt {
+    /// The report stage the offset is anchored to.
+    pub stage: MigrationStage,
+    /// Delay from the anchor stage's first entry.
+    pub offset: SimDuration,
+    /// The lifecycle event to deliver.
+    pub event: LifecycleEvent,
+}
+
+impl StageInterrupt {
+    /// An interrupt delivering `event` at `offset` into `stage`.
+    pub fn at(stage: MigrationStage, offset: SimDuration, event: LifecycleEvent) -> Self {
+        Self {
+            stage,
+            offset,
+            event,
+        }
+    }
+}
+
+/// One interrupt the engine actually delivered during a migration,
+/// recorded on [`MigrationReport::interrupts`] so the oracle can tell a
+/// legitimate mid-flight reset from silent state loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptRecord {
+    /// The stage the interrupt was anchored to.
+    pub stage: MigrationStage,
+    /// Virtual time of delivery.
+    pub at: SimTime,
+    /// The delivered event.
+    pub event: LifecycleEvent,
+}
+
 /// Everything one migration needs, built fluently and handed to
 /// [`migrate`]: the package, the device route, the engine configuration
 /// and an optional fault schedule.
@@ -163,6 +207,8 @@ pub struct MigrationSpec {
     /// Fault schedule relative to the migration's start; `None` inherits
     /// the world's ambient [`FaultPlan`].
     pub faults: Option<FaultPlan>,
+    /// Lifecycle events to deliver mid-stage, anchored to report stages.
+    pub interrupts: Vec<StageInterrupt>,
 }
 
 impl MigrationSpec {
@@ -174,6 +220,7 @@ impl MigrationSpec {
             route: None,
             cfg: MigrationConfig::default(),
             faults: None,
+            interrupts: Vec::new(),
         }
     }
 
@@ -200,6 +247,25 @@ impl MigrationSpec {
     /// ambient plan afterwards.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Schedules a lifecycle event `offset` into `stage`, delivered at the
+    /// next slice boundary inside the running migration.
+    pub fn interrupt(
+        mut self,
+        stage: MigrationStage,
+        offset: SimDuration,
+        event: LifecycleEvent,
+    ) -> Self {
+        self.interrupts
+            .push(StageInterrupt::at(stage, offset, event));
+        self
+    }
+
+    /// Replaces the whole mid-stage interrupt schedule.
+    pub fn interrupts(mut self, interrupts: Vec<StageInterrupt>) -> Self {
+        self.interrupts = interrupts;
         self
     }
 }
@@ -433,6 +499,11 @@ pub struct MigrationReport {
     pub faults: u32,
     /// Retry backoff charged to virtual time, outside the stage times.
     pub backoff: SimDuration,
+    /// Mid-stage lifecycle interrupts the engine delivered, in delivery
+    /// order. Deliberately kept out of the serialized report: the report
+    /// JSON is pinned by recorded benches that predate interrupts, and an
+    /// undisturbed run carries none.
+    pub interrupts: Vec<InterruptRecord>,
 }
 
 impl serde::Serialize for MigrationReport {
@@ -467,6 +538,7 @@ impl<'de> serde::Deserialize<'de> for MigrationReport {
             attempts: v.read("attempts")?,
             faults: v.read("faults")?,
             backoff: v.read("backoff")?,
+            interrupts: Vec::new(),
         })
     }
 }

@@ -24,10 +24,11 @@
 use crate::engine::StageFailure;
 use crate::errors::FluxError;
 use crate::fleet::FleetOutcome;
-use crate::migration::{MigrationReport, MigrationSpec};
+use crate::migration::{MigrationReport, MigrationSpec, MigrationStage, StageInterrupt};
 use crate::record::CallLog;
 use crate::world::{DeviceId, FluxWorld};
 use flux_appfw::{ActivityState, LifecycleEvent};
+use flux_simcore::SimDuration;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -96,6 +97,7 @@ pub fn classify_refusal(failure: &StageFailure) -> Option<FailureClass> {
         | StageFailure::NotPaired
         | StageFailure::NoSuchApp(_) => Some(FailureClass::IncompatibleFeature),
         StageFailure::FaultAborted { .. }
+        | StageFailure::Interrupted { .. }
         | StageFailure::RollbackFailed { .. }
         | StageFailure::Internal(_) => None,
     }
@@ -317,8 +319,17 @@ impl OracleSnapshot {
             }
         }
         // Replay coverage: every promised log entry visited exactly once.
+        // A kill the engine *delivered mid-migration* legitimately wiped
+        // the record log after the promise was refreshed (the recorded
+        // calls died with the process); the lost buffered writes still
+        // surface above as LostWrite, so excusing the replay count here
+        // does not mask the data loss.
+        let killed_mid_stage = report
+            .interrupts
+            .iter()
+            .any(|i| matches!(i.event, LifecycleEvent::Kill));
         let replay_total = report.replay.total() as usize;
-        if replay_total != self.log_len {
+        if replay_total != self.log_len && !killed_mid_stage {
             failures.push(Misbehaviour {
                 class: FailureClass::StaleReplay,
                 detail: format!(
@@ -354,6 +365,17 @@ impl OracleSnapshot {
                 detail: format!("rollback failed: {reason}"),
             });
         }
+        // A mid-stage kill cold-restarted the home process: its record
+        // log legitimately reset with it, so the rollback invariant on
+        // the log length does not apply. Everything else (foregrounded,
+        // alive, data tree, guest residue) is still checked in full.
+        let killed_mid_stage = matches!(
+            failure,
+            StageFailure::Interrupted {
+                event: LifecycleEvent::Kill,
+                ..
+            }
+        );
         // Home side: the app is back in the foreground, alive, with its
         // promised data tree and its migration-time record log.
         if let Ok(home_dev) = world.device(self.home) {
@@ -379,7 +401,7 @@ impl OracleSnapshot {
                         });
                     }
                     let log_len = home_dev.records.log(app.uid).map_or(0, CallLog::len);
-                    if log_len != self.log_len {
+                    if log_len != self.log_len && !killed_mid_stage {
                         failures.push(Misbehaviour {
                             class: FailureClass::StaleReplay,
                             detail: format!(
@@ -496,7 +518,8 @@ impl OracleSnapshot {
 }
 
 /// The lifecycle interleavings a scenario schedule injects between
-/// capture and migration — the axis the corpus sweep ablates.
+/// capture and migration — or, for [`At`](Self::At), *inside* it — the
+/// axis the corpus sweep ablates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LifecycleSchedule {
     /// Migrate the foregrounded app as-is.
@@ -508,10 +531,23 @@ pub enum LifecycleSchedule {
     /// Kill without callbacks (loses buffered writes and the record log),
     /// cold-restart, then migrate the restarted app.
     KillThenMigrate,
+    /// Deliver `event` mid-migration, `offset` into the first entry of
+    /// the anchor `stage` — the engine lands it on the next slice
+    /// boundary. This is the schedule that reaches the Riganelli windows
+    /// *inside* a running migration (kill mid-freeze, kill mid-transfer).
+    At {
+        /// The report stage the interrupt is anchored to.
+        stage: MigrationStage,
+        /// Offset past the stage's first entry.
+        offset: SimDuration,
+        /// The lifecycle event to deliver.
+        event: LifecycleEvent,
+    },
 }
 
 impl LifecycleSchedule {
-    /// All schedules, in sweep order.
+    /// The pre-migration schedules, in sweep order. (`At` schedules are
+    /// parameterised and enumerated by the sweeps that ablate them.)
     pub const ALL: [LifecycleSchedule; 4] = [
         LifecycleSchedule::Undisturbed,
         LifecycleSchedule::PauseThenMigrate,
@@ -519,18 +555,29 @@ impl LifecycleSchedule {
         LifecycleSchedule::KillThenMigrate,
     ];
 
-    /// The stable report key.
-    pub fn key(&self) -> &'static str {
+    /// The stable report key. `At` schedules key as
+    /// `mid-<stage>-<event>` (offset deliberately excluded: sweep cells
+    /// ablate *where* the event lands, not the exact nanosecond).
+    pub fn key(&self) -> String {
         match self {
-            LifecycleSchedule::Undisturbed => "undisturbed",
-            LifecycleSchedule::PauseThenMigrate => "pause",
-            LifecycleSchedule::StopThenMigrate => "stop",
-            LifecycleSchedule::KillThenMigrate => "kill",
+            LifecycleSchedule::Undisturbed => "undisturbed".into(),
+            LifecycleSchedule::PauseThenMigrate => "pause".into(),
+            LifecycleSchedule::StopThenMigrate => "stop".into(),
+            LifecycleSchedule::KillThenMigrate => "kill".into(),
+            LifecycleSchedule::At { stage, event, .. } => {
+                let event = match event {
+                    LifecycleEvent::Pause => "pause",
+                    LifecycleEvent::Stop => "stop",
+                    LifecycleEvent::Kill => "kill",
+                };
+                format!("mid-{}-{event}", stage.name())
+            }
         }
     }
 
-    /// Applies the schedule's lifecycle transition (if any) to the app on
-    /// its home device.
+    /// Applies the schedule's pre-migration lifecycle transition, if any
+    /// ([`At`](Self::At) schedules act inside the migration instead — see
+    /// [`interrupts`](Self::interrupts)).
     pub fn apply(
         &self,
         world: &mut FluxWorld,
@@ -538,7 +585,7 @@ impl LifecycleSchedule {
         package: &str,
     ) -> Result<(), FluxError> {
         match self {
-            LifecycleSchedule::Undisturbed => Ok(()),
+            LifecycleSchedule::Undisturbed | LifecycleSchedule::At { .. } => Ok(()),
             LifecycleSchedule::PauseThenMigrate => {
                 world.lifecycle_event(home, package, LifecycleEvent::Pause)
             }
@@ -550,6 +597,19 @@ impl LifecycleSchedule {
             }
         }
     }
+
+    /// The stage-anchored interrupts this schedule injects into the
+    /// migration itself (empty for the pre-migration schedules).
+    pub fn interrupts(&self) -> Vec<StageInterrupt> {
+        match *self {
+            LifecycleSchedule::At {
+                stage,
+                offset,
+                event,
+            } => vec![StageInterrupt::at(stage, offset, event)],
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// Runs one full scenario — capture, schedule, migrate, verdict — and
@@ -557,7 +617,7 @@ impl LifecycleSchedule {
 pub fn run_scenario(
     world: &mut FluxWorld,
     schedule: LifecycleSchedule,
-    spec: MigrationSpec,
+    mut spec: MigrationSpec,
 ) -> Result<OracleVerdict, FluxError> {
     let (home, guest) = spec.route.ok_or_else(|| {
         FluxError::Config("scenario spec has no route: set MigrationSpec::between".into())
@@ -565,6 +625,7 @@ pub fn run_scenario(
     let mut snap = OracleSnapshot::capture(world, home, guest, &spec.package)?;
     schedule.apply(world, home, &spec.package)?;
     snap.refresh_log_len(world);
+    spec.interrupts.extend(schedule.interrupts());
     let result = crate::engine::migrate(world, spec);
     Ok(snap.verdict(world, result.as_ref()))
 }

@@ -678,6 +678,43 @@ impl FluxWorld {
             Action::Think { ms } => {
                 self.tick(SimDuration::from_millis(*ms));
             }
+            Action::ContentProviderCall { ms, resolved } => {
+                self.device_mut(id)?
+                    .apps
+                    .get_mut(&pkg)
+                    .ok_or_else(|| WorldError::NoSuchApp(pkg.clone()))?
+                    .in_content_provider_call = true;
+                self.tick(SimDuration::from_millis(*ms));
+                if *resolved {
+                    self.device_mut(id)?
+                        .apps
+                        .get_mut(&pkg)
+                        .ok_or_else(|| WorldError::NoSuchApp(pkg.clone()))?
+                        .in_content_provider_call = false;
+                }
+            }
+            Action::OpenSdFile { name, common } => {
+                let path = if *common {
+                    format!("/sdcard/{name}")
+                } else {
+                    format!("/sdcard/Android/data/{pkg}/{name}")
+                };
+                let dev = self.device_mut(id)?;
+                let app = dev
+                    .apps
+                    .get_mut(&pkg)
+                    .ok_or_else(|| WorldError::NoSuchApp(pkg.clone()))?;
+                let pid = app.main_pid;
+                dev.kernel
+                    .process_mut(pid)
+                    .map_err(|e| WorldError::Boot(e.to_string()))?
+                    .fds
+                    .open(FdKind::File {
+                        path,
+                        offset: 0,
+                        writable: false,
+                    });
+            }
         }
         Ok(())
     }

@@ -44,6 +44,16 @@ pub struct ProfileParams {
     /// time — the lifecycle data-loss hazard of Riganelli et al.'s
     /// benchmark.
     pub buffered_write_probability: f64,
+    /// Probability the script makes a ContentProvider call.
+    pub provider_call_probability: f64,
+    /// Conditional probability a provider call is left unresolved —
+    /// open across the migration attempt, a §3.4 refusal.
+    pub unresolved_provider_probability: f64,
+    /// Probability the script opens an SD-card file.
+    pub sd_file_probability: f64,
+    /// Conditional probability the SD-card file is on *common* storage
+    /// rather than the app-scoped area — a §3.4 refusal.
+    pub common_sd_probability: f64,
     /// Log-normal `(μ, σ)` of the Dalvik heap in MiB. The default median
     /// of ~22 MiB with the dirty fraction below keeps compressed images on
     /// the Figure 15 "no more than 14 MB transferred" band.
@@ -64,6 +74,10 @@ impl Default for ProfileParams {
             gl_probability: 0.72,
             high_api_probability: 0.04,
             buffered_write_probability: 0.5,
+            provider_call_probability: 0.15,
+            unresolved_provider_probability: 0.025,
+            sd_file_probability: 0.10,
+            common_sd_probability: 0.05,
             heap_mu_sigma: (3.1, 0.5),
             heap_dirty_range: (0.25, 0.65),
             native_mu_sigma: (1.8, 0.6),
@@ -102,10 +116,29 @@ pub struct AppProfile {
 
 impl AppProfile {
     /// Whether the engine will refuse to migrate this profile outright
-    /// (multi-process, preserved EGL context, or an API level above the
-    /// KitKat-era evaluation guests).
+    /// (multi-process, preserved EGL context, an API level above the
+    /// KitKat-era evaluation guests, or §3.4 state the script leaves
+    /// open at migration time).
     pub fn refusable(&self, guest_api: u32) -> bool {
-        self.spec.multi_process || self.spec.preserve_egl || self.spec.min_api > guest_api
+        self.spec.multi_process
+            || self.spec.preserve_egl
+            || self.spec.min_api > guest_api
+            || self.holds_open_incompatibility()
+    }
+
+    /// Whether the script leaves §3.4-incompatible state open at
+    /// migration time: an unresolved ContentProvider call or an fd on
+    /// common SD-card storage.
+    pub fn holds_open_incompatibility(&self) -> bool {
+        self.spec.actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::ContentProviderCall {
+                    resolved: false,
+                    ..
+                } | Action::OpenSdFile { common: true, .. }
+            )
+        })
     }
 
     /// Whether the script leaves an unsaved in-memory write behind — the
@@ -326,6 +359,25 @@ impl ProfileCorpus {
         actions.push(Action::Think {
             ms: 100 + rng.range_u64(0, 400),
         });
+        // Provider and SD-card usage: common and mostly harmless, but
+        // the rare unresolved call / common-storage fd is exactly the
+        // open state §3.4 refuses — so the incompatible-feature class
+        // appears organically in corpus sweeps, not only when seeded.
+        // (Drawn after every older draw so the census layer is stable.)
+        if rng.chance(p.provider_call_probability) {
+            let resolved = !rng.chance(p.unresolved_provider_probability);
+            actions.push(Action::ContentProviderCall {
+                ms: 5 + rng.range_u64(0, 45),
+                resolved,
+            });
+        }
+        if rng.chance(p.sd_file_probability) {
+            let common = rng.chance(p.common_sd_probability);
+            actions.push(Action::OpenSdFile {
+                name: format!("media-{id:06}.dat"),
+                common,
+            });
+        }
         (actions, services)
     }
 
@@ -411,6 +463,37 @@ mod tests {
         assert!((60..=240).contains(&egl), "egl = {egl}");
         assert!((120..=480).contains(&multi), "multi = {multi}");
         assert!((400..=1600).contains(&high_api), "high_api = {high_api}");
+    }
+
+    #[test]
+    fn provider_and_sd_usage_is_common_but_rarely_incompatible() {
+        let corpus = ProfileCorpus::new(5, 20_000);
+        let mut provider = 0usize;
+        let mut sd = 0usize;
+        let mut incompatible = 0usize;
+        for p in corpus.iter() {
+            provider += usize::from(
+                p.spec
+                    .actions
+                    .iter()
+                    .any(|a| matches!(a, Action::ContentProviderCall { .. })),
+            );
+            sd += usize::from(
+                p.spec
+                    .actions
+                    .iter()
+                    .any(|a| matches!(a, Action::OpenSdFile { .. })),
+            );
+            incompatible += usize::from(p.holds_open_incompatibility());
+        }
+        // ~15% call a provider, ~10% touch the SD card; the refusable
+        // tail (~0.9% combined) exists but stays a minority.
+        assert!((2_400..=3_600).contains(&provider), "provider = {provider}");
+        assert!((1_600..=2_400).contains(&sd), "sd = {sd}");
+        assert!(
+            (60..=360).contains(&incompatible),
+            "incompatible = {incompatible}"
+        );
     }
 
     #[test]

@@ -280,6 +280,15 @@ impl<T> Timeline<T> {
         }
     }
 
+    /// The instant of the earliest pending event, if it fires strictly
+    /// before `horizon` — the interrupt-delivery probe: a stage about to
+    /// charge an indivisible window `[now, horizon)` asks whether anything
+    /// on the timeline must land inside it, and cuts the window at a slice
+    /// boundary if so.
+    pub fn next_before(&self, horizon: SimTime) -> Option<SimTime> {
+        self.next_at().filter(|&at| at < horizon)
+    }
+
     /// Merges every pending event of `other` into this timeline. Events
     /// keep their `(SimTime, key)` positions, so the merged timeline fires
     /// them in the same total order a single timeline would have; on an
@@ -424,6 +433,23 @@ mod tests {
         );
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn timeline_next_before_is_strict() {
+        let mut t = Timeline::new();
+        t.schedule(SimTime::from_secs(5), 1, ());
+        assert_eq!(
+            t.next_before(SimTime::from_secs(6)),
+            Some(SimTime::from_secs(5))
+        );
+        // The horizon itself is outside the window: an event *at* the end
+        // of a charge window lands at the natural stage boundary.
+        assert_eq!(t.next_before(SimTime::from_secs(5)), None);
+        assert_eq!(
+            Timeline::<()>::new().next_before(SimTime::from_secs(9)),
+            None
+        );
     }
 
     #[test]

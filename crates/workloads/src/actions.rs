@@ -129,6 +129,26 @@ pub enum Action {
         /// Milliseconds.
         ms: u64,
     },
+    /// A synchronous ContentProvider round-trip: opens the provider
+    /// connection, holds it for `ms` of virtual time and — when
+    /// `resolved` — closes it again. An unresolved call leaves the
+    /// connection open across a later migration attempt, the §3.4 state
+    /// the preflight refuses.
+    ContentProviderCall {
+        /// Virtual duration of the provider interaction.
+        ms: u64,
+        /// Whether the call completes; `false` leaves it open.
+        resolved: bool,
+    },
+    /// Open a file on the SD card. App-scoped paths (under
+    /// `/sdcard/Android/data/<package>/`) migrate fine; `common` opens a
+    /// shared path instead — the §3.4 state that blocks migration.
+    OpenSdFile {
+        /// Path relative to the chosen SD-card root.
+        name: String,
+        /// Whether to open on common storage rather than the app area.
+        common: bool,
+    },
 }
 
 #[cfg(test)]

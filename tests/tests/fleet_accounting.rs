@@ -1,0 +1,101 @@
+//! The fleet's slice-accounting invariant, promoted from a debug
+//! assertion to a tested contract.
+//!
+//! While a fleet schedule re-times each migration's probe windows onto
+//! the shared radio medium, every slice must stay inside the wall its
+//! executor measured; when one escapes, the scheduler clamps it and
+//! bumps `flux.fleet.accounting_violations` (emitted only when
+//! non-zero, so healthy telemetry bytes are unchanged). This suite
+//! constructs the schedules most likely to overrun — saturated
+//! admission, mid-flight rollbacks, contended priorities, mid-stage
+//! interrupts riding the engine's slice boundaries — and asserts the
+//! counter never appears.
+
+mod common;
+
+use flux_core::{
+    FleetConfig, FleetScheduler, LifecycleEvent, MigrationConfig, MigrationRequest, MigrationStage,
+    ParallelExecutor, RetryPolicy,
+};
+use flux_simcore::SimDuration;
+
+/// The Table 3 slice the grid migrates: a size spread wide enough that
+/// admitted flights constantly overlap on the radio medium.
+const APPS: [&str; 6] = [
+    "WhatsApp",
+    "Twitter",
+    "Instagram",
+    "Candy Crush Saga",
+    "Snapchat",
+    "Vine",
+];
+
+fn requests(pairs: &[(flux_core::DeviceId, flux_core::DeviceId, String)]) -> Vec<MigrationRequest> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (home, guest, pkg))| {
+            let id = i as u64 + 1;
+            let mut req =
+                MigrationRequest::new(id, *home, *guest, pkg).with_priority((i % 3) as u8);
+            match id % 3 {
+                // Every third flight rolls back mid-transfer …
+                0 => {
+                    req = req
+                        .with_faults(common::blanket_drops())
+                        .with_config(MigrationConfig {
+                            retry: RetryPolicy::none(),
+                            ..MigrationConfig::default()
+                        });
+                }
+                // … and every third is interrupted mid-stage, so the
+                // re-timed slices include interrupt-shortened windows.
+                1 => {
+                    req = req
+                        .with_interrupt(
+                            MigrationStage::Preparation,
+                            SimDuration::from_millis(1),
+                            LifecycleEvent::Kill,
+                        )
+                        .with_interrupt(
+                            MigrationStage::Transfer,
+                            SimDuration::from_secs(1),
+                            LifecycleEvent::Pause,
+                        );
+                }
+                _ => {}
+            }
+            req
+        })
+        .collect()
+}
+
+#[test]
+fn accounting_violations_stay_zero_across_overrun_prone_grids() {
+    // Saturation axis: admit everything at once, serialise fully, and
+    // the default in-between — each re-times slices differently.
+    for max_in_flight in [1, 2, APPS.len()] {
+        for parallel in [false, true] {
+            let (mut world, pairs) = common::fleet_world(&APPS, common::SEED);
+            let mut scheduler = FleetScheduler::new(FleetConfig {
+                max_in_flight,
+                ..FleetConfig::default()
+            })
+            .unwrap();
+            if parallel {
+                scheduler = scheduler.with_executor(ParallelExecutor::auto());
+            }
+            let report = scheduler.run(&mut world, requests(&pairs)).unwrap();
+            assert_eq!(report.flights.len(), APPS.len());
+            assert_eq!(
+                world
+                    .telemetry
+                    .metrics()
+                    .counter("flux.fleet.accounting_violations"),
+                0,
+                "max_in_flight {max_in_flight} parallel {parallel}: \
+                 a probe window escaped its measured wall"
+            );
+        }
+    }
+}

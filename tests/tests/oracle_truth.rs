@@ -8,11 +8,12 @@
 
 mod common;
 
+use flux_appfw::LifecycleEvent;
 use flux_core::{
-    migrate, run_scenario, FailureClass, LifecycleSchedule, MigrationSpec, OracleSnapshot,
-    RetryPolicy, ScenarioOutcome,
+    migrate, run_scenario, FailureClass, FluxError, LifecycleSchedule, MigrationSpec,
+    MigrationStage, OracleSnapshot, RetryPolicy, ScenarioOutcome, StageFailure,
 };
-use flux_simcore::ByteSize;
+use flux_simcore::{ByteSize, SimDuration};
 use flux_workloads::{spec, Action};
 
 /// A Table 3 app whose script ends with an unsaved buffered write — the
@@ -250,4 +251,125 @@ fn refusal_leaves_the_promise_intact() {
     // Exactly one finding: the refusal class itself.
     assert_eq!(verdict.failures.len(), 1, "{:?}", verdict.failures);
     assert!(verdict.has(FailureClass::IncompatibleFeature));
+}
+
+#[test]
+fn kill_mid_freeze_loses_the_buffered_write() {
+    // The Riganelli window: the app is quiesced (buffered write still
+    // unflushed, record log still live) but the preparation flush has
+    // not run. A kill landing on that slice boundary takes both down
+    // with the process; the engine re-quiesces the cold restart and the
+    // migration completes — minus the write. The oracle must see the
+    // loss, and must NOT double-report the wiped log as a stale replay:
+    // the kill is on the report's interrupt record.
+    let app = app_with_buffered_write();
+    let (mut world, home, guest, pkg) =
+        common::staged_app(&app, common::SEED, flux_simcore::FaultPlan::none());
+    let verdict = run_scenario(
+        &mut world,
+        LifecycleSchedule::At {
+            stage: MigrationStage::Preparation,
+            offset: SimDuration::from_millis(1),
+            event: LifecycleEvent::Kill,
+        },
+        MigrationSpec::new(&pkg).between(home, guest),
+    )
+    .unwrap();
+    assert_eq!(
+        verdict.outcome,
+        ScenarioOutcome::Completed,
+        "{:?}",
+        verdict.failures
+    );
+    assert!(
+        verdict.has(FailureClass::LostWrite),
+        "{:?}",
+        verdict.failures
+    );
+    assert!(
+        !verdict.has(FailureClass::StaleReplay),
+        "mid-stage kill excuses the wiped log: {:?}",
+        verdict.failures
+    );
+    assert!(!verdict.has(FailureClass::RollbackResidue));
+}
+
+#[test]
+fn pause_mid_freeze_is_clean() {
+    // Clean counterpart: onPause delivered in the same window flushes
+    // the buffer instead of wiping it. Nothing is lost, nothing stale.
+    let app = app_with_buffered_write();
+    let (mut world, home, guest, pkg) =
+        common::staged_app(&app, common::SEED, flux_simcore::FaultPlan::none());
+    let verdict = run_scenario(
+        &mut world,
+        LifecycleSchedule::At {
+            stage: MigrationStage::Preparation,
+            offset: SimDuration::from_millis(1),
+            event: LifecycleEvent::Pause,
+        },
+        MigrationSpec::new(&pkg).between(home, guest),
+    )
+    .unwrap();
+    assert_eq!(verdict.outcome, ScenarioOutcome::Completed);
+    assert!(verdict.is_clean(), "{:?}", verdict.failures);
+}
+
+#[test]
+fn kill_mid_transfer_rolls_back_without_residue() {
+    // A kill inside the radio window is fatal: the home process is gone
+    // mid-copy, so the engine abandons the attempt and rolls back. The
+    // oracle must observe the torn state healed — no staged residue on
+    // the guest, home tree intact — and excuse only the wiped record
+    // log (flagged by the Interrupted failure carrying the kill).
+    let app = app_with_buffered_write();
+    let (mut world, home, guest, pkg) =
+        common::staged_app(&app, common::SEED, flux_simcore::FaultPlan::none());
+    let snap = OracleSnapshot::capture(&world, home, guest, &pkg).unwrap();
+    let spec = MigrationSpec::new(&pkg).between(home, guest).interrupt(
+        MigrationStage::Transfer,
+        SimDuration::from_secs(1),
+        LifecycleEvent::Kill,
+    );
+    let err = migrate(&mut world, spec).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FluxError::Migration(StageFailure::Interrupted {
+                stage: MigrationStage::Transfer,
+                event: LifecycleEvent::Kill,
+            })
+        ),
+        "{err}"
+    );
+    let verdict = snap.verdict(&world, Err(&err));
+    assert_eq!(verdict.outcome, ScenarioOutcome::RolledBack);
+    assert!(
+        !verdict.has(FailureClass::RollbackResidue),
+        "staged chunks must not survive the rollback: {:?}",
+        verdict.failures
+    );
+    assert!(verdict.is_clean(), "{:?}", verdict.failures);
+}
+
+#[test]
+fn pause_mid_transfer_completes_clean() {
+    // Clean counterpart: a pause inside the radio window has nothing
+    // left to flush (preparation already shipped the buffer), so the
+    // migration absorbs it and completes byte-clean.
+    let app = app_with_buffered_write();
+    let (mut world, home, guest, pkg) =
+        common::staged_app(&app, common::SEED, flux_simcore::FaultPlan::none());
+    let verdict = run_scenario(
+        &mut world,
+        LifecycleSchedule::At {
+            stage: MigrationStage::Transfer,
+            offset: SimDuration::from_secs(1),
+            event: LifecycleEvent::Pause,
+        },
+        MigrationSpec::new(&pkg).between(home, guest),
+    )
+    .unwrap();
+    assert_eq!(verdict.outcome, ScenarioOutcome::Completed);
+    assert!(verdict.is_clean(), "{:?}", verdict.failures);
 }
